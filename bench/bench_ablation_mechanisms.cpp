@@ -1,0 +1,144 @@
+// Ablation study: remove one time-protection mechanism at a time from the
+// fully protected configuration and show which channel reopens. This is the
+// design-choice validation for the paper's requirement list (§3.2): every
+// mechanism is load-bearing against a specific channel class.
+//
+//   mechanism removed          channel that reopens            paper req.
+//   kernel clone               shared-kernel-image (Fig. 3)    Req. 2
+//   on-core flush              L1-D prime&probe (Table 3)      Req. 1
+//   switch padding             cache-flush latency (Fig. 5)    Req. 4
+//   IRQ partitioning           interrupt channel (Fig. 6)      Req. 5
+//   BP flush (pre-IBC x86)     BTB channel (Table 3 / §6.1)    Req. 1
+#include <cstdio>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/flush_channel.hpp"
+#include "attacks/interrupt_channel.hpp"
+#include "attacks/intra_core.hpp"
+#include "attacks/kernel_channel.hpp"
+#include "bench/bench_util.hpp"
+#include "mi/leakage_test.hpp"
+
+namespace tp {
+namespace {
+
+mi::LeakageResult Analyse(const mi::Observations& obs) {
+  mi::LeakageOptions opt;
+  opt.shuffles = 50;
+  return mi::TestLeakage(obs, opt);
+}
+
+mi::LeakageResult KernelChannelWith(std::function<void(kernel::KernelConfig&)> hook,
+                                    std::size_t rounds) {
+  attacks::ExperimentOptions opt;
+  opt.timeslice_ms = 0.25;
+  opt.config_hook = std::move(hook);
+  attacks::Experiment exp =
+      attacks::MakeExperiment(tp::hw::MachineConfig::Haswell(1),
+                              core::Scenario::kProtected, opt);
+  return Analyse(attacks::RunKernelChannel(exp, rounds, 0xAB1A7));
+}
+
+mi::LeakageResult FlushChannelWith(bool pad, std::size_t rounds) {
+  hw::MachineConfig mc = tp::hw::MachineConfig::Sabre(1);
+  attacks::ExperimentOptions opt;
+  opt.timeslice_ms = 0.5;
+  opt.disable_padding = !pad;
+  attacks::Experiment exp = attacks::MakeExperiment(mc, core::Scenario::kProtected, opt);
+  hw::Cycles gap = exp.SliceGapThreshold();
+  core::MappedBuffer sbuf =
+      exp.manager->AllocBuffer(*exp.sender_domain, 2 * mc.l1d.size_bytes);
+  attacks::DirtyLineSender sender(sbuf, mc.l1d.TotalLines() / 4, mc.l1d.line_size, 4,
+                                  0xAB1A7, gap);
+  attacks::FlushTimingReceiver receiver(attacks::TimingObservable::kOffline, gap);
+  exp.manager->StartThread(*exp.sender_domain, &sender, 120, 0);
+  exp.manager->StartThread(*exp.receiver_domain, &receiver, 120, 0);
+  return Analyse(attacks::CollectObservations(exp, sender, receiver, rounds));
+}
+
+mi::LeakageResult InterruptChannelWith(bool partition, std::size_t rounds) {
+  hw::MachineConfig mc = tp::hw::MachineConfig::Haswell(1);
+  attacks::ExperimentOptions opt;
+  opt.timeslice_ms = 2.0;
+  opt.sender_device_timers = {0};
+  opt.config_hook = [partition](kernel::KernelConfig& kc) {
+    kc.partition_irqs = partition;
+  };
+  attacks::Experiment exp = attacks::MakeExperiment(mc, core::Scenario::kProtected, opt);
+  hw::Machine& m = *exp.machine;
+  hw::Cycles gap = exp.SliceGapThreshold();
+  kernel::CapIdx timer =
+      exp.manager->GrantCap(*exp.sender_domain, exp.kernel->boot_info().device_timers[0]);
+  attacks::TimerTrojan trojan(timer, m.MicrosToCycles(2600), m.MicrosToCycles(200), 5,
+                              0xAB1A7, gap);
+  attacks::InterruptSpy spy(300, gap);
+  exp.manager->StartThread(*exp.sender_domain, &trojan, 120, 0);
+  exp.manager->StartThread(*exp.receiver_domain, &spy, 120, 0);
+  return Analyse(attacks::CollectObservations(exp, trojan, spy, rounds, 1));
+}
+
+void Row(bench::Table& t, const char* mechanism, const char* channel,
+         const mi::LeakageResult& without, const mi::LeakageResult& with) {
+  std::string verdict = without.leak && !with.leak
+                            ? "mechanism is load-bearing"
+                            : (without.leak ? "STILL LEAKS with mechanism"
+                                            : "channel did not reopen");
+  t.AddRow({mechanism, channel,
+            bench::Fmt("%.1f", without.MilliBits()) + (without.leak ? "*" : ""),
+            bench::Fmt("%.1f", with.MilliBits()) + (with.leak ? "*" : ""), verdict});
+}
+
+}  // namespace
+}  // namespace tp
+
+int main() {
+  tp::bench::Header("Ablation: protected configuration minus one mechanism at a time",
+                    "each §3.2 requirement defeats a specific channel class; removing "
+                    "any one of them reopens its channel");
+  std::size_t rounds = tp::bench::Scaled(700, 128);
+  tp::bench::Table t({"mechanism removed", "channel probed", "M without (mb)",
+                      "M with (mb)", "verdict"});
+
+  {
+    auto without = tp::KernelChannelWith(
+        [](tp::kernel::KernelConfig& kc) { kc.clone_support = false; }, rounds);
+    auto with = tp::KernelChannelWith(nullptr, rounds);
+    tp::Row(t, "kernel clone (Req 2)", "kernel image (Fig 3)", without, with);
+  }
+  {
+    auto without = tp::Analyse(tp::attacks::RunIntraCoreChannel(
+        tp::hw::MachineConfig::Haswell(1), tp::core::Scenario::kProtected,
+        tp::attacks::IntraCoreResource::kL1D, rounds, 0xAB1A7,
+        [](tp::kernel::KernelConfig& kc) { kc.flush_mode = tp::kernel::FlushMode::kNone; }));
+    auto with = tp::Analyse(tp::attacks::RunIntraCoreChannel(
+        tp::hw::MachineConfig::Haswell(1), tp::core::Scenario::kProtected,
+        tp::attacks::IntraCoreResource::kL1D, rounds, 0xAB1A7));
+    tp::Row(t, "on-core flush (Req 1)", "L1-D prime&probe", without, with);
+  }
+  {
+    auto without = tp::FlushChannelWith(false, rounds);
+    auto with = tp::FlushChannelWith(true, rounds);
+    tp::Row(t, "switch padding (Req 4)", "flush latency (Fig 5)", without, with);
+  }
+  {
+    auto without = tp::InterruptChannelWith(false, rounds);
+    auto with = tp::InterruptChannelWith(true, rounds);
+    tp::Row(t, "IRQ partitioning (Req 5)", "interrupt (Fig 6)", without, with);
+  }
+  {
+    auto without = tp::Analyse(tp::attacks::RunIntraCoreChannel(
+        tp::hw::MachineConfig::Haswell(1), tp::core::Scenario::kProtected,
+        tp::attacks::IntraCoreResource::kBtb, rounds, 0xAB1A7,
+        [](tp::kernel::KernelConfig& kc) { kc.has_bp_flush = false; }));
+    auto with = tp::Analyse(tp::attacks::RunIntraCoreChannel(
+        tp::hw::MachineConfig::Haswell(1), tp::core::Scenario::kProtected,
+        tp::attacks::IntraCoreResource::kBtb, rounds, 0xAB1A7));
+    tp::Row(t, "BP flush / IBC (§6.1)", "BTB channel", without, with);
+  }
+  t.Print();
+  std::printf("(* = definite channel: M > M0)\n");
+  std::printf("\nShape check: every removed mechanism reopens exactly its channel —\n"
+              "time protection is a suite, not a single knob. The pre-IBC row shows\n"
+              "why the paper argues for a security-aware hardware contract.\n");
+  return 0;
+}

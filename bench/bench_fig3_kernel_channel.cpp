@@ -1,0 +1,48 @@
+// Figure 3: kernel timing-channel matrix — conditional probability of LLC
+// misses (output) given the sender's system call (input), on a shared
+// kernel image (raw) vs cloned kernels (full time protection).
+//
+// Paper: x86 raw M = 0.79 b (395 b/s at a 2 ms round); protected M = 0.6 mb
+// (M0 = 0.1 mb). Arm raw M = 20 mb; protected 0.0 mb.
+#include <cstdio>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/kernel_channel.hpp"
+#include "bench/bench_util.hpp"
+#include "mi/channel_matrix.hpp"
+#include "mi/leakage_test.hpp"
+
+namespace tp {
+namespace {
+
+void RunPlatform(const char* name, const hw::MachineConfig& mc, std::size_t rounds) {
+  std::printf("\n--- %s ---\n", name);
+  for (core::Scenario s : {core::Scenario::kRaw, core::Scenario::kProtected}) {
+    attacks::Experiment exp = attacks::MakeExperiment(mc, s, {.timeslice_ms = 0.25});
+    mi::Observations obs = attacks::RunKernelChannel(exp, rounds, /*seed=*/0xF16'3);
+    mi::LeakageOptions opt;
+    opt.shuffles = 60;
+    mi::LeakageResult r = mi::TestLeakage(obs, opt);
+    std::printf("\n%s: M = %.1f mb, M0 = %.1f mb, n = %zu -> %s\n",
+                core::ScenarioName(s), r.MilliBits(), r.M0MilliBits(), r.samples,
+                r.leak ? "CHANNEL" : "no evidence of a channel");
+    mi::ChannelMatrix matrix(obs, 24);
+    std::printf("channel matrix (inputs: 0=Signal 1=SetPriority 2=Poll 3=idle; "
+                "output: LLC misses):\n%s", matrix.ToAscii(16).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tp
+
+int main() {
+  tp::bench::Header("Figure 3: timing channel via a shared kernel image",
+                    "x86: raw M=0.79b (n=255790), protected M=0.6mb (M0=0.1mb). "
+                    "Arm: raw M=20mb, protected 0.0mb");
+  std::size_t rounds = tp::bench::Scaled(1200);
+  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), rounds);
+  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), rounds);
+  std::printf("\nShape check: raw shows a clear channel on both platforms; cloned,\n"
+              "coloured kernels remove the correlation entirely.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 4: cross-core LLC side-channel attack (Liu et al. 2015) against a
+// square-and-multiply ElGamal decryption, spy and victim on separate cores.
+//
+// Paper: the unmitigated spy sees the victim's square-function invocations
+// as dots on the monitored cache set, with the secret key encoded in the
+// intervals; with time protection (coloured LLC) the spy can no longer
+// detect any cache activity of the victim.
+#include <cstdio>
+
+#include "attacks/llc_side_channel.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  tp::bench::Header("Figure 4: cross-core LLC side channel on modular exponentiation",
+                    "raw: square-pattern dots at the victim's set; protected: no "
+                    "activity detectable");
+  std::size_t slots = tp::bench::Scaled(1200, 256);
+  constexpr std::uint64_t kSecret = 0xB1A5ED5EEDull;
+
+  for (tp::core::Scenario s : {tp::core::Scenario::kRaw, tp::core::Scenario::kProtected}) {
+    tp::attacks::SideChannelResult r = tp::attacks::RunLlcSideChannel(
+        tp::hw::MachineConfig::Haswell(2), s, kSecret, slots);
+    std::printf("\n%s: activity in %zu/%zu slots (%.1f%%), %zu dot events, victim "
+                "completed %zu decryptions\n",
+                tp::core::ScenarioName(s), r.activity_slots, r.trace.size(),
+                r.activity_fraction * 100.0, r.activity_events, r.victim_decryptions);
+    std::printf("%s", r.AsciiTrace(100).c_str());
+  }
+  std::printf("\nShape check: the raw spy recovers the square-invocation pattern (dots\n"
+              "with bit-dependent spacing); colouring leaves the spy blind.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 6: the interrupt covert channel — the Trojan programs a one-shot
+// timer that fires mid-way through the spy's next timeslice; the spy's
+// online time before the interrupt encodes the timer value.
+//
+// Paper (Haswell, 10 ms tick, timer 13-17 ms): M = 902 mb, n = 10860;
+// with IRQ partitioning the spy's slice is uninterrupted and the channel is
+// closed (M = 0.5 mb, M0 = 0.7 mb).
+#include <cstdio>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/interrupt_channel.hpp"
+#include "bench/bench_util.hpp"
+#include "mi/channel_matrix.hpp"
+#include "mi/leakage_test.hpp"
+
+namespace tp {
+namespace {
+
+mi::LeakageResult RunOne(core::Scenario scenario, std::size_t rounds,
+                         mi::Observations* out_obs) {
+  hw::MachineConfig mc = hw::MachineConfig::Haswell(1);
+  attacks::ExperimentOptions opt;
+  // Scaled-down tick (2 ms instead of 10 ms) keeps simulation time sane;
+  // the timer offsets scale identically.
+  opt.timeslice_ms = 2.0;
+  opt.sender_device_timers = {0};
+  attacks::Experiment exp = attacks::MakeExperiment(mc, scenario, opt);
+  hw::Machine& m = *exp.machine;
+  hw::Cycles gap = exp.SliceGapThreshold();
+
+  kernel::CapIdx timer =
+      exp.manager->GrantCap(*exp.sender_domain, exp.kernel->boot_info().device_timers[0]);
+  attacks::TimerTrojan trojan(timer, m.MicrosToCycles(2600), m.MicrosToCycles(200), 5,
+                              0xF166, gap);
+  attacks::InterruptSpy spy(/*irq_gap=*/300, gap);
+  exp.manager->StartThread(*exp.sender_domain, &trojan, 120, 0);
+  exp.manager->StartThread(*exp.receiver_domain, &spy, 120, 0);
+
+  mi::Observations obs =
+      attacks::CollectObservations(exp, trojan, spy, rounds, /*sample_lag=*/1);
+  if (out_obs != nullptr) {
+    *out_obs = obs;
+  }
+  mi::LeakageOptions lopt;
+  lopt.shuffles = 50;
+  return mi::TestLeakage(obs, lopt);
+}
+
+}  // namespace
+}  // namespace tp
+
+int main() {
+  tp::bench::Header("Figure 6: interrupt covert channel",
+                    "raw: M = 902 mb (timer 13-17ms, 10ms tick); partitioned: closed "
+                    "(M = 0.5 mb, M0 = 0.7 mb)");
+  std::size_t rounds = tp::bench::Scaled(700, 128);
+
+  tp::mi::Observations raw_obs;
+  tp::mi::LeakageResult raw = tp::RunOne(tp::core::Scenario::kRaw, rounds, &raw_obs);
+  std::printf("\nraw: M = %.1f mb, M0 = %.1f mb, n = %zu -> %s\n", raw.MilliBits(),
+              raw.M0MilliBits(), raw.samples, raw.leak ? "CHANNEL" : "no channel");
+  tp::mi::ChannelMatrix matrix(raw_obs, 20);
+  std::printf("matrix (spy online-time-before-interrupt vs Trojan timer symbol):\n%s",
+              matrix.ToAscii(14).c_str());
+
+  tp::mi::LeakageResult prot =
+      tp::RunOne(tp::core::Scenario::kProtected, rounds, nullptr);
+  std::printf("\npartitioned (Kernel_SetInt): M = %.1f mb, M0 = %.1f mb, n = %zu -> %s\n",
+              prot.MilliBits(), prot.M0MilliBits(), prot.samples,
+              prot.leak ? "CHANNEL" : "no channel");
+  std::printf("\nShape check: the raw spy sees its online time split at a point that\n"
+              "tracks the Trojan's timer; partitioning leaves the slice uninterrupted.\n");
+  return 0;
+}

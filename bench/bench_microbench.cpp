@@ -1,0 +1,124 @@
+// Google-benchmark microbenchmarks of the simulator's hot paths and the
+// kernel's primitive operations. These measure *host* throughput of the
+// simulation (how fast the model runs), complementing the paper-reproduction
+// benches which report *simulated* cycles.
+#include <benchmark/benchmark.h>
+
+#include "core/domain.hpp"
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+
+namespace tp {
+namespace {
+
+class FlatContext final : public hw::TranslationContext {
+ public:
+  explicit FlatContext(hw::Asid asid) : asid_(asid) {}
+  std::optional<hw::Translation> Translate(hw::VAddr vaddr) const override {
+    if (hw::IsKernelAddress(vaddr)) {
+      return hw::Translation{hw::PageAlignDown(hw::PaddrOfKernelVaddr(vaddr)), false};
+    }
+    return hw::Translation{hw::PageAlignDown(vaddr) + 0x100000, false};
+  }
+  void WalkPath(hw::VAddr vaddr, std::vector<hw::PAddr>& out) const override {
+    out.push_back(0x7000000 + (hw::PageNumber(vaddr) % 512) * 8);
+    out.push_back(0x7001000 + (hw::PageNumber(vaddr) % 512) * 8);
+  }
+  hw::Asid asid() const override { return asid_; }
+
+ private:
+  hw::Asid asid_;
+};
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  FlatContext ctx(1);
+  m.core(0).SetUserContext(&ctx);
+  m.core(0).SetKernelContext(&ctx, true);
+  m.core(0).Access(0x1000, hw::AccessKind::kRead);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.core(0).Access(0x1000, hw::AccessKind::kRead));
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessMissStream(benchmark::State& state) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  FlatContext ctx(1);
+  m.core(0).SetUserContext(&ctx);
+  m.core(0).SetKernelContext(&ctx, true);
+  hw::VAddr va = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.core(0).Access(va, hw::AccessKind::kRead));
+    va += 64;
+  }
+}
+BENCHMARK(BM_CacheAccessMissStream);
+
+void BM_BranchPredicted(benchmark::State& state) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  for (int i = 0; i < 64; ++i) {
+    m.core(0).Branch(0x1000, 0x2000, true, true);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.core(0).Branch(0x1000, 0x2000, true, true));
+  }
+}
+BENCHMARK(BM_BranchPredicted);
+
+void BM_TlbFlush(benchmark::State& state) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  FlatContext ctx(1);
+  m.core(0).SetUserContext(&ctx);
+  m.core(0).SetKernelContext(&ctx, true);
+  for (auto _ : state) {
+    m.core(0).Access(0x5000, hw::AccessKind::kRead);
+    benchmark::DoNotOptimize(m.core(0).FlushTlbAll());
+  }
+}
+BENCHMARK(BM_TlbFlush);
+
+void BM_KernelSyscallSignal(benchmark::State& state) {
+  hw::Machine machine(hw::MachineConfig::Haswell(1));
+  kernel::KernelConfig kc;
+  kc.timeslice_cycles = machine.MicrosToCycles(1e9);
+  kernel::Kernel k(machine, kc);
+  core::DomainManager mgr(k);
+  core::Domain& d = mgr.CreateDomain({.id = 1});
+  kernel::CapIdx n = mgr.GrantCap(d, mgr.CreateNotification(d));
+
+  struct Sig final : kernel::UserProgram {
+    kernel::CapIdx n = 0;
+    void Step(kernel::UserApi& api) override { api.Signal(n); }
+  } prog;
+  prog.n = n;
+  mgr.StartThread(d, &prog, 100, 0);
+  k.SetDomainSchedule(0, {1});
+  for (auto _ : state) {
+    k.StepCore(0);
+  }
+}
+BENCHMARK(BM_KernelSyscallSignal);
+
+void BM_KernelTickDomainSwitch(benchmark::State& state) {
+  hw::Machine machine(hw::MachineConfig::Haswell(1));
+  kernel::KernelConfig kc;
+  kc.clone_support = true;
+  kc.flush_mode = kernel::FlushMode::kOnCore;
+  kc.prefetch_shared_data = true;
+  kc.timeslice_cycles = 50'000;
+  kernel::Kernel k(machine, kc);
+  core::DomainManager mgr(k);
+  mgr.CreateDomain({.id = 1});
+  mgr.CreateDomain({.id = 2});
+  k.SetDomainSchedule(0, {1, 2});
+  for (auto _ : state) {
+    k.RunFor(100'000);  // two protected domain switches
+  }
+}
+BENCHMARK(BM_KernelTickDomainSwitch);
+
+}  // namespace
+}  // namespace tp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Table 3: mutual information (mb) of the intra-core timing channels —
+// L1-D, L1-I, TLB, BTB, BHB and (x86) L2 — unmitigated, with a full cache
+// flush, and with time protection.
+//
+// Paper shapes: raw channels are large everywhere (except the weak Arm
+// BTB); full flush and time protection close everything except a residual
+// x86 L2 channel of ~50 mb caused by prefetcher state that no architected
+// mechanism can scrub (it drops to ~6 mb with the data prefetcher disabled,
+// the remainder being the instruction prefetcher).
+#include <cstdio>
+#include <string>
+
+#include "attacks/intra_core.hpp"
+#include "bench/bench_util.hpp"
+#include "mi/leakage_test.hpp"
+
+namespace tp {
+namespace {
+
+struct PaperRow {
+  const char* resource;
+  const char* raw;
+  const char* full;
+  const char* prot;
+};
+
+void RunPlatform(const char* name, const hw::MachineConfig& mc,
+                 const std::vector<PaperRow>& paper, std::size_t rounds) {
+  std::printf("\n--- %s ---\n", name);
+  bench::Table t({"cache", "raw M", "full-flush M (M0)", "protected M (M0)", "verdict",
+                  "paper raw/full/prot (mb)"});
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    auto resource = static_cast<attacks::IntraCoreResource>(i);
+    if (!attacks::ResourceAvailable(resource, mc)) {
+      continue;
+    }
+    std::string cells[3];
+    bool leak[3] = {false, false, false};
+    double mi[3] = {0, 0, 0};
+    core::Scenario scenarios[3] = {core::Scenario::kRaw, core::Scenario::kFullFlush,
+                                   core::Scenario::kProtected};
+    for (int s = 0; s < 3; ++s) {
+      mi::Observations obs =
+          attacks::RunIntraCoreChannel(mc, scenarios[s], resource, rounds, 0x7AB13 + s);
+      mi::LeakageOptions opt;
+      opt.shuffles = 50;
+      mi::LeakageResult r = mi::TestLeakage(obs, opt);
+      mi[s] = r.MilliBits();
+      leak[s] = r.leak;
+      if (s == 0) {
+        cells[s] = bench::Fmt("%.1f", r.MilliBits());
+      } else {
+        cells[s] = bench::Fmt("%.1f", r.MilliBits()) + " (" +
+                   bench::Fmt("%.1f", r.M0MilliBits()) + ")";
+      }
+      if (r.leak) {
+        cells[s] += "*";
+      }
+    }
+    std::string verdict;
+    if (leak[0] && !leak[1] && !leak[2]) {
+      verdict = "closed by both";
+    } else if (leak[0] && !leak[1] && leak[2]) {
+      verdict = "RESIDUAL under protection";
+    } else if (!leak[0]) {
+      verdict = "no raw channel";
+    } else {
+      verdict = "see M values";
+    }
+    std::string paper_ref = std::string(paper[i].raw) + " / " + paper[i].full + " / " +
+                            paper[i].prot;
+    t.AddRow({attacks::ResourceName(resource), cells[0], cells[1], cells[2], verdict,
+              paper_ref});
+  }
+  t.Print();
+  std::printf("(* = definite channel: M > M0 per the shuffle test)\n");
+}
+
+}  // namespace
+}  // namespace tp
+
+int main() {
+  tp::bench::Header(
+      "Table 3: intra-core timing channels (mb), raw / full flush / protected",
+      "all closed on both platforms except x86 L2: 50.5mb residual from the "
+      "prefetcher state machine (6.4mb with the data prefetcher off)");
+  std::size_t rounds = tp::bench::Scaled(900);
+
+  std::vector<tp::PaperRow> x86 = {
+      {"L1-D", "4000", "0.5", "0.6"}, {"L1-I", "300", "0.7", "0.8"},
+      {"TLB", "2300", "0.5", "16.8"}, {"BTB", "1500", "0.8", "0.4"},
+      {"BHB", "1000", "0.5", "0.0"},  {"L2", "2700", "2.3", "50.5*"},
+  };
+  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), x86, rounds);
+
+  std::vector<tp::PaperRow> arm = {
+      {"L1-D", "2000", "1", "30.2"},  {"L1-I", "2500", "1.3", "4.9"},
+      {"TLB", "600", "0.5", "1.9"},   {"BTB", "7.5", "4.1", "62.2"},
+      {"BHB", "1000", "0", "0.2"},
+  };
+  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), arm, rounds);
+
+  std::printf("\nShape check: every raw channel is large; full flush and time protection\n"
+              "close them, except the x86 L2 where hidden prefetcher state leaks past\n"
+              "time protection (the paper's central hardware-contract finding).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 4: the cache-flush channel (mb) with and without switch padding,
+// for both online- and offline-time observables on both platforms.
+//
+// Paper: x86 8.4/8.3 mb unpadded -> closed (0.5/0.6) with a 58.8 µs pad;
+// Arm 1400/1400 mb unpadded -> closed (16.3/210, both under M0) with a
+// 62.5 µs pad. The x86 channel is small because the manual flush's
+// write-back variation is buried in the jump-chain cost; the Arm DCCISW
+// flush exposes it directly.
+#include <cstdio>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/flush_channel.hpp"
+#include "bench/bench_util.hpp"
+#include "core/padding.hpp"
+#include "mi/leakage_test.hpp"
+
+namespace tp {
+namespace {
+
+mi::LeakageResult RunOne(const hw::MachineConfig& mc, bool padded,
+                         attacks::TimingObservable observable, std::size_t rounds) {
+  attacks::ExperimentOptions opt;
+  opt.timeslice_ms = mc.arch == hw::Arch::kX86 ? 0.25 : 0.5;
+  opt.disable_padding = !padded;
+  attacks::Experiment exp = attacks::MakeExperiment(mc, core::Scenario::kProtected, opt);
+  hw::Cycles gap = exp.SliceGapThreshold();
+
+  core::MappedBuffer sbuf =
+      exp.manager->AllocBuffer(*exp.sender_domain, 2 * mc.l1d.size_bytes);
+  attacks::DirtyLineSender sender(sbuf, mc.l1d.TotalLines() / 4, mc.l1d.line_size, 4,
+                                  0x7AB4E, gap);
+  attacks::FlushTimingReceiver receiver(observable, gap);
+  exp.manager->StartThread(*exp.sender_domain, &sender, 120, 0);
+  exp.manager->StartThread(*exp.receiver_domain, &receiver, 120, 0);
+
+  mi::Observations obs = attacks::CollectObservations(exp, sender, receiver, rounds);
+  mi::LeakageOptions lopt;
+  lopt.shuffles = 50;
+  return mi::TestLeakage(obs, lopt);
+}
+
+void RunPlatform(const char* name, const hw::MachineConfig& mc, const char* paper_pad,
+                 std::size_t rounds) {
+  hw::Machine probe_machine(mc);
+  double pad_us = probe_machine.CyclesToMicros(
+      core::WorstCaseSwitchCycles(probe_machine, kernel::FlushMode::kOnCore));
+  std::printf("\n--- %s (pad = %.1f us; paper pad = %s) ---\n", name, pad_us, paper_pad);
+  bench::Table t({"timing", "no pad M (mb)", "protected M (M0) (mb)", "verdict"});
+  for (attacks::TimingObservable obs :
+       {attacks::TimingObservable::kOnline, attacks::TimingObservable::kOffline}) {
+    mi::LeakageResult nopad = RunOne(mc, false, obs, rounds);
+    mi::LeakageResult padded = RunOne(mc, true, obs, rounds);
+    const char* label = obs == attacks::TimingObservable::kOnline ? "Online" : "Offline";
+    std::string verdict = nopad.leak && !padded.leak ? "closed by padding"
+                          : (!nopad.leak ? "no unpadded channel" : "STILL LEAKS");
+    t.AddRow({label, bench::Fmt("%.1f", nopad.MilliBits()) + (nopad.leak ? "*" : ""),
+              bench::Fmt("%.1f", padded.MilliBits()) + " (" +
+                  bench::Fmt("%.1f", padded.M0MilliBits()) + ")" +
+                  (padded.leak ? "*" : ""),
+              verdict});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace tp
+
+int main() {
+  tp::bench::Header("Table 4: cache-flush channel (mb) without and with time padding",
+                    "x86: 8.4/8.3mb -> 0.5/0.6mb (pad 58.8us). "
+                    "Arm: 1400/1400mb -> closed (pad 62.5us)");
+  std::size_t rounds = tp::bench::Scaled(900);
+  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), "58.8 us", rounds);
+  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), "62.5 us", rounds);
+  std::printf("\nShape check: the Arm channel is orders of magnitude larger than the\n"
+              "x86 one (architected flush exposes dirty-line write-back directly);\n"
+              "padding to the worst case closes both.\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Table 5: cross-address-space IPC microbenchmark under the four kernel
+// versions — original, colour-ready (clone-capable but unused), intra-colour
+// (cloned kernel, IPC within the domain) and inter-colour (IPC across
+// kernels, no padding: an artificial case, as the paper notes).
+//
+// Paper: x86 381 cycles original, within ±1% for all versions; Arm 344
+// cycles original but 13-15% slower for all clone-capable versions, because
+// non-global kernel mappings double kernel TLB pressure and the Cortex A9's
+// L2 TLB is only 2-way associative.
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_util.hpp"
+#include "core/domain.hpp"
+#include "core/time_protection.hpp"
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+
+namespace tp {
+namespace {
+
+struct PingClient final : kernel::UserProgram {
+  kernel::CapIdx ep = 0;
+  int state = 0;
+  std::uint64_t rounds = 0;
+  hw::Cycles t0 = 0;
+  hw::Cycles total_cycles = 0;
+  std::uint64_t measured = 0;
+
+  void Step(kernel::UserApi& api) override {
+    if (state == 0) {
+      t0 = api.Now();
+      api.Call(ep, rounds);
+      state = 1;
+    } else {
+      hw::Cycles rt = api.Now() - t0;
+      // Skip warm-up rounds.
+      if (rounds > 64) {
+        total_cycles += rt;
+        ++measured;
+      }
+      ++rounds;
+      state = 0;
+    }
+  }
+};
+
+struct PongServer final : kernel::UserProgram {
+  kernel::CapIdx ep = 0;
+  bool first = true;
+  void Step(kernel::UserApi& api) override {
+    if (first) {
+      api.Recv(ep);
+      first = false;
+    } else {
+      api.ReplyRecv(ep, 1);
+    }
+  }
+};
+
+enum class IpcVersion { kOriginal, kColourReady, kIntraColour, kInterColour };
+
+const char* VersionName(IpcVersion v) {
+  switch (v) {
+    case IpcVersion::kOriginal:
+      return "original";
+    case IpcVersion::kColourReady:
+      return "colour-ready";
+    case IpcVersion::kIntraColour:
+      return "intra-colour";
+    case IpcVersion::kInterColour:
+      return "inter-colour";
+  }
+  return "?";
+}
+
+// One-way IPC cost in cycles (round trip / 2).
+double MeasureIpc(const hw::MachineConfig& mc, IpcVersion version, std::size_t rounds) {
+  hw::Machine machine(mc);
+  kernel::KernelConfig kc;
+  kc.clone_support = version != IpcVersion::kOriginal;
+  kc.timeslice_cycles = machine.MicrosToCycles(1e6);  // no preemption
+  kernel::Kernel kernel(machine, kc);
+  core::DomainManager mgr(kernel);
+
+  PingClient client;
+  PongServer server;
+
+  if (version == IpcVersion::kInterColour) {
+    // The artificial inter-colour case (paper §5.4.1): the IPC partners use
+    // *different cloned kernels* in differently coloured memory, and the
+    // kernel image switches on the IPC path with no time slice or padding.
+    // Both threads share one schedulable domain so the ping-pong runs
+    // back-to-back; what crosses the colour boundary is the kernel.
+    auto colours = core::SplitColours(mc, 2);
+    core::Domain& d1 = mgr.CreateDomain({.id = 1, .colours = colours[0]});
+    core::Domain& d2 = mgr.CreateDomain({.id = 2, .colours = colours[1]});
+    kernel::CapIdx ep_mgr = mgr.CreateEndpoint(d1);
+    client.ep = mgr.GrantCap(d1, ep_mgr);
+    server.ep = d1.cspace->Insert(mgr.cspace().At(ep_mgr));
+    mgr.StartThread(d1, &client, 100, 0);
+
+    // Server thread: d2's kernel image and vspace, scheduled in domain 1.
+    std::optional<kernel::CapIdx> frame = mgr.pool().TakeFrame(colours[1]);
+    kernel::CapIdx tcb = 0;
+    kernel.RetypeInFrame(0, mgr.cspace(), *frame, kernel::ObjectType::kTcb, &tcb);
+    kernel::TcbSettings settings;
+    settings.vspace = d2.vspace;
+    settings.priority = 150;
+    settings.domain = 1;
+    settings.kernel_image = d2.kernel_image;
+    settings.affinity = 0;
+    settings.program = &server;
+    settings.cspace = d1.cspace;
+    kernel.ConfigureTcb(0, mgr.cspace(), tcb, settings);
+    kernel.ResumeTcb(0, mgr.cspace(), tcb);
+    kernel.SetDomainSchedule(0, {1});
+  kernel.KickSchedule(0);
+  } else {
+    core::DomainOptions opts;
+    opts.id = 1;
+    if (version == IpcVersion::kIntraColour) {
+      opts.colours = core::SplitColours(mc, 2)[0];
+    }
+    core::Domain& d = mgr.CreateDomain(opts);
+    kernel::CapIdx ep_mgr = mgr.CreateEndpoint(d);
+    client.ep = mgr.GrantCap(d, ep_mgr);
+    server.ep = client.ep;
+    // Cross-address-space IPC (the paper's benchmark): client and server
+    // are separate processes with their own vspaces/ASIDs.
+    kernel::CapIdx server_vspace = mgr.CreateVSpace(d);
+    mgr.StartThread(d, &server, 150, 0, server_vspace);
+    mgr.StartThread(d, &client, 100, 0);
+    kernel.SetDomainSchedule(0, {1});
+  kernel.KickSchedule(0);
+  }
+
+  while (client.measured < rounds) {
+    kernel.StepCore(0);
+  }
+  double round_trip =
+      static_cast<double>(client.total_cycles) / static_cast<double>(client.measured);
+  return round_trip / 2.0;
+}
+
+void RunPlatform(const char* name, const hw::MachineConfig& mc, const char* paper,
+                 std::size_t rounds) {
+  std::printf("\n--- %s (paper: %s) ---\n", name, paper);
+  bench::Table t({"version", "cycles", "slowdown"});
+  double base = 0.0;
+  for (IpcVersion v : {IpcVersion::kOriginal, IpcVersion::kColourReady,
+                       IpcVersion::kIntraColour, IpcVersion::kInterColour}) {
+    double cycles = MeasureIpc(mc, v, rounds);
+    if (v == IpcVersion::kOriginal) {
+      base = cycles;
+    }
+    double slowdown = (cycles / base - 1.0) * 100.0;
+    t.AddRow({VersionName(v), bench::Fmt("%.0f", cycles), bench::Fmt("%+.1f%%", slowdown)});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace tp
+
+int main() {
+  tp::bench::Header("Table 5: IPC microbenchmark performance and slowdown",
+                    "x86: 381 cycles, ~0-1% slowdown for all versions. Arm: 344 cycles, "
+                    "13-15% for clone-capable versions (2-way L2 TLB conflicts)");
+  std::size_t rounds = tp::bench::Scaled(4000, 512);
+  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1),
+                  "381 cyc; colour-ready +1%, intra 0%, inter -1%", rounds);
+  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1),
+                  "344 cyc; colour-ready +14%, intra +15%, inter +13%", rounds);
+  std::printf("\nShape check: clone support is (nearly) free on x86; on Arm the\n"
+              "non-global kernel mappings cost >10%% through L2-TLB conflict misses.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared helpers for the paper-reproduction bench binaries: aligned table
+// printing with paper-vs-measured columns, and the TP_QUICK scaling knob.
+#ifndef TP_BENCH_BENCH_UTIL_HPP_
+#define TP_BENCH_BENCH_UTIL_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace tp::bench {
+
+inline bool QuickMode() {
+  const char* q = std::getenv("TP_QUICK");
+  return q != nullptr && q[0] != '\0' && q[0] != '0';
+}
+
+inline std::size_t Scaled(std::size_t normal, std::size_t quick_min = 64) {
+  if (!QuickMode()) {
+    return normal;
+  }
+  std::size_t s = normal / 8;
+  return s < quick_min ? quick_min : s;
+}
+
+inline void Header(const char* experiment, const char* paper_summary) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_summary);
+  std::printf("================================================================================\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) {
+          widths[c] = row[c].size();
+        }
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]),
+                    c < row.size() ? row[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) {
+      total += w + 2;
+    }
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace tp::bench
+
+#endif  // TP_BENCH_BENCH_UTIL_HPP_

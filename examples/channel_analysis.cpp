@@ -1,0 +1,71 @@
+// Using the leakage-analysis toolchain (paper §5.1) standalone: feed any
+// (input symbol, timing observation) dataset to the KDE + rectangle-method
+// MI estimator and the Chothia-Guha zero-leakage shuffle test.
+//
+//   $ ./build/examples/channel_analysis
+#include <cstdio>
+#include <random>
+
+#include "mi/channel_matrix.hpp"
+#include "mi/leakage_test.hpp"
+
+namespace {
+
+void Analyse(const char* name, const tp::mi::Observations& obs) {
+  tp::mi::LeakageOptions opt;
+  opt.shuffles = 100;  // the paper's setting
+  tp::mi::LeakageResult r = tp::mi::TestLeakage(obs, opt);
+  std::printf("\n%s (n = %zu):\n", name, r.samples);
+  std::printf("  M  = %.3f bits (%.1f mb)\n", r.mi_bits, r.MilliBits());
+  std::printf("  M0 = %.3f bits (95%% zero-leakage bound; shuffle mean %.4f, sd %.4f)\n",
+              r.m0_bits, r.shuffle_mean, r.shuffle_sd);
+  std::printf("  verdict: %s\n",
+              r.leak ? "M > M0: the data contain evidence of a leak"
+                     : "no evidence of an information leak");
+  tp::mi::ChannelMatrix m(obs, 16);
+  std::printf("%s", m.ToAscii(12).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Leakage analysis toolchain demo: three synthetic channels.\n");
+  std::mt19937_64 rng(42);
+
+  // 1. A strong channel: timing clearly separated by input.
+  {
+    tp::mi::Observations obs;
+    for (int i = 0; i < 3000; ++i) {
+      int sym = static_cast<int>(rng() % 4);
+      std::normal_distribution<double> d(1000.0 + sym * 250.0, 40.0);
+      obs.Add(sym, d(rng));
+    }
+    Analyse("strong channel (4 separated timing modes)", obs);
+  }
+
+  // 2. A marginal channel: heavy overlap, still detectable.
+  {
+    tp::mi::Observations obs;
+    for (int i = 0; i < 3000; ++i) {
+      int sym = static_cast<int>(rng() % 2);
+      std::normal_distribution<double> d(1000.0 + sym * 25.0, 60.0);
+      obs.Add(sym, d(rng));
+    }
+    Analyse("marginal channel (heavily overlapped modes)", obs);
+  }
+
+  // 3. No channel: outputs independent of inputs. Sampling noise gives a
+  //    nonzero M estimate — the shuffle test is what tells it apart.
+  {
+    tp::mi::Observations obs;
+    for (int i = 0; i < 3000; ++i) {
+      std::normal_distribution<double> d(1000.0, 60.0);
+      obs.Add(static_cast<int>(rng() % 4), d(rng));
+    }
+    Analyse("no channel (independent outputs)", obs);
+  }
+
+  std::printf("\nSampled data can never prove absence of a leak; the test asks whether\n"
+              "the data contain *evidence* of one (paper §5.1).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Cloud scenario (paper §3.1.2): two mutually distrusting tenants run
+// concurrently on different cores of the same processor. The victim tenant
+// decrypts with a secret ElGamal exponent (square-and-multiply); the
+// attacker tenant mounts the Liu et al. LLC prime&probe side channel
+// against the victim's square function.
+//
+//   $ ./build/examples/cloud
+#include <cstdio>
+
+#include "attacks/llc_side_channel.hpp"
+#include "workloads/crypto_victim.hpp"
+
+int main() {
+  constexpr std::uint64_t kSecretExponent = 0xD15EA5EDB01DFACEull;
+  std::size_t key_bits = tp::workloads::ModExpVictim::KeyBits(kSecretExponent).size();
+
+  std::printf("Cloud scenario: victim VM (core 0) repeatedly decrypts with a %zu-bit\n"
+              "secret exponent; attacker VM (core 1) probes the LLC sets of the\n"
+              "victim's square function, as in Liu et al. [2015] / paper Fig. 4.\n",
+              key_bits);
+
+  for (tp::core::Scenario s : {tp::core::Scenario::kRaw, tp::core::Scenario::kProtected}) {
+    tp::attacks::SideChannelResult r = tp::attacks::RunLlcSideChannel(
+        tp::hw::MachineConfig::Haswell(2), s, kSecretExponent, /*slots=*/600);
+    std::printf("\n=== %s ===\n", tp::core::ScenarioName(s));
+    std::printf("victim completed %zu decryptions; spy observed activity in %zu/%zu "
+                "slots (%zu dot events)\n",
+                r.victim_decryptions, r.activity_slots, r.trace.size(),
+                r.activity_events);
+    std::printf("%s", r.AsciiTrace(90).c_str());
+    if (r.activity_events > 5) {
+      std::printf("-> the spy recovers the square-invocation pattern; the intervals\n"
+                  "   between dots encode the exponent bits.\n");
+    } else {
+      std::printf("-> LLC colouring: the spy's memory cannot even reach the victim's\n"
+                  "   cache sets; nothing to observe.\n");
+    }
+  }
+  std::printf("\nNote the cost side (paper §5.4): colouring costs a few percent; no\n"
+              "flushing or padding is needed cross-core, so cloud throughput holds.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Confinement scenario (paper §3.1.1): a Trojan — malicious or compromised
+// code — is confined in a security domain of its own and tries to leak a
+// secret to a co-resident spy through the shared kernel image's cache
+// footprint (the §5.3.1 covert channel). This example runs the attack
+// against the unmitigated kernel and against full time protection, and
+// reports how much of the secret gets across.
+//
+//   $ ./build/examples/confinement
+#include <cstdio>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/kernel_channel.hpp"
+#include "mi/leakage_test.hpp"
+
+namespace {
+
+void RunScenario(tp::core::Scenario scenario) {
+  tp::attacks::Experiment exp = tp::attacks::MakeExperiment(
+      tp::hw::MachineConfig::Haswell(1), scenario, {.timeslice_ms = 0.25});
+  tp::mi::Observations obs =
+      tp::attacks::RunKernelChannel(exp, /*rounds=*/600, /*seed=*/0xC0DE);
+  tp::mi::LeakageOptions opt;
+  opt.shuffles = 50;
+  tp::mi::LeakageResult r = tp::mi::TestLeakage(obs, opt);
+
+  double bandwidth = 0.0;
+  if (r.leak) {
+    // One symbol per 2 timeslices (0.5 ms round): bits/s through the pipe.
+    bandwidth = r.mi_bits / 0.0005;
+  }
+  std::printf("  %-10s M = %8.1f mb  M0 = %6.1f mb  n = %4zu  -> %s",
+              tp::core::ScenarioName(scenario), r.MilliBits(), r.M0MilliBits(),
+              r.samples, r.leak ? "LEAKING" : "confined");
+  if (r.leak) {
+    std::printf(" (~%.0f b/s covert bandwidth)", bandwidth);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Confinement scenario: Trojan encodes a secret in its syscall pattern\n");
+  std::printf("(Signal / TCB_SetPriority / Poll / idle); the spy watches the LLC sets\n");
+  std::printf("of the kernel's syscall-serving text.\n\n");
+
+  std::printf("Shared kernel image (no time protection):\n");
+  RunScenario(tp::core::Scenario::kRaw);
+
+  std::printf("\nPer-domain cloned kernels + coloured memory + flush + pad + IRQ "
+              "partitioning:\n");
+  RunScenario(tp::core::Scenario::kProtected);
+
+  std::printf("\nMandatory, black-box enforcement: neither the Trojan nor the spy had\n"
+              "to be modified — the kernel clone mechanism removed the shared state.\n");
+  return 0;
+}

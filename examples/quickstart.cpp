@@ -1,0 +1,93 @@
+// Quickstart: build a simulated machine, boot a time-protection-capable
+// kernel, partition it into two coloured security domains with cloned
+// kernel images, and run a thread in each.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/domain.hpp"
+#include "core/padding.hpp"
+#include "core/time_protection.hpp"
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+
+namespace {
+
+// A user program is a step function: each Step performs a short burst of
+// simulated work through the UserApi.
+class Worker final : public tp::kernel::UserProgram {
+ public:
+  Worker(const tp::core::MappedBuffer& buffer, const char* name)
+      : buffer_(buffer), name_(name) {}
+
+  void Step(tp::kernel::UserApi& api) override {
+    for (int i = 0; i < 32; ++i) {
+      api.Write(buffer_.base + (cursor_ * 64) % buffer_.bytes);
+      ++cursor_;
+    }
+    ++steps_;
+  }
+
+  std::uint64_t steps() const { return steps_; }
+  const char* name() const { return name_; }
+
+ private:
+  tp::core::MappedBuffer buffer_;
+  const char* name_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  // 1. A simulated platform (Table 1 presets: Haswell or Sabre).
+  tp::hw::Machine machine(tp::hw::MachineConfig::Haswell());
+  std::printf("machine: %s, %zu cores, %zu LLC colours\n",
+              machine.config().name.c_str(), machine.num_cores(),
+              tp::core::NumColours(machine.config()));
+
+  // 2. A kernel with full time protection (cloned kernels, coloured memory,
+  //    on-core flushes, deterministic shared-data prefetch, padding,
+  //    partitioned interrupts).
+  tp::kernel::KernelConfig config = tp::core::MakeKernelConfig(
+      tp::core::Scenario::kProtected, machine, /*timeslice_ms=*/1.0);
+  tp::kernel::Kernel kernel(machine, config);
+
+  // 3. The init process: partition memory by colour and clone one kernel
+  //    per security domain (paper §3.3).
+  tp::core::DomainManager manager(kernel);
+  auto colours = tp::core::SplitColours(machine.config(), 2);
+  tp::hw::Cycles pad = tp::core::WorstCaseSwitchCycles(machine, config.flush_mode);
+  tp::core::Domain& red =
+      manager.CreateDomain({.id = 1, .colours = colours[0], .pad_cycles = pad});
+  tp::core::Domain& blue =
+      manager.CreateDomain({.id = 2, .colours = colours[1], .pad_cycles = pad});
+  std::printf("domains: red (%zu colours), blue (%zu colours), each with its own "
+              "cloned kernel image\n",
+              red.colours.size(), blue.colours.size());
+
+  // 4. Threads with coloured working buffers.
+  tp::core::MappedBuffer red_buf = manager.AllocBuffer(red, 64 * 1024);
+  tp::core::MappedBuffer blue_buf = manager.AllocBuffer(blue, 64 * 1024);
+  Worker red_worker(red_buf, "red");
+  Worker blue_worker(blue_buf, "blue");
+  manager.StartThread(red, &red_worker, /*priority=*/100, /*core=*/0);
+  manager.StartThread(blue, &blue_worker, /*priority=*/100, /*core=*/0);
+
+  // 5. Time-share core 0 between the domains and run for 20 ms.
+  kernel.SetDomainSchedule(0, {1, 2});
+  kernel.RunFor(machine.MicrosToCycles(20'000));
+
+  std::printf("after 20 ms simulated time:\n");
+  std::printf("  red:  %8llu steps\n",
+              static_cast<unsigned long long>(red_worker.steps()));
+  std::printf("  blue: %8llu steps\n",
+              static_cast<unsigned long long>(blue_worker.steps()));
+  std::printf("  domain switches: %llu (each flushed, prefetched and padded to %.1f us)\n",
+              static_cast<unsigned long long>(kernel.domain_switches()),
+              machine.CyclesToMicros(pad));
+  std::printf("\nThe two domains share the core but cannot interfere: their kernels,\n"
+              "page tables, caches and interrupts are partitioned in time and space.\n");
+  return 0;
+}

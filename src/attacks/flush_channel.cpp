@@ -1,0 +1,43 @@
+#include "attacks/flush_channel.hpp"
+
+namespace tp::attacks {
+
+namespace {
+constexpr std::size_t kMaxBursts = 16;
+}
+
+void DirtyLineSender::Transmit(kernel::UserApi& api, int symbol, std::size_t burst) {
+  if (burst >= kMaxBursts) {
+    api.Compute(400);
+    return;
+  }
+  std::size_t lines = static_cast<std::size_t>(symbol) * lines_per_symbol_;
+  for (std::size_t i = 0; i < lines; ++i) {
+    api.Write(base_ + (i * line_size_) % buffer_bytes_);
+  }
+  if (lines == 0) {
+    api.Compute(400);
+  }
+}
+
+double FlushTimingReceiver::MeasureAndPrime(kernel::UserApi& api) {
+  // Called at the first step of a new slice: sync().last_gap() is the
+  // offline time just observed; online_end_ - slice_start_ was the previous
+  // slice's online time.
+  double sample = 0.0;
+  if (observable_ == TimingObservable::kOffline) {
+    sample = static_cast<double>(sync().last_gap());
+  } else {
+    sample = static_cast<double>(online_end_ - slice_start_);
+  }
+  slice_start_ = api.Now();
+  online_end_ = slice_start_;
+  return sample;
+}
+
+void FlushTimingReceiver::IdleStep(kernel::UserApi& api) {
+  api.Compute(100);
+  online_end_ = api.Now();
+}
+
+}  // namespace tp::attacks

@@ -1,0 +1,35 @@
+#include "attacks/interrupt_channel.hpp"
+
+namespace tp::attacks {
+
+void TimerTrojan::Transmit(kernel::UserApi& api, int symbol, std::size_t burst) {
+  if (burst == 0) {
+    api.SetTimer(timer_cap_, base_delay_ + static_cast<hw::Cycles>(symbol) * step_delay_);
+  }
+  // Sleep for the rest of the slice (the paper's Trojan idles after
+  // programming the timer).
+  api.Compute(1000);
+}
+
+double InterruptSpy::MeasureAndPrime(kernel::UserApi& api) {
+  double sample = first_interrupt_offset_ >= 0.0
+                      ? first_interrupt_offset_
+                      : static_cast<double>(prev_end_ - slice_start_);
+  slice_start_ = api.Now();
+  prev_end_ = slice_start_;
+  first_interrupt_offset_ = -1.0;
+  return sample;
+}
+
+void InterruptSpy::IdleStep(kernel::UserApi& api) {
+  hw::Cycles now = api.Now();
+  hw::Cycles gap = now - prev_end_;
+  if (first_interrupt_offset_ < 0.0 && gap >= irq_gap_ && gap < slice_gap_) {
+    // The kernel handled an interrupt in the middle of our online time.
+    first_interrupt_offset_ = static_cast<double>(prev_end_ - slice_start_);
+  }
+  api.Compute(1000);
+  prev_end_ = api.Now();
+}
+
+}  // namespace tp::attacks

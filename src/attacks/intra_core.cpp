@@ -1,0 +1,116 @@
+#include "attacks/intra_core.hpp"
+
+#include <memory>
+
+#include "attacks/prime_probe.hpp"
+
+namespace tp::attacks {
+
+const char* ResourceName(IntraCoreResource resource) {
+  switch (resource) {
+    case IntraCoreResource::kL1D:
+      return "L1-D";
+    case IntraCoreResource::kL1I:
+      return "L1-I";
+    case IntraCoreResource::kTlb:
+      return "TLB";
+    case IntraCoreResource::kBtb:
+      return "BTB";
+    case IntraCoreResource::kBhb:
+      return "BHB";
+    case IntraCoreResource::kL2:
+      return "L2";
+  }
+  return "?";
+}
+
+bool ResourceAvailable(IntraCoreResource resource, const hw::MachineConfig& config) {
+  return resource != IntraCoreResource::kL2 || config.has_private_l2;
+}
+
+mi::Observations RunIntraCoreChannel(
+    const hw::MachineConfig& mc, core::Scenario scenario, IntraCoreResource resource,
+    std::size_t rounds, std::uint64_t seed,
+    const std::function<void(kernel::KernelConfig&)>& config_hook) {
+  double timeslice_ms = mc.arch == hw::Arch::kX86 ? 0.25 : 0.5;
+  ExperimentOptions options;
+  options.timeslice_ms = timeslice_ms;
+  options.config_hook = config_hook;
+  Experiment exp = MakeExperiment(mc, scenario, options);
+  hw::Cycles gap = exp.SliceGapThreshold();
+
+  std::unique_ptr<SymbolSender> sender;
+  std::unique_ptr<SliceReceiver> receiver;
+
+  switch (resource) {
+    case IntraCoreResource::kL1D:
+    case IntraCoreResource::kL1I: {
+      bool instr = resource == IntraCoreResource::kL1I;
+      const hw::CacheGeometry& l1 = instr ? mc.l1i : mc.l1d;
+      core::MappedBuffer rbuf =
+          exp.manager->AllocBuffer(*exp.receiver_domain, 2 * l1.size_bytes);
+      std::set<std::size_t> sets;
+      for (std::size_t s = 0; s < l1.SetsPerSlice(); ++s) {
+        sets.insert(s);
+      }
+      hw::SetAssociativeCache model("m", l1, hw::Indexing::kVirtual);
+      EvictionSet es = EvictionSet::Build(model, rbuf, sets, l1.associativity, true);
+      receiver = std::make_unique<CacheProbeReceiver>(std::move(es), instr, gap);
+      core::MappedBuffer sbuf =
+          exp.manager->AllocBuffer(*exp.sender_domain, 2 * l1.size_bytes);
+      sender = std::make_unique<CacheSetSender>(sbuf, l1.TotalLines() / 4, l1.line_size,
+                                                /*writes=*/!instr, instr, 4, seed, gap);
+      break;
+    }
+    case IntraCoreResource::kL2: {
+      const hw::CacheGeometry& l2 = mc.l2;
+      core::MappedBuffer rbuf =
+          exp.manager->AllocBuffer(*exp.receiver_domain, 2 * l2.size_bytes);
+      std::set<std::size_t> sets;
+      for (std::size_t s = 0; s < l2.SetsPerSlice(); ++s) {
+        sets.insert(s);
+      }
+      hw::SetAssociativeCache model("m", l2, hw::Indexing::kPhysical);
+      EvictionSet es = EvictionSet::Build(model, rbuf, sets, l2.associativity, false);
+      receiver = std::make_unique<CacheProbeReceiver>(std::move(es), false, gap);
+      // Symbol = number of live prefetcher streams: collides with the
+      // receiver's sets in the raw system, and survives as stream-table
+      // state under time protection (the Table 3 residual).
+      core::MappedBuffer sbuf =
+          exp.manager->AllocBuffer(*exp.sender_domain, 2 * l2.size_bytes);
+      sender = std::make_unique<PrefetchTrainSender>(sbuf, l2.line_size, 4, seed, gap);
+      break;
+    }
+    case IntraCoreResource::kTlb: {
+      std::size_t pages = mc.l2tlb.entries;
+      core::MappedBuffer rbuf =
+          exp.manager->AllocBuffer(*exp.receiver_domain, pages * hw::kPageSize);
+      receiver = std::make_unique<TlbProbeReceiver>(rbuf, pages, gap);
+      core::MappedBuffer sbuf =
+          exp.manager->AllocBuffer(*exp.sender_domain, pages * hw::kPageSize);
+      sender = std::make_unique<TlbSender>(sbuf, pages / 4, 4, seed, gap);
+      break;
+    }
+    case IntraCoreResource::kBtb: {
+      // Shared (virtual) PC region: the predictor is indexed by PC alone.
+      hw::VAddr pc_base = 0x40000000;
+      std::size_t sets = mc.bp.btb_entries / mc.bp.btb_associativity;
+      std::size_t probes = mc.bp.btb_entries / 2;
+      receiver = std::make_unique<BtbProbeReceiver>(pc_base, probes, gap);
+      sender = std::make_unique<BtbSender>(pc_base + sets * 4, probes / 4, 4, seed, gap);
+      break;
+    }
+    case IntraCoreResource::kBhb: {
+      hw::VAddr pc_base = 0x50000000;
+      receiver = std::make_unique<BhbProbeReceiver>(pc_base, 64, gap);
+      sender = std::make_unique<BhbSender>(pc_base, 96, 4, seed, gap);
+      break;
+    }
+  }
+
+  exp.manager->StartThread(*exp.sender_domain, sender.get(), 120, 0);
+  exp.manager->StartThread(*exp.receiver_domain, receiver.get(), 120, 0);
+  return CollectObservations(exp, *sender, *receiver, rounds);
+}
+
+}  // namespace tp::attacks

@@ -1,0 +1,40 @@
+// The full intra-core channel matrix of paper Table 3: one runner per
+// time-shared on-core resource, wiring the prime&probe programs of
+// prime_probe.hpp into a two-domain experiment.
+#ifndef TP_ATTACKS_INTRA_CORE_HPP_
+#define TP_ATTACKS_INTRA_CORE_HPP_
+
+#include <cstdint>
+#include <functional>
+
+#include "attacks/channel_experiment.hpp"
+#include "mi/observations.hpp"
+
+namespace tp::attacks {
+
+enum class IntraCoreResource {
+  kL1D,
+  kL1I,
+  kTlb,
+  kBtb,
+  kBhb,
+  kL2,  // private L2 (x86 only): the paper's residual-prefetcher channel
+};
+
+const char* ResourceName(IntraCoreResource resource);
+
+// True if the platform has the resource (the Sabre has no private L2).
+bool ResourceAvailable(IntraCoreResource resource, const hw::MachineConfig& config);
+
+// Runs the covert channel for `resource` in a fresh two-domain experiment
+// under `scenario`; returns the paired (symbol, measurement) observations.
+// `config_hook` mutates the kernel config after the scenario preset
+// (ablation studies).
+mi::Observations RunIntraCoreChannel(
+    const hw::MachineConfig& machine_config, core::Scenario scenario,
+    IntraCoreResource resource, std::size_t rounds, std::uint64_t seed,
+    const std::function<void(kernel::KernelConfig&)>& config_hook = nullptr);
+
+}  // namespace tp::attacks
+
+#endif  // TP_ATTACKS_INTRA_CORE_HPP_

@@ -1,0 +1,122 @@
+#include "attacks/llc_side_channel.hpp"
+
+#include <sstream>
+
+namespace tp::attacks {
+
+void LlcSpy::Step(kernel::UserApi& api) {
+  if (Done()) {
+    api.Compute(500);
+    return;
+  }
+  std::vector<double> slot;
+  slot.reserve(monitored_.size());
+  for (const EvictionSet& es : monitored_) {
+    std::uint64_t misses0 = api.Counters().llc_misses;
+    for (hw::VAddr va : es.lines()) {
+      api.Read(va);
+    }
+    slot.push_back(static_cast<double>(api.Counters().llc_misses - misses0));
+  }
+  slots_.push_back(std::move(slot));
+}
+
+std::string SideChannelResult::AsciiTrace(std::size_t max_cols) const {
+  std::ostringstream oss;
+  if (trace.empty()) {
+    return "(no trace)\n";
+  }
+  std::size_t sets = trace.front().size();
+  std::size_t cols = std::min(max_cols, trace.size());
+  std::size_t stride = (trace.size() + cols - 1) / cols;
+  for (std::size_t s = 0; s < sets; ++s) {
+    oss << "set " << s << " |";
+    for (std::size_t c = 0; c < cols; ++c) {
+      bool active = false;
+      for (std::size_t t = c * stride; t < std::min((c + 1) * stride, trace.size()); ++t) {
+        if (trace[t][s] > 0.5) {
+          active = true;
+        }
+      }
+      oss << (active ? '*' : ' ');
+    }
+    oss << "|\n";
+  }
+  oss << "        time slots -> (" << trace.size() << " slots)\n";
+  return oss.str();
+}
+
+SideChannelResult RunLlcSideChannel(const hw::MachineConfig& machine_config,
+                                    core::Scenario scenario, std::uint64_t exponent,
+                                    std::size_t slots) {
+  ExperimentOptions options;
+  options.same_core = false;       // victim on core 0, spy on core 1
+  options.timeslice_ms = 100.0;    // no intra-core sharing: ticks stay rare
+  Experiment exp = MakeExperiment(machine_config, scenario, options);
+
+  // Victim ("sender" domain): code pages (square fn on page 0, multiply on
+  // page 1) and multi-precision data.
+  core::MappedBuffer code = exp.manager->AllocBuffer(*exp.sender_domain, 2 * hw::kPageSize);
+  core::MappedBuffer data = exp.manager->AllocBuffer(*exp.sender_domain, 4 * hw::kPageSize);
+  workloads::ModExpVictim victim(code, data, exponent);
+
+  // Spy: monitor the LLC sets of the square function's first lines plus a
+  // control set far away from them.
+  const hw::SetAssociativeCache& llc = exp.machine->llc();
+  std::size_t line = llc.geometry().line_size;
+  std::vector<std::set<std::size_t>> targets;
+  for (std::size_t l = 0; l < 3; ++l) {
+    targets.push_back({llc.SetIndexOf(victim.square_code_page() + l * line)});
+  }
+  targets.push_back({llc.SetIndexOf(victim.square_code_page() + 48 * line)});  // control
+
+  core::MappedBuffer probe =
+      exp.manager->AllocBuffer(*exp.receiver_domain, 4096 * hw::kPageSize);
+  std::vector<EvictionSet> monitored;
+  for (const std::set<std::size_t>& t : targets) {
+    monitored.push_back(
+        EvictionSet::BuildSliced(llc, probe, t, llc.geometry().associativity));
+  }
+  LlcSpy spy(std::move(monitored), slots);
+
+  exp.manager->StartThread(*exp.sender_domain, &victim, 120, 0);
+  exp.manager->StartThread(*exp.receiver_domain, &spy, 120,
+                           exp.machine->num_cores() > 1 ? 1 : 0);
+
+  // Run until the spy has all slots (bounded budget).
+  hw::Cycles chunk = exp.machine->MicrosToCycles(1000.0);
+  for (std::size_t i = 0; i < 16 * slots && !spy.Done(); ++i) {
+    exp.kernel->RunFor(chunk);
+  }
+
+  SideChannelResult result;
+  result.trace = spy.slots();
+  result.monitored_sets = targets.size();
+  result.victim_decryptions = victim.decryptions();
+
+  // Activity statistics on the square sets (all but the control set): a
+  // slot is active when probing saw extra misses.
+  bool prev_active = false;
+  for (const std::vector<double>& slot : result.trace) {
+    bool active = false;
+    for (std::size_t s = 0; s + 1 < slot.size(); ++s) {
+      if (slot[s] > 0.5) {
+        active = true;
+      }
+    }
+    if (active) {
+      ++result.activity_slots;
+      if (!prev_active) {
+        ++result.activity_events;
+      }
+    }
+    prev_active = active;
+  }
+  if (!result.trace.empty()) {
+    result.activity_fraction =
+        static_cast<double>(result.activity_slots) / static_cast<double>(result.trace.size());
+  }
+  return result;
+}
+
+}  // namespace tp::attacks

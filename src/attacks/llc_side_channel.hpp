@@ -1,0 +1,61 @@
+// Cross-core LLC side channel (paper §5.3.3, Fig. 4): the Liu et al. 2015
+// prime&probe attack against a square-and-multiply modular exponentiation,
+// reproduced with the spy and victim on different cores.
+//
+// The spy monitors the LLC sets of the victim's square-function code once
+// per time slot. In the unmitigated system the square invocations show as
+// activity dots whose spacing encodes exponent bits; with time protection
+// (coloured LLC) the spy cannot even build eviction sets overlapping the
+// victim's colours and detects nothing.
+#ifndef TP_ATTACKS_LLC_SIDE_CHANNEL_HPP_
+#define TP_ATTACKS_LLC_SIDE_CHANNEL_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/prime_probe.hpp"
+#include "workloads/crypto_victim.hpp"
+
+namespace tp::attacks {
+
+class LlcSpy final : public kernel::UserProgram {
+ public:
+  // One eviction set per monitored LLC set index; each Step probes all of
+  // them once (one "time slot" of Fig. 4).
+  LlcSpy(std::vector<EvictionSet> monitored, std::size_t max_slots)
+      : monitored_(std::move(monitored)), max_slots_(max_slots) {}
+
+  void Step(kernel::UserApi& api) override;
+  bool Done() const override { return slots_.size() >= max_slots_; }
+
+  // slots_[t][s]: LLC misses probing monitored set s in slot t.
+  const std::vector<std::vector<double>>& slots() const { return slots_; }
+
+ private:
+  std::vector<EvictionSet> monitored_;
+  std::size_t max_slots_;
+  std::vector<std::vector<double>> slots_;
+};
+
+struct SideChannelResult {
+  std::vector<std::vector<double>> trace;  // [slot][monitored set]
+  std::size_t activity_slots = 0;          // slots with square-set activity
+  std::size_t activity_events = 0;         // rising edges (the Fig. 4 dots)
+  double activity_fraction = 0.0;
+  std::size_t victim_decryptions = 0;
+  std::size_t monitored_sets = 0;
+
+  // Fig. 4 style rendering: set rows over time-slot columns.
+  std::string AsciiTrace(std::size_t max_cols = 100) const;
+};
+
+// Runs victim (core 0) and spy (core 1) concurrently under `scenario`.
+SideChannelResult RunLlcSideChannel(const hw::MachineConfig& machine_config,
+                                    core::Scenario scenario, std::uint64_t exponent,
+                                    std::size_t slots);
+
+}  // namespace tp::attacks
+
+#endif  // TP_ATTACKS_LLC_SIDE_CHANNEL_HPP_

@@ -1,0 +1,220 @@
+#include "attacks/prime_probe.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace tp::attacks {
+
+namespace {
+// Senders stop transmitting after this many bursts so a slice is never
+// saturated (keeps slice boundaries crisp for the receiver).
+constexpr std::size_t kMaxBursts = 24;
+}  // namespace
+
+EvictionSet EvictionSet::Build(const hw::SetAssociativeCache& cache,
+                               const core::MappedBuffer& buffer,
+                               const std::set<std::size_t>& target_sets,
+                               std::size_t lines_per_set, bool by_vaddr) {
+  EvictionSet es;
+  std::map<std::size_t, std::size_t> taken;
+  std::size_t line = cache.geometry().line_size;
+  for (const auto& [va_page, pa_page] : buffer.pages) {
+    for (std::size_t off = 0; off < hw::kPageSize; off += line) {
+      std::uint64_t index_addr = by_vaddr ? va_page + off : pa_page + off;
+      std::size_t set = cache.SetIndexOf(index_addr);
+      if (target_sets.find(set) == target_sets.end()) {
+        continue;
+      }
+      std::size_t& n = taken[set];
+      if (n >= lines_per_set) {
+        continue;
+      }
+      ++n;
+      es.lines_.push_back(va_page + off);
+    }
+  }
+  es.covered_sets_ = taken.size();
+  return es;
+}
+
+EvictionSet EvictionSet::BuildSliced(const hw::SetAssociativeCache& cache,
+                                     const core::MappedBuffer& buffer,
+                                     const std::set<std::size_t>& target_sets,
+                                     std::size_t lines_per_slice_set) {
+  EvictionSet es;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> taken;
+  std::size_t line = cache.geometry().line_size;
+  std::set<std::pair<std::size_t, std::size_t>> covered;
+  for (const auto& [va_page, pa_page] : buffer.pages) {
+    for (std::size_t off = 0; off < hw::kPageSize; off += line) {
+      hw::PAddr pa = pa_page + off;
+      std::size_t set = cache.SetIndexOf(pa);
+      if (target_sets.find(set) == target_sets.end()) {
+        continue;
+      }
+      std::size_t slice = cache.SliceOf(pa);
+      std::size_t& n = taken[{slice, set}];
+      if (n >= lines_per_slice_set) {
+        continue;
+      }
+      ++n;
+      covered.insert({slice, set});
+      es.lines_.push_back(va_page + off);
+    }
+  }
+  es.covered_sets_ = covered.size();
+  return es;
+}
+
+double CacheProbeReceiver::MeasureAndPrime(kernel::UserApi& api) {
+  // Alternate traversal direction every round (Mastik's zig-zag): probing
+  // in insertion order under LRU cascades — one foreign line per set makes
+  // every subsequent probe of that set miss — so the probe must meet its
+  // own lines MRU-first.
+  const std::vector<hw::VAddr>& lines = eviction_set_.lines();
+  hw::Cycles t0 = api.Now();
+  if (reverse_) {
+    for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+      if (instruction_side_) {
+        api.Fetch(*it);
+      } else {
+        api.Read(*it);
+      }
+    }
+  } else {
+    for (hw::VAddr va : lines) {
+      if (instruction_side_) {
+        api.Fetch(va);
+      } else {
+        api.Read(va);
+      }
+    }
+  }
+  reverse_ = !reverse_;
+  return static_cast<double>(api.Now() - t0);
+}
+
+void CacheSetSender::Transmit(kernel::UserApi& api, int symbol, std::size_t burst) {
+  if (burst >= kMaxBursts) {
+    api.Compute(400);
+    return;
+  }
+  std::size_t lines = static_cast<std::size_t>(symbol) * lines_per_symbol_;
+  for (std::size_t i = 0; i < lines; ++i) {
+    hw::VAddr va = base_ + (i * line_size_) % buffer_bytes_;
+    if (instruction_side_) {
+      api.Fetch(va);
+    } else if (writes_) {
+      api.Write(va);
+    } else {
+      api.Read(va);
+    }
+  }
+  if (lines == 0) {
+    api.Compute(400);  // idle symbol
+  }
+}
+
+void PrefetchTrainSender::Transmit(kernel::UserApi& api, int symbol, std::size_t burst) {
+  if (burst >= kMaxBursts) {
+    api.Compute(400);
+    return;
+  }
+  std::size_t region = 64 * 1024;  // far apart: one stream-table slot each
+  for (int s = 0; s < symbol; ++s) {
+    for (std::size_t k = 0; k < 6; ++k) {
+      hw::VAddr va = base_ + (s * region + (burst * 6 + k) * line_size_) % buffer_bytes_;
+      api.Read(va);
+    }
+  }
+  if (symbol == 0) {
+    api.Compute(400);
+  }
+}
+
+double TlbProbeReceiver::MeasureAndPrime(kernel::UserApi& api) {
+  hw::Cycles t0 = api.Now();
+  for (std::size_t p = 0; p < pages_; ++p) {
+    api.Read(base_ + p * hw::kPageSize);  // one integer per page (§5.3.2)
+  }
+  return static_cast<double>(api.Now() - t0);
+}
+
+void TlbSender::Transmit(kernel::UserApi& api, int symbol, std::size_t burst) {
+  if (burst >= kMaxBursts) {
+    api.Compute(400);
+    return;
+  }
+  std::size_t pages = static_cast<std::size_t>(symbol) * pages_per_symbol_;
+  for (std::size_t p = 0; p < pages; ++p) {
+    api.Read(base_ + (p * hw::kPageSize) % buffer_bytes_);
+  }
+  if (pages == 0) {
+    api.Compute(400);
+  }
+}
+
+double BtbProbeReceiver::MeasureAndPrime(kernel::UserApi& api) {
+  hw::Cycles t0 = api.Now();
+  // Densely packed jumps (4-byte spacing) walk consecutive BTB sets, as the
+  // paper's chained-branch probing buffer does.
+  for (std::size_t i = 0; i < branches_; ++i) {
+    hw::VAddr pc = pc_base_ + i * 4;
+    api.Branch(pc, pc + 32, /*taken=*/true, /*conditional=*/false);
+  }
+  return static_cast<double>(api.Now() - t0);
+}
+
+void BtbSender::Transmit(kernel::UserApi& api, int symbol, std::size_t burst) {
+  if (burst >= kMaxBursts) {
+    api.Compute(400);
+    return;
+  }
+  std::size_t branches = static_cast<std::size_t>(symbol) * branches_per_symbol_;
+  for (std::size_t i = 0; i < branches; ++i) {
+    hw::VAddr pc = alias_base_ + i * 4;
+    api.Branch(pc, pc + 48, /*taken=*/true, /*conditional=*/false);
+  }
+  if (branches == 0) {
+    api.Compute(400);
+  }
+}
+
+namespace {
+// Gshare indexes the PHT with pc ^ history; driving the GHR to all-taken
+// before the probed branch pins both parties to the same PHT entry.
+void NormalizeHistory(kernel::UserApi& api, hw::VAddr scratch_pc) {
+  for (int i = 0; i < 16; ++i) {
+    api.Branch(scratch_pc + i * 4, scratch_pc + 128, /*taken=*/true, /*conditional=*/true);
+  }
+}
+}  // namespace
+
+double BhbProbeReceiver::MeasureAndPrime(kernel::UserApi& api) {
+  hw::VAddr probe_pc = pc_base_;
+  hw::VAddr scratch = pc_base_ + 0x10000;
+  hw::Cycles t0 = api.Now();
+  for (std::size_t i = 0; i < branches_ / 4; ++i) {
+    NormalizeHistory(api, scratch);
+    api.Branch(probe_pc, probe_pc + 32, /*taken=*/true, /*conditional=*/true);
+  }
+  return static_cast<double>(api.Now() - t0);
+}
+
+void BhbSender::Transmit(kernel::UserApi& api, int symbol, std::size_t burst) {
+  if (burst >= kMaxBursts) {
+    api.Compute(400);
+    return;
+  }
+  // Take or skip the conditional jump at the shared PC (with normalised
+  // history): the residual PHT state is what the receiver senses.
+  hw::VAddr probe_pc = pc_base_;
+  hw::VAddr scratch = pc_base_ + 0x10000;
+  bool taken = symbol >= 2;
+  for (std::size_t i = 0; i < trains_ / 8; ++i) {
+    NormalizeHistory(api, scratch);
+    api.Branch(probe_pc, probe_pc + 32, taken, /*conditional=*/true);
+  }
+}
+
+}  // namespace tp::attacks

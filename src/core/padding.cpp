@@ -1,0 +1,52 @@
+#include "core/padding.hpp"
+
+namespace tp::core {
+
+hw::Cycles PaperPadCycles(const hw::Machine& machine) {
+  double us = machine.config().arch == hw::Arch::kX86 ? 58.8 : 62.5;
+  return machine.MicrosToCycles(us);
+}
+
+hw::Cycles WorstCaseSwitchCycles(const hw::Machine& machine, kernel::FlushMode mode) {
+  const hw::MachineConfig& mc = machine.config();
+  const hw::Latencies& lat = mc.lat;
+
+  auto flush_cost = [&lat](const hw::CacheGeometry& g) {
+    // All lines flushed, all dirty: the worst case the sender can set up.
+    return static_cast<hw::Cycles>(g.TotalLines()) * (lat.flush_per_line + lat.flush_dirty_extra);
+  };
+
+  // Tick-path kernel execution with every fetch missing to DRAM: entry,
+  // tick, schedule, stack switch, exit plus metadata touches (~250 lines),
+  // and the shared-data prefetch (Requirement 3) at full miss cost.
+  hw::Cycles cost = 250 * lat.dram;
+  cost += (kernel::SharedDataLayout::kTotal / mc.llc.line_size + 2) * lat.dram;
+
+  switch (mode) {
+    case kernel::FlushMode::kNone:
+      break;
+    case kernel::FlushMode::kOnCore:
+      if (mc.has_architected_l1_flush) {
+        cost += flush_cost(mc.l1d) + mc.l1i.TotalLines();
+      } else {
+        // Manual flush: loads over the L1-D buffer (worst case all L2
+        // misses) plus the serialised jump chain.
+        cost += static_cast<hw::Cycles>(mc.l1d.TotalLines()) *
+                (lat.l2_hit + lat.writeback + lat.base_op + lat.l1_hit);
+        cost += static_cast<hw::Cycles>(mc.l1i.TotalLines()) *
+                (100 + lat.base_op + lat.l1_hit + lat.l2_hit + mc.bp.mispredict_penalty + 2);
+      }
+      cost += lat.tlb_flush + lat.bp_flush;
+      break;
+    case kernel::FlushMode::kFull:
+      cost += flush_cost(mc.l1d) + flush_cost(mc.llc);
+      if (mc.has_private_l2) {
+        cost += flush_cost(mc.l2);
+      }
+      cost += lat.tlb_flush + lat.bp_flush;
+      break;
+  }
+  return cost + cost / 4;  // 25% safety margin
+}
+
+}  // namespace tp::core

@@ -1,0 +1,26 @@
+// Switch-latency padding policy (paper Requirement 4 / §4.3).
+//
+// The kernel mechanism is policy-free: the pad value is a per-kernel-image
+// attribute configured by an authorised user thread, because a safe value
+// requires a worst-case execution-time analysis. This header provides that
+// analysis for the simulated platforms: either the paper's measured values
+// or an empirical calibration against the worst-case flush cost.
+#ifndef TP_CORE_PADDING_HPP_
+#define TP_CORE_PADDING_HPP_
+
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+
+namespace tp::core {
+
+// The paper's deployed pad values (Table 4): 58.8 µs on x86, 62.5 µs on Arm.
+hw::Cycles PaperPadCycles(const hw::Machine& machine);
+
+// Empirical worst case: the cost of a domain switch with a fully dirty L1
+// (plus tick processing and a safety margin). Computed from geometry, not
+// measured, so it is safe to use before any workload runs.
+hw::Cycles WorstCaseSwitchCycles(const hw::Machine& machine, kernel::FlushMode mode);
+
+}  // namespace tp::core
+
+#endif  // TP_CORE_PADDING_HPP_

@@ -1,0 +1,43 @@
+#include "core/time_protection.hpp"
+
+namespace tp::core {
+
+const char* ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kRaw:
+      return "raw";
+    case Scenario::kColourReady:
+      return "colour-ready";
+    case Scenario::kFullFlush:
+      return "full flush";
+    case Scenario::kProtected:
+      return "protected";
+  }
+  return "?";
+}
+
+kernel::KernelConfig MakeKernelConfig(Scenario scenario, const hw::Machine& machine,
+                                      double timeslice_ms) {
+  kernel::KernelConfig cfg;
+  cfg.timeslice_cycles = machine.MicrosToCycles(timeslice_ms * 1000.0);
+  switch (scenario) {
+    case Scenario::kRaw:
+      break;
+    case Scenario::kColourReady:
+      cfg.clone_support = true;
+      break;
+    case Scenario::kFullFlush:
+      cfg.flush_mode = kernel::FlushMode::kFull;
+      break;
+    case Scenario::kProtected:
+      cfg.clone_support = true;
+      cfg.flush_mode = kernel::FlushMode::kOnCore;
+      cfg.prefetch_shared_data = true;
+      cfg.pad_switches = true;
+      cfg.partition_irqs = true;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace tp::core

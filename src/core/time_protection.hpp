@@ -1,0 +1,33 @@
+// Scenario presets matching the paper's evaluation configurations (§5.2):
+//
+//   raw          — unmitigated baseline kernel
+//   colour-ready — clone-capable kernel (non-global kernel mappings) that is
+//                  not using cloning; isolates the mechanism's baseline cost
+//                  (Table 5)
+//   full flush   — maximal architected reset of µ-arch state on each switch
+//   protected    — time protection: cloned kernels, coloured memory, L1/TLB/
+//                  BP flush, deterministic shared-data prefetch, padding,
+//                  partitioned interrupts
+#ifndef TP_CORE_TIME_PROTECTION_HPP_
+#define TP_CORE_TIME_PROTECTION_HPP_
+
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+
+namespace tp::core {
+
+enum class Scenario {
+  kRaw,
+  kColourReady,
+  kFullFlush,
+  kProtected,
+};
+
+const char* ScenarioName(Scenario scenario);
+
+kernel::KernelConfig MakeKernelConfig(Scenario scenario, const hw::Machine& machine,
+                                      double timeslice_ms);
+
+}  // namespace tp::core
+
+#endif  // TP_CORE_TIME_PROTECTION_HPP_

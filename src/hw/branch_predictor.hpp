@@ -1,0 +1,84 @@
+// Branch predictor model: a branch target buffer (BTB) for indirect/direct
+// target prediction plus a gshare-style direction predictor (global history
+// register indexing a pattern history table of 2-bit counters) standing in
+// for the branch history buffer (BHB) of the paper.
+//
+// Both structures are virtually indexed and untagged-by-domain, so they leak
+// across domains unless explicitly flushed (x86 IBC / Arm BPIALL), which is
+// Requirement 1 of the paper for the BP.
+#ifndef TP_HW_BRANCH_PREDICTOR_HPP_
+#define TP_HW_BRANCH_PREDICTOR_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace tp::hw {
+
+struct BranchPredictorGeometry {
+  std::size_t btb_entries = 4096;
+  std::size_t btb_associativity = 4;
+  std::size_t pht_entries = 16384;  // pattern history table (BHB backing)
+  std::size_t history_bits = 16;
+  Cycles mispredict_penalty = 15;
+};
+
+struct BranchResult {
+  bool mispredicted = false;
+  Cycles penalty = 0;
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorGeometry& geometry);
+
+  // Conditional (or unconditional, with conditional=false) branch at `pc`
+  // resolving to `target`, actually `taken`. Returns misprediction outcome
+  // and updates BTB + history state.
+  BranchResult Branch(VAddr pc, VAddr target, bool taken, bool conditional);
+
+  // Architected flushes.
+  void FlushBtb();           // invalidate all BTB entries
+  void FlushHistory();       // clear GHR + PHT (IBC-style barrier)
+  void FlushAll() {
+    FlushBtb();
+    FlushHistory();
+  }
+
+  // Full disable: every branch costs the mispredict penalty (Arm full-flush
+  // scenario in §5.2 disables the BP for the duration).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  std::size_t BtbValidCount() const;
+  std::uint64_t mispredicts() const { return mispredicts_; }
+  std::uint64_t branches() const { return branches_; }
+  void ResetStats();
+
+  const BranchPredictorGeometry& geometry() const { return geometry_; }
+
+ private:
+  struct BtbEntry {
+    std::uint64_t tag = 0;
+    VAddr target = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  std::size_t BtbSetBase(VAddr pc) const;
+  std::size_t PhtIndex(VAddr pc) const;
+
+  BranchPredictorGeometry geometry_;
+  std::vector<BtbEntry> btb_;
+  std::vector<std::uint8_t> pht_;  // 2-bit saturating counters
+  std::uint64_t ghr_ = 0;          // global history register
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t mispredicts_ = 0;
+  std::uint64_t branches_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_BRANCH_PREDICTOR_HPP_

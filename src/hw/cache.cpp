@@ -1,0 +1,221 @@
+#include "hw/cache.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tp::hw {
+
+namespace {
+
+// Slice hash over the line address, modelling the undocumented Haswell LLC
+// slice function: a strong bit mix (the real function is a parity tree over
+// many address bits) that spreads even highly structured address patterns
+// over the slices, while leaving the per-slice set index (and therefore
+// page-colour arithmetic) intact.
+std::size_t SliceHash(std::uint64_t line_addr, std::size_t num_slices) {
+  if (num_slices <= 1) {
+    return 0;
+  }
+  std::uint64_t h = line_addr * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  h *= 0xD6E8FEB86659FD93ull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h % num_slices);
+}
+
+}  // namespace
+
+SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& geometry,
+                                         Indexing indexing)
+    : name_(std::move(name)), geometry_(geometry), indexing_(indexing) {
+  assert(geometry_.size_bytes % (geometry_.line_size * geometry_.associativity *
+                                 geometry_.num_slices) ==
+         0);
+  sets_per_slice_ = geometry_.SetsPerSlice();
+  lines_.resize(geometry_.TotalLines());
+}
+
+std::size_t SetAssociativeCache::SetIndexOf(std::uint64_t addr) const {
+  return static_cast<std::size_t>((addr / geometry_.line_size) % sets_per_slice_);
+}
+
+std::size_t SetAssociativeCache::SliceOf(PAddr paddr) const {
+  return SliceHash(paddr / geometry_.line_size, geometry_.num_slices);
+}
+
+std::size_t SetAssociativeCache::SetBase(VAddr addr_for_index, PAddr addr_for_tag) const {
+  std::uint64_t index_addr = indexing_ == Indexing::kVirtual ? addr_for_index : addr_for_tag;
+  std::size_t slice = SliceOf(addr_for_tag);
+  std::size_t set = SetIndexOf(index_addr);
+  return (slice * sets_per_slice_ + set) * geometry_.associativity;
+}
+
+AccessResult SetAssociativeCache::Access(VAddr addr_for_index, PAddr addr_for_tag, bool write) {
+  std::size_t base = SetBase(addr_for_index, addr_for_tag);
+  std::uint64_t tag = TagOf(addr_for_tag);
+  AccessResult result;
+
+  std::size_t victim = base;
+  std::uint64_t victim_lru = ~std::uint64_t{0};
+  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
+    Line& line = lines_[base + way];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++lru_clock_;
+      line.dirty = line.dirty || write;
+      ++hits_;
+      result.hit = true;
+      return result;
+    }
+    if (!line.valid) {
+      victim = base + way;
+      victim_lru = 0;
+    } else if (line.lru < victim_lru) {
+      victim = base + way;
+      victim_lru = line.lru;
+    }
+  }
+
+  ++misses_;
+  Line& line = lines_[victim];
+  if (line.valid) {
+    result.evicted_valid = true;
+    result.evicted_line_addr = line.tag;
+    if (line.dirty) {
+      result.writeback = true;
+      ++writebacks_;
+    }
+  }
+  line.tag = tag;
+  line.valid = true;
+  line.dirty = write;
+  line.lru = ++lru_clock_;
+  result.fill = true;
+  return result;
+}
+
+bool SetAssociativeCache::Insert(VAddr addr_for_index, PAddr addr_for_tag, bool dirty) {
+  std::size_t base = SetBase(addr_for_index, addr_for_tag);
+  std::uint64_t tag = TagOf(addr_for_tag);
+  std::size_t victim = base;
+  std::uint64_t victim_lru = ~std::uint64_t{0};
+  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
+    Line& line = lines_[base + way];
+    if (line.valid && line.tag == tag) {
+      line.dirty = line.dirty || dirty;
+      return false;  // already present
+    }
+    if (!line.valid) {
+      victim = base + way;
+      victim_lru = 0;
+    } else if (line.lru < victim_lru) {
+      victim = base + way;
+      victim_lru = line.lru;
+    }
+  }
+  Line& line = lines_[victim];
+  bool evicted_dirty = line.valid && line.dirty;
+  if (evicted_dirty) {
+    ++writebacks_;
+  }
+  line.tag = tag;
+  line.valid = true;
+  line.dirty = dirty;
+  line.lru = ++lru_clock_;
+  return evicted_dirty;
+}
+
+bool SetAssociativeCache::Contains(VAddr addr_for_index, PAddr addr_for_tag) const {
+  std::size_t base = SetBase(addr_for_index, addr_for_tag);
+  std::uint64_t tag = TagOf(addr_for_tag);
+  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
+    const Line& line = lines_[base + way];
+    if (line.valid && line.tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetAssociativeCache::InvalidateLine(VAddr addr_for_index, PAddr addr_for_tag) {
+  std::size_t base = SetBase(addr_for_index, addr_for_tag);
+  std::uint64_t tag = TagOf(addr_for_tag);
+  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
+    Line& line = lines_[base + way];
+    if (line.valid && line.tag == tag) {
+      bool was_dirty = line.dirty;
+      line.valid = false;
+      line.dirty = false;
+      return was_dirty;
+    }
+  }
+  return false;
+}
+
+bool SetAssociativeCache::InvalidateLineByPaddr(PAddr paddr) {
+  if (indexing_ == Indexing::kPhysical) {
+    return InvalidateLine(paddr, paddr);
+  }
+  // Virtually-indexed: index bits above the page offset are unknown; probe
+  // every alias candidate.
+  std::size_t span = geometry_.WaySpanBytes();
+  std::size_t variants = span > kPageSize ? span / kPageSize : 1;
+  bool any_dirty = false;
+  for (std::size_t k = 0; k < variants; ++k) {
+    VAddr candidate = (paddr & kPageOffsetMask) | (static_cast<VAddr>(k) << kPageBits);
+    any_dirty = InvalidateLine(candidate, paddr) || any_dirty;
+  }
+  return any_dirty;
+}
+
+std::size_t SetAssociativeCache::FlushAll() {
+  std::size_t dirty = 0;
+  for (Line& line : lines_) {
+    if (line.valid && line.dirty) {
+      ++dirty;
+    }
+    line.valid = false;
+    line.dirty = false;
+  }
+  writebacks_ += dirty;
+  return dirty;
+}
+
+std::size_t SetAssociativeCache::InvalidateAll() {
+  std::size_t valid = 0;
+  for (Line& line : lines_) {
+    if (line.valid) {
+      ++valid;
+    }
+    line.valid = false;
+    line.dirty = false;
+  }
+  return valid;
+}
+
+std::size_t SetAssociativeCache::DirtyLineCount() const {
+  std::size_t n = 0;
+  for (const Line& line : lines_) {
+    if (line.valid && line.dirty) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t SetAssociativeCache::ValidLineCount() const {
+  std::size_t n = 0;
+  for (const Line& line : lines_) {
+    if (line.valid) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void SetAssociativeCache::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+  writebacks_ = 0;
+}
+
+}  // namespace tp::hw

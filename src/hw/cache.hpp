@@ -1,0 +1,131 @@
+// Set-associative write-back cache model with LRU replacement and optional
+// slicing (for hashed, distributed last-level caches as on Haswell).
+//
+// The cache records, per line: physical tag, valid, dirty, and an LRU stamp.
+// Access() reports hit/miss and whether the fill evicted a dirty victim
+// (a write-back, which costs extra cycles at the level below).
+//
+// Page-colouring arithmetic lives here too: a physically-indexed cache with
+// more than one page worth of sets per way has Colours() > 1, and the colour
+// of a physical page is a pure function of its page number. This is the
+// property the time-protection colour allocator builds on (paper §2.3).
+#ifndef TP_HW_CACHE_HPP_
+#define TP_HW_CACHE_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace tp::hw {
+
+enum class Indexing {
+  kVirtual,   // indexed with the virtual address (L1 on most parts)
+  kPhysical,  // indexed with the physical address (L2..LLC); colourable
+};
+
+struct CacheGeometry {
+  std::size_t size_bytes = 0;
+  std::size_t line_size = 64;
+  std::size_t associativity = 1;
+  std::size_t num_slices = 1;  // >1 models a distributed, hashed LLC
+
+  std::size_t TotalLines() const { return size_bytes / line_size; }
+  std::size_t SetsPerSlice() const {
+    return size_bytes / (line_size * associativity * num_slices);
+  }
+  // Bytes spanned by one way of one slice; the unit of page colouring.
+  std::size_t WaySpanBytes() const { return SetsPerSlice() * line_size; }
+  // Number of page colours in this cache (1 means uncolourable).
+  std::size_t Colours() const {
+    std::size_t span = WaySpanBytes();
+    return span > kPageSize ? span / kPageSize : 1;
+  }
+};
+
+struct AccessResult {
+  bool hit = false;
+  bool writeback = false;      // fill evicted a dirty line
+  bool fill = false;           // line was (re)inserted
+  bool evicted_valid = false;  // fill evicted a valid line (victim below)
+  std::uint64_t evicted_line_addr = 0;  // victim's line number (paddr / line_size)
+};
+
+class SetAssociativeCache {
+ public:
+  SetAssociativeCache(std::string name, const CacheGeometry& geometry, Indexing indexing);
+
+  // Looks up (and on miss fills) the line containing `addr_for_tag`.
+  // `addr_for_index` selects the set: the virtual address for
+  // virtually-indexed caches, the physical address otherwise. Caller passes
+  // both; the cache picks per its indexing mode.
+  AccessResult Access(VAddr addr_for_index, PAddr addr_for_tag, bool write);
+
+  // Inserts a line without reporting timing (hardware prefetch fill).
+  // Returns true if the fill evicted a dirty line.
+  bool Insert(VAddr addr_for_index, PAddr addr_for_tag, bool dirty = false);
+
+  bool Contains(VAddr addr_for_index, PAddr addr_for_tag) const;
+
+  // Invalidates one line if present; returns true if it was dirty.
+  bool InvalidateLine(VAddr addr_for_index, PAddr addr_for_tag);
+
+  // Invalidate by physical address only. For virtually-indexed caches whose
+  // index spans more bits than the page offset, every candidate set is
+  // probed (the alias sets a physical line may occupy).
+  bool InvalidateLineByPaddr(PAddr paddr);
+
+  // Write-back + invalidate of the entire cache; returns dirty lines flushed.
+  std::size_t FlushAll();
+  // Invalidate without write-back (instruction caches).
+  std::size_t InvalidateAll();
+
+  std::size_t DirtyLineCount() const;
+  std::size_t ValidLineCount() const;
+
+  // Set index (within its slice) that an address maps to; exposed so attack
+  // code can construct eviction sets exactly as Mastik does on hardware.
+  std::size_t SetIndexOf(std::uint64_t addr) const;
+  std::size_t SliceOf(PAddr paddr) const;
+
+  const CacheGeometry& geometry() const { return geometry_; }
+  Indexing indexing() const { return indexing_; }
+  const std::string& name() const { return name_; }
+
+  // Page colour of a physical address for this cache's geometry.
+  std::size_t ColourOf(PAddr paddr) const {
+    return PageNumber(paddr) % geometry_.Colours();
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  void ResetStats();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t TagOf(PAddr paddr) const { return paddr / geometry_.line_size; }
+  // Flat storage index of the first way of the set for `index_addr`/`tag_addr`.
+  std::size_t SetBase(VAddr addr_for_index, PAddr addr_for_tag) const;
+
+  std::string name_;
+  CacheGeometry geometry_;
+  Indexing indexing_;
+  std::size_t sets_per_slice_;
+  std::vector<Line> lines_;  // [slice][set][way] flattened
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_CACHE_HPP_

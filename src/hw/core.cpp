@@ -1,0 +1,285 @@
+#include "hw/core.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/machine.hpp"
+
+namespace tp::hw {
+
+Core::Core(CoreId id, Machine* machine) : id_(id), machine_(machine) {
+  const MachineConfig& cfg = machine->config();
+  l1i_ = std::make_unique<SetAssociativeCache>("L1-I", cfg.l1i, Indexing::kVirtual);
+  l1d_ = std::make_unique<SetAssociativeCache>("L1-D", cfg.l1d, Indexing::kVirtual);
+  if (cfg.has_private_l2) {
+    l2_ = std::make_unique<SetAssociativeCache>("L2", cfg.l2, Indexing::kPhysical);
+  }
+  itlb_ = std::make_unique<Tlb>("I-TLB", cfg.itlb);
+  dtlb_ = std::make_unique<Tlb>("D-TLB", cfg.dtlb);
+  l2tlb_ = std::make_unique<Tlb>("L2-TLB", cfg.l2tlb);
+  bp_ = std::make_unique<BranchPredictor>(cfg.bp);
+  prefetcher_ = std::make_unique<StreamPrefetcher>(cfg.prefetcher);
+}
+
+const Latencies& Core::lat() const { return machine_->config().lat; }
+
+void Core::SetUserContext(const TranslationContext* user_ctx) { user_ctx_ = user_ctx; }
+
+void Core::SetKernelContext(const TranslationContext* kernel_ctx, bool kernel_global) {
+  kernel_ctx_ = kernel_ctx;
+  kernel_global_ = kernel_global;
+}
+
+const TranslationContext* Core::ContextFor(VAddr vaddr) const {
+  return IsKernelAddress(vaddr) ? kernel_ctx_ : user_ctx_;
+}
+
+Cycles Core::WalkerRead(PAddr paddr) {
+  // Page-table entry read: physical, data-side, no recursive translation.
+  return CachePath(KernelVaddrFor(paddr), paddr, AccessKind::kRead);
+}
+
+Translation Core::TranslateCharged(VAddr vaddr, bool instruction, Cycles& cost) {
+  const TranslationContext* ctx = ContextFor(vaddr);
+  if (ctx == nullptr) {
+    std::ostringstream oss;
+    oss << "core " << id_ << ": no translation context for vaddr 0x" << std::hex << vaddr;
+    throw std::runtime_error(oss.str());
+  }
+
+  bool kernel_addr = IsKernelAddress(vaddr);
+  bool global = kernel_addr && kernel_global_;
+  // The kernel window is mapped into every user address space, so without
+  // the global bit its TLB entries are tagged (and duplicated) per user
+  // ASID — the pressure that makes clone-capable kernels expensive on the
+  // 2-way Arm L2 TLB (paper Table 5).
+  Asid asid = (kernel_addr && user_ctx_ != nullptr) ? user_ctx_->asid() : ctx->asid();
+  std::uint64_t vpn = PageNumber(vaddr);
+
+  Tlb& tlb = instruction ? *itlb_ : *dtlb_;
+  if (!tlb.Lookup(vpn, asid)) {
+    if (l2tlb_->Lookup(vpn, asid)) {
+      cost += lat().l2_tlb_hit;
+    } else {
+      ++counters_.tlb_misses;
+      ++counters_.page_walks;
+      walk_scratch_.clear();
+      ctx->WalkPath(vaddr, walk_scratch_);
+      for (PAddr pte : walk_scratch_) {
+        cost += WalkerRead(pte);
+      }
+      l2tlb_->Insert(vpn, asid, global);
+    }
+    tlb.Insert(vpn, asid, global);
+  }
+
+  std::optional<Translation> tr = ctx->Translate(vaddr);
+  if (!tr.has_value()) {
+    std::ostringstream oss;
+    oss << "core " << id_ << ": translation fault at vaddr 0x" << std::hex << vaddr;
+    throw std::runtime_error(oss.str());
+  }
+  return *tr;
+}
+
+Cycles Core::CachePath(VAddr vaddr, PAddr paddr, AccessKind kind) {
+  const Latencies& L = lat();
+  bool instruction = kind == AccessKind::kFetch;
+  bool write = kind == AccessKind::kWrite;
+  SetAssociativeCache& l1 = instruction ? *l1i_ : *l1d_;
+
+  Cycles cost = L.l1_hit;
+  AccessResult r1 = l1.Access(vaddr, paddr, write);
+  if (r1.hit) {
+    return cost;
+  }
+  if (instruction) {
+    ++counters_.l1i_misses;
+  } else {
+    ++counters_.l1d_misses;
+  }
+  if (r1.writeback) {
+    cost += L.writeback;
+    // Victim write-back lands in the level below (timing only; the victim's
+    // address is not tracked through — the write buffer hides it).
+  }
+
+  SetAssociativeCache& llc = machine_->llc();
+  bool l2_hit = false;
+  if (l2_ != nullptr) {
+    AccessResult r2 = l2_->Access(vaddr, paddr, false);
+    if (r2.writeback) {
+      cost += L.writeback;
+    }
+    if (r2.hit) {
+      cost += L.l2_hit;
+      l2_hit = true;
+    } else {
+      ++counters_.l2_misses;
+    }
+  }
+
+  if (!l2_hit) {
+    AccessResult r3 = llc.Access(vaddr, paddr, false);
+    if (r3.writeback) {
+      cost += L.writeback;
+    }
+    if (r3.evicted_valid) {
+      machine_->BackInvalidateLine(r3.evicted_line_addr * llc.geometry().line_size);
+    }
+    if (r3.hit) {
+      cost += L.llc_hit;
+    } else {
+      ++counters_.llc_misses;
+      std::uint64_t miss_line = paddr / llc.geometry().line_size;
+      // Row-buffer/burst locality: consecutive-line misses stream.
+      cost += (miss_line == last_miss_line_ + 1) ? L.dram_stream : L.dram;
+      last_miss_line_ = miss_line;
+
+      // Stream prefetcher trains on demand misses at the level below L1.
+      PrefetchOutcome out =
+          prefetcher_->OnDemandMiss(paddr / llc.geometry().line_size, domain_tag_, instruction);
+      cost += out.interference;
+      for (std::uint64_t fill_line : out.fills) {
+        PAddr fill_paddr = fill_line * llc.geometry().line_size;
+        AccessResult fr = llc.Access(KernelVaddrFor(fill_paddr), fill_paddr, false);
+        if (fr.evicted_valid) {
+          machine_->BackInvalidateLine(fr.evicted_line_addr * llc.geometry().line_size);
+        }
+        if (l2_ != nullptr) {
+          l2_->Insert(KernelVaddrFor(fill_paddr), fill_paddr, false);
+        }
+      }
+    }
+  }
+  return cost;
+}
+
+Cycles Core::Access(VAddr vaddr, AccessKind kind) {
+  Cycles cost = lat().base_op;
+  switch (kind) {
+    case AccessKind::kRead:
+      ++counters_.reads;
+      break;
+    case AccessKind::kWrite:
+      ++counters_.writes;
+      break;
+    case AccessKind::kFetch:
+      ++counters_.fetches;
+      break;
+  }
+  Translation tr = TranslateCharged(vaddr, kind == AccessKind::kFetch, cost);
+  PAddr paddr = tr.paddr + PageOffset(vaddr);
+  cost += CachePath(vaddr, paddr, kind);
+  cycles_ += cost;
+  return cost;
+}
+
+Cycles Core::Branch(VAddr pc, VAddr target, bool taken, bool conditional) {
+  ++counters_.branches;
+  BranchResult r = bp_->Branch(pc, target, taken, conditional);
+  Cycles cost = lat().base_op + r.penalty;
+  if (r.mispredicted) {
+    ++counters_.mispredicts;
+  }
+  cycles_ += cost;
+  return cost;
+}
+
+Cycles Core::ArchFlushL1D() {
+  if (!machine_->config().has_architected_l1_flush) {
+    throw std::logic_error("architected L1-D flush not available on this platform");
+  }
+  const Latencies& L = lat();
+  std::size_t lines = l1d_->geometry().TotalLines();
+  std::size_t dirty = l1d_->FlushAll();
+  Cycles cost = static_cast<Cycles>(lines) * L.flush_per_line +
+                static_cast<Cycles>(dirty) * L.flush_dirty_extra;
+  cycles_ += cost;
+  return cost;
+}
+
+Cycles Core::InvalidateL1I() {
+  const Latencies& L = lat();
+  std::size_t lines = l1i_->geometry().TotalLines();
+  l1i_->InvalidateAll();
+  Cycles cost = static_cast<Cycles>(lines) * 1;  // invalidate-only, no write-back
+  (void)L;
+  cycles_ += cost;
+  return cost;
+}
+
+Cycles Core::FlushPrivateL2() {
+  if (l2_ == nullptr) {
+    return 0;
+  }
+  const Latencies& L = lat();
+  std::size_t lines = l2_->geometry().TotalLines();
+  std::size_t dirty = l2_->FlushAll();
+  Cycles cost = static_cast<Cycles>(lines) * L.flush_per_line +
+                static_cast<Cycles>(dirty) * L.flush_dirty_extra;
+  cycles_ += cost;
+  return cost;
+}
+
+Cycles Core::FlushTlbAll() {
+  itlb_->FlushAll();
+  dtlb_->FlushAll();
+  l2tlb_->FlushAll();
+  Cycles cost = lat().tlb_flush;
+  cycles_ += cost;
+  return cost;
+}
+
+Cycles Core::FlushTlbNonGlobal() {
+  itlb_->FlushNonGlobal();
+  dtlb_->FlushNonGlobal();
+  l2tlb_->FlushNonGlobal();
+  Cycles cost = lat().tlb_flush;
+  cycles_ += cost;
+  return cost;
+}
+
+Cycles Core::FlushBranchPredictor() {
+  bp_->FlushAll();
+  Cycles cost = lat().bp_flush;
+  cycles_ += cost;
+  return cost;
+}
+
+Cycles Core::FullCacheFlush() {
+  const Latencies& L = lat();
+  Cycles cost = 0;
+
+  std::size_t l1d_lines = l1d_->geometry().TotalLines();
+  std::size_t l1d_dirty = l1d_->FlushAll();
+  cost += static_cast<Cycles>(l1d_lines) * L.flush_per_line +
+          static_cast<Cycles>(l1d_dirty) * L.flush_dirty_extra;
+  cost += static_cast<Cycles>(l1i_->InvalidateAll()) * 1;
+
+  if (l2_ != nullptr) {
+    std::size_t l2_lines = l2_->geometry().TotalLines();
+    std::size_t l2_dirty = l2_->FlushAll();
+    cost += static_cast<Cycles>(l2_lines) * L.flush_per_line +
+            static_cast<Cycles>(l2_dirty) * L.flush_dirty_extra;
+  }
+
+  SetAssociativeCache& llc = machine_->llc();
+  std::size_t llc_lines = llc.geometry().TotalLines();
+  std::size_t llc_dirty = llc.FlushAll();
+  cost += static_cast<Cycles>(llc_lines) * L.flush_per_line +
+          static_cast<Cycles>(llc_dirty) * L.flush_dirty_extra;
+
+  cycles_ += cost;
+  return cost;
+}
+
+void Core::BackInvalidateLine(PAddr line_paddr) {
+  l1d_->InvalidateLineByPaddr(line_paddr);
+  l1i_->InvalidateLineByPaddr(line_paddr);
+  if (l2_ != nullptr) {
+    l2_->InvalidateLineByPaddr(line_paddr);
+  }
+}
+
+}  // namespace tp::hw

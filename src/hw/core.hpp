@@ -1,0 +1,145 @@
+// A simulated CPU core: private caches, TLBs, branch predictor, stream
+// prefetcher, cycle counter and preemption timer, connected to the shared
+// LLC and interrupt controller of its Machine.
+//
+// Every memory operation runs the full path — TLB lookup, page walk through
+// the data caches on TLB miss, then L1 → (private L2) → LLC → DRAM — and
+// advances the core's cycle counter by the resulting latency. All
+// microarchitectural state mutations are explicit, which is what makes
+// timing channels (and their mitigations) observable in this model.
+#ifndef TP_HW_CORE_HPP_
+#define TP_HW_CORE_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hw/branch_predictor.hpp"
+#include "hw/cache.hpp"
+#include "hw/perf_counter.hpp"
+#include "hw/prefetcher.hpp"
+#include "hw/timer.hpp"
+#include "hw/tlb.hpp"
+#include "hw/translation.hpp"
+#include "hw/types.hpp"
+
+namespace tp::hw {
+
+class Machine;
+
+enum class AccessKind {
+  kRead,
+  kWrite,
+  kFetch,
+};
+
+struct Latencies {
+  Cycles base_op = 1;
+  Cycles l1_hit = 4;
+  Cycles l2_hit = 12;
+  Cycles llc_hit = 40;
+  Cycles dram = 200;
+  // Sequential (next-line) misses hit the open DRAM row / burst transfer.
+  Cycles dram_stream = 60;
+  Cycles writeback = 2;       // buffered write-back on the demand path
+  Cycles l2_tlb_hit = 8;
+  Cycles flush_per_line = 6;  // architected set/way flush, per line
+  Cycles flush_dirty_extra = 10;
+  Cycles tlb_flush = 100;
+  Cycles bp_flush = 200;
+};
+
+class Core {
+ public:
+  Core(CoreId id, Machine* machine);
+
+  // --- context (set by the kernel on thread/kernel switch) ---------------
+
+  // `user_ctx` translates user addresses, `kernel_ctx` kernel-window
+  // addresses. `kernel_global` marks kernel TLB entries global (only the
+  // baseline single-kernel configuration may do this; clone-capable kernels
+  // have per-image mappings — the root of the Arm IPC overhead in Table 5).
+  void SetUserContext(const TranslationContext* user_ctx);
+  void SetKernelContext(const TranslationContext* kernel_ctx, bool kernel_global);
+  // Tags prefetcher training so leftover streams from another domain are
+  // recognisably stale. The kernel passes the current domain/kernel id.
+  void SetDomainTag(std::uint16_t tag) { domain_tag_ = tag; }
+
+  // --- execution ----------------------------------------------------------
+
+  // Performs one memory operation, advancing the cycle counter. Throws
+  // std::runtime_error on a translation fault.
+  Cycles Access(VAddr vaddr, AccessKind kind);
+  // Branch at `pc` to `target`; cost depends on predictor state.
+  Cycles Branch(VAddr pc, VAddr target, bool taken, bool conditional);
+  // Pure compute / pipeline time.
+  void AdvanceCycles(Cycles n) { cycles_ += n; }
+
+  Cycles now() const { return cycles_; }
+
+  // --- architected flush operations (used by tp::core flush drivers) ------
+
+  Cycles ArchFlushL1D();      // Arm DCCISW loop; unavailable trap on x86
+  Cycles InvalidateL1I();     // ICIALLU / implicit part of manual flush
+  Cycles FlushPrivateL2();    // set/way flush of the private L2, if present
+  Cycles FlushTlbAll();       // TLBIALL / invpcid all-context
+  Cycles FlushTlbNonGlobal();
+  Cycles FlushBranchPredictor();  // BPIALL / IBC barrier
+  // wbinvd-style: L1s + private L2 + this core's view of the shared LLC.
+  Cycles FullCacheFlush();
+
+  // --- component access ----------------------------------------------------
+
+  SetAssociativeCache& l1i() { return *l1i_; }
+  SetAssociativeCache& l1d() { return *l1d_; }
+  SetAssociativeCache* l2() { return l2_.get(); }
+  Tlb& itlb() { return *itlb_; }
+  Tlb& dtlb() { return *dtlb_; }
+  Tlb& l2tlb() { return *l2tlb_; }
+  BranchPredictor& branch_predictor() { return *bp_; }
+  StreamPrefetcher& prefetcher() { return *prefetcher_; }
+  OneShotTimer& preemption_timer() { return preemption_timer_; }
+  PerfCounters& counters() { return counters_; }
+  const PerfCounters& counters() const { return counters_; }
+  CoreId id() const { return id_; }
+  Machine& machine() { return *machine_; }
+  const Latencies& lat() const;
+
+  // Invalidate a line in all private caches (inclusive-LLC back-invalidate).
+  void BackInvalidateLine(PAddr line_paddr);
+
+ private:
+  const TranslationContext* ContextFor(VAddr vaddr) const;
+  // TLB + walk; returns translation, charging cost into `cost`.
+  Translation TranslateCharged(VAddr vaddr, bool instruction, Cycles& cost);
+  // L1 -> L2 -> LLC -> DRAM; returns latency.
+  Cycles CachePath(VAddr vaddr, PAddr paddr, AccessKind kind);
+  // Demand access used by the page walker (physical, data side).
+  Cycles WalkerRead(PAddr paddr);
+
+  CoreId id_;
+  Machine* machine_;
+  std::unique_ptr<SetAssociativeCache> l1i_;
+  std::unique_ptr<SetAssociativeCache> l1d_;
+  std::unique_ptr<SetAssociativeCache> l2_;  // null on Arm (shared L2 is the LLC)
+  std::unique_ptr<Tlb> itlb_;
+  std::unique_ptr<Tlb> dtlb_;
+  std::unique_ptr<Tlb> l2tlb_;
+  std::unique_ptr<BranchPredictor> bp_;
+  std::unique_ptr<StreamPrefetcher> prefetcher_;
+  OneShotTimer preemption_timer_;
+  PerfCounters counters_;
+
+  const TranslationContext* user_ctx_ = nullptr;
+  const TranslationContext* kernel_ctx_ = nullptr;
+  bool kernel_global_ = true;
+  std::uint16_t domain_tag_ = 0;
+  Cycles cycles_ = 0;
+  std::uint64_t last_miss_line_ = ~std::uint64_t{0};
+  std::vector<PAddr> walk_scratch_;
+};
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_CORE_HPP_

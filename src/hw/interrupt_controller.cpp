@@ -1,0 +1,72 @@
+#include "hw/interrupt_controller.hpp"
+
+namespace tp::hw {
+
+InterruptController::InterruptController(IrqArch arch, std::size_t num_lines) : arch_(arch) {
+  lines_.resize(num_lines);
+}
+
+void InterruptController::Raise(IrqLine line) {
+  Line& l = lines_.at(line);
+  l.raised = true;
+  if (arch_ == IrqArch::kX86Hierarchical && !l.masked) {
+    // Accepted by the CPU: survives subsequent masking of the source.
+    l.accepted = true;
+  }
+}
+
+void InterruptController::Mask(IrqLine line) { lines_.at(line).masked = true; }
+
+void InterruptController::Unmask(IrqLine line) {
+  Line& l = lines_.at(line);
+  l.masked = false;
+  if (arch_ == IrqArch::kX86Hierarchical && l.raised) {
+    l.accepted = true;
+  }
+}
+
+void InterruptController::MaskAll() {
+  for (Line& l : lines_) {
+    l.masked = true;
+  }
+}
+
+std::optional<IrqLine> InterruptController::PendingDeliverable() const {
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    const Line& l = lines_[i];
+    if (arch_ == IrqArch::kX86Hierarchical) {
+      if (l.accepted || (l.raised && !l.masked)) {
+        return static_cast<IrqLine>(i);
+      }
+    } else {
+      if (l.raised && !l.masked) {
+        return static_cast<IrqLine>(i);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t InterruptController::ProbeAndAckAccepted() {
+  if (arch_ != IrqArch::kX86Hierarchical) {
+    return 0;
+  }
+  std::size_t n = 0;
+  for (Line& l : lines_) {
+    if (l.accepted && l.masked) {
+      // Drop the CPU-side acceptance; the source stays raised and will be
+      // delivered once its owning domain unmasks the line again.
+      l.accepted = false;
+      ++n;
+    }
+  }
+  return n;
+}
+
+void InterruptController::Ack(IrqLine line) {
+  Line& l = lines_.at(line);
+  l.raised = false;
+  l.accepted = false;
+}
+
+}  // namespace tp::hw

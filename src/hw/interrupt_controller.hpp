@@ -1,0 +1,67 @@
+// Interrupt controller model with the two architectures' delivery semantics
+// the paper distinguishes in §4.3:
+//
+//  - kX86Hierarchical: interrupts are routed through a hierarchy; an IRQ
+//    raised while unmasked is *accepted* by the CPU and remains deliverable
+//    even if the bottom-level source is masked afterwards. The kernel must
+//    probe and acknowledge pending-accepted interrupts after masking or they
+//    fire across the partition boundary (the race the paper resolves).
+//  - kArmSimple: single-level control; masking immediately suppresses
+//    delivery, no race.
+#ifndef TP_HW_INTERRUPT_CONTROLLER_HPP_
+#define TP_HW_INTERRUPT_CONTROLLER_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace tp::hw {
+
+enum class IrqArch {
+  kX86Hierarchical,
+  kArmSimple,
+};
+
+class InterruptController {
+ public:
+  InterruptController(IrqArch arch, std::size_t num_lines);
+
+  // Device side: assert the line.
+  void Raise(IrqLine line);
+
+  // Kernel side.
+  void Mask(IrqLine line);
+  void Unmask(IrqLine line);
+  void MaskAll();
+
+  // The highest-priority (lowest-numbered) IRQ deliverable right now, if any.
+  std::optional<IrqLine> PendingDeliverable() const;
+
+  // Drains interrupts that were accepted before masking (x86 race window);
+  // returns how many were acknowledged at the hardware level. No-op on Arm.
+  std::size_t ProbeAndAckAccepted();
+
+  // CPU took the interrupt: clear raised+accepted state for the line.
+  void Ack(IrqLine line);
+
+  bool IsRaised(IrqLine line) const { return lines_.at(line).raised; }
+  bool IsMasked(IrqLine line) const { return lines_.at(line).masked; }
+  std::size_t num_lines() const { return lines_.size(); }
+  IrqArch arch() const { return arch_; }
+
+ private:
+  struct Line {
+    bool raised = false;
+    bool masked = true;
+    bool accepted = false;  // x86: latched past the mask
+  };
+
+  IrqArch arch_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_INTERRUPT_CONTROLLER_HPP_

@@ -1,0 +1,28 @@
+// Per-core performance-monitoring counters, the receiver-side observable of
+// several attacks in the paper (e.g. Fig. 3 counts LLC misses).
+#ifndef TP_HW_PERF_COUNTER_HPP_
+#define TP_HW_PERF_COUNTER_HPP_
+
+#include <cstdint>
+
+namespace tp::hw {
+
+struct PerfCounters {
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l1i_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t page_walks = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t fetches = 0;
+
+  void Reset() { *this = PerfCounters{}; }
+};
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_PERF_COUNTER_HPP_

@@ -1,0 +1,139 @@
+#include "hw/prefetcher.hpp"
+
+#include <algorithm>
+
+namespace tp::hw {
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherGeometry& geometry) : geometry_(geometry) {
+  data_slots_.resize(geometry_.data_slots);
+  instruction_slots_.resize(geometry_.instruction_slots);
+}
+
+PrefetchOutcome StreamPrefetcher::HandleMiss(std::vector<Stream>& slots, std::uint64_t line,
+                                             std::uint16_t owner, bool enabled) {
+  PrefetchOutcome outcome;
+  if (slots.empty()) {
+    return outcome;
+  }
+
+  // Stale streams contend for bandwidth: each issues one of its remaining
+  // credited prefetches, delaying this demand miss.
+  std::size_t stale_issued = 0;
+  for (Stream& s : slots) {
+    if (stale_issued >= geometry_.max_stale_issues_per_miss) {
+      break;
+    }
+    if (s.valid && s.owner != owner && s.credits > 0 &&
+        s.confidence >= geometry_.confidence_threshold) {
+      --s.credits;
+      outcome.fills.push_back(s.next_line);
+      s.next_line = static_cast<std::uint64_t>(static_cast<std::int64_t>(s.next_line) +
+                                               s.direction);
+      outcome.interference += geometry_.interference_cycles;
+      ++stale_issued;
+    }
+  }
+
+  if (!enabled) {
+    return outcome;
+  }
+
+  // Train: does this miss continue an existing stream?
+  for (Stream& s : slots) {
+    if (!s.valid || s.owner != owner) {
+      continue;
+    }
+    if (s.next_line == line) {
+      s.confidence = std::min(s.confidence + 1, 8);
+      s.credits = geometry_.credits_on_train;
+      s.next_line = static_cast<std::uint64_t>(static_cast<std::int64_t>(line) + s.direction);
+      if (s.confidence >= geometry_.confidence_threshold) {
+        for (int i = 0; i < geometry_.prefetch_degree; ++i) {
+          outcome.fills.push_back(static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(line) + s.direction * (i + 1)));
+        }
+      }
+      return outcome;
+    }
+    if (s.next_line == line - 2 * static_cast<std::uint64_t>(s.direction)) {
+      // Near miss (skipped a line); keep tracking without prefetching.
+      s.next_line = static_cast<std::uint64_t>(static_cast<std::int64_t>(line) + s.direction);
+      return outcome;
+    }
+  }
+
+  // Allocate a new stream slot (round-robin victim among invalid-or-oldest).
+  std::size_t& rr = (&slots == &data_slots_) ? data_victim_rr_ : instr_victim_rr_;
+  std::size_t victim = rr;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    std::size_t idx = (rr + i) % slots.size();
+    if (!slots[idx].valid) {
+      victim = idx;
+      break;
+    }
+  }
+  rr = (victim + 1) % slots.size();
+  Stream& s = slots[victim];
+  s.valid = true;
+  s.owner = owner;
+  s.direction = 1;
+  s.next_line = line + 1;
+  s.confidence = 1;
+  s.credits = geometry_.credits_on_train;
+  return outcome;
+}
+
+PrefetchOutcome StreamPrefetcher::OnDemandMiss(std::uint64_t line, std::uint16_t owner,
+                                               bool instruction) {
+  if (instruction) {
+    return HandleMiss(instruction_slots_, line, owner, /*enabled=*/true);
+  }
+  return HandleMiss(data_slots_, line, owner, data_enabled_);
+}
+
+void StreamPrefetcher::SetDataPrefetcherEnabled(bool enabled) {
+  data_enabled_ = enabled;
+  if (!enabled) {
+    for (Stream& s : data_slots_) {
+      s.valid = false;
+      s.credits = 0;
+    }
+  }
+}
+
+std::size_t StreamPrefetcher::ActiveDataStreams() const {
+  std::size_t n = 0;
+  for (const Stream& s : data_slots_) {
+    if (s.valid && s.confidence >= geometry_.confidence_threshold) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t StreamPrefetcher::ActiveInstructionStreams() const {
+  std::size_t n = 0;
+  for (const Stream& s : instruction_slots_) {
+    if (s.valid && s.confidence >= geometry_.confidence_threshold) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t StreamPrefetcher::StaleStreams(std::uint16_t owner) const {
+  std::size_t n = 0;
+  for (const Stream& s : data_slots_) {
+    if (s.valid && s.owner != owner && s.credits > 0) {
+      ++n;
+    }
+  }
+  for (const Stream& s : instruction_slots_) {
+    if (s.valid && s.owner != owner && s.credits > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace tp::hw

@@ -1,0 +1,89 @@
+// Hardware stream-prefetcher state machine.
+//
+// This is the piece of hidden microarchitectural state the paper could *not*
+// scrub on Haswell (§5.3.2): stream-detector slots are trained by demand
+// misses and persist across every architected flush. After a domain switch,
+// streams trained by the previous domain keep issuing prefetches, contending
+// for memory bandwidth with the new domain's misses — a residual timing
+// channel (Table 3: 50.5 mb with the prefetcher on, 6.4 mb with the data
+// prefetcher disabled via MSR 0x1A4, the remainder being the instruction
+// prefetcher, which cannot be disabled at all).
+//
+// The model: a table of stream slots {next line, direction, confidence,
+// credits, owner}. Demand misses train streams; confident streams issue
+// prefetch fills. On each miss, stale streams (owner != current domain tag)
+// with remaining credits issue one prefetch each and add bandwidth
+// interference cycles to the miss. Data slots can be disabled/reset (the MSR
+// write); instruction slots cannot.
+#ifndef TP_HW_PREFETCHER_HPP_
+#define TP_HW_PREFETCHER_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace tp::hw {
+
+struct PrefetcherGeometry {
+  std::size_t data_slots = 16;
+  std::size_t instruction_slots = 2;
+  int confidence_threshold = 2;
+  int prefetch_degree = 2;        // lines fetched ahead once confident
+  int credits_on_train = 4;       // prefetches a stream may issue unprompted
+  Cycles interference_cycles = 6;  // added to a miss per stale-stream issue
+  std::size_t max_stale_issues_per_miss = 2;
+};
+
+struct PrefetchOutcome {
+  // Lines (physical line addresses, i.e. paddr / line_size) to insert into
+  // the cache below L1 as prefetch fills.
+  std::vector<std::uint64_t> fills;
+  Cycles interference = 0;  // extra latency from stale-stream bandwidth use
+};
+
+class StreamPrefetcher {
+ public:
+  explicit StreamPrefetcher(const PrefetcherGeometry& geometry);
+
+  // Called on every demand miss at physical line address `line`
+  // (paddr / line_size). `owner` tags the training domain (the kernel passes
+  // the current kernel-image id or ASID).
+  PrefetchOutcome OnDemandMiss(std::uint64_t line, std::uint16_t owner, bool instruction);
+
+  // MSR-style control: disabling the *data* prefetcher also clears its
+  // slots. The instruction slots are untouched (not architected).
+  void SetDataPrefetcherEnabled(bool enabled);
+  bool data_prefetcher_enabled() const { return data_enabled_; }
+
+  std::size_t ActiveDataStreams() const;
+  std::size_t ActiveInstructionStreams() const;
+  // Streams whose owner differs from `owner` and that still hold credits.
+  std::size_t StaleStreams(std::uint16_t owner) const;
+
+  const PrefetcherGeometry& geometry() const { return geometry_; }
+
+ private:
+  struct Stream {
+    std::uint64_t next_line = 0;
+    std::int64_t direction = 1;
+    int confidence = 0;
+    int credits = 0;
+    std::uint16_t owner = 0;
+    bool valid = false;
+  };
+
+  PrefetchOutcome HandleMiss(std::vector<Stream>& slots, std::uint64_t line,
+                             std::uint16_t owner, bool enabled);
+
+  PrefetcherGeometry geometry_;
+  std::vector<Stream> data_slots_;
+  std::vector<Stream> instruction_slots_;
+  std::size_t data_victim_rr_ = 0;
+  std::size_t instr_victim_rr_ = 0;
+  bool data_enabled_ = true;
+};
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_PREFETCHER_HPP_

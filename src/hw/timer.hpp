@@ -1,0 +1,36 @@
+// One-shot deadline timers. Each core has a preemption timer owned by the
+// kernel; additional device timers (user-programmable via IRQ_Handler +
+// timer caps) model the interrupt-channel Trojan of paper §5.3.5.
+#ifndef TP_HW_TIMER_HPP_
+#define TP_HW_TIMER_HPP_
+
+#include <cstdint>
+
+#include "hw/types.hpp"
+
+namespace tp::hw {
+
+class OneShotTimer {
+ public:
+  explicit OneShotTimer(IrqLine irq_line = 0) : irq_line_(irq_line) {}
+
+  void SetDeadline(Cycles absolute_deadline) {
+    deadline_ = absolute_deadline;
+    armed_ = true;
+  }
+  void Clear() { armed_ = false; }
+
+  bool Expired(Cycles now) const { return armed_ && now >= deadline_; }
+  bool armed() const { return armed_; }
+  Cycles deadline() const { return deadline_; }
+  IrqLine irq_line() const { return irq_line_; }
+
+ private:
+  Cycles deadline_ = 0;
+  IrqLine irq_line_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_TIMER_HPP_

@@ -1,0 +1,91 @@
+#include "hw/tlb.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tp::hw {
+
+Tlb::Tlb(std::string name, const TlbGeometry& geometry)
+    : name_(std::move(name)), geometry_(geometry) {
+  assert(geometry_.entries % geometry_.associativity == 0);
+  entries_.resize(geometry_.entries);
+}
+
+bool Tlb::Lookup(std::uint64_t vpn, Asid asid) {
+  std::size_t base = SetBase(vpn);
+  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
+    Entry& e = entries_[base + way];
+    if (e.valid && e.vpn == vpn && (e.global || e.asid == asid)) {
+      e.lru = ++lru_clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+void Tlb::Insert(std::uint64_t vpn, Asid asid, bool global) {
+  std::size_t base = SetBase(vpn);
+  std::size_t victim = base;
+  std::uint64_t victim_lru = ~std::uint64_t{0};
+  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
+    Entry& e = entries_[base + way];
+    if (e.valid && e.vpn == vpn && (e.global || e.asid == asid)) {
+      e.lru = ++lru_clock_;
+      return;  // already present
+    }
+    if (!e.valid) {
+      victim = base + way;
+      victim_lru = 0;
+    } else if (e.lru < victim_lru) {
+      victim = base + way;
+      victim_lru = e.lru;
+    }
+  }
+  Entry& e = entries_[victim];
+  e.vpn = vpn;
+  e.asid = asid;
+  e.global = global;
+  e.valid = true;
+  e.lru = ++lru_clock_;
+}
+
+void Tlb::FlushAll() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+void Tlb::FlushNonGlobal() {
+  for (Entry& e : entries_) {
+    if (!e.global) {
+      e.valid = false;
+    }
+  }
+}
+
+void Tlb::FlushAsid(Asid asid) {
+  for (Entry& e : entries_) {
+    if (e.valid && !e.global && e.asid == asid) {
+      e.valid = false;
+    }
+  }
+}
+
+std::size_t Tlb::ValidCount() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.valid) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Tlb::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace tp::hw

@@ -1,0 +1,70 @@
+// TLB model: set-associative translation cache with ASID tags and global
+// mappings.
+//
+// Global entries match regardless of the current ASID and survive
+// FlushNonGlobal(); the baseline (single-image) kernel maps its window
+// global, while clone-capable kernels cannot (each kernel image has its own
+// mapping). On a low-associativity L2 TLB this difference is exactly the
+// Arm IPC slowdown of paper Table 5.
+#ifndef TP_HW_TLB_HPP_
+#define TP_HW_TLB_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace tp::hw {
+
+struct TlbGeometry {
+  std::size_t entries = 0;
+  std::size_t associativity = 1;
+  std::size_t Sets() const { return entries / associativity; }
+};
+
+class Tlb {
+ public:
+  Tlb(std::string name, const TlbGeometry& geometry);
+
+  // True on hit for (vpn, asid): an entry matches if its vpn equals and it
+  // is either global or tagged with `asid`.
+  bool Lookup(std::uint64_t vpn, Asid asid);
+  void Insert(std::uint64_t vpn, Asid asid, bool global);
+
+  void FlushAll();          // e.g. Arm TLBIALL
+  void FlushNonGlobal();    // e.g. x86 CR3 write without PCID
+  void FlushAsid(Asid asid);  // e.g. invpcid single-context
+
+  std::size_t ValidCount() const;
+  const TlbGeometry& geometry() const { return geometry_; }
+  const std::string& name() const { return name_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void ResetStats();
+
+ private:
+  struct Entry {
+    std::uint64_t vpn = 0;
+    std::uint64_t lru = 0;
+    Asid asid = 0;
+    bool global = false;
+    bool valid = false;
+  };
+
+  std::size_t SetBase(std::uint64_t vpn) const {
+    return (vpn % geometry_.Sets()) * geometry_.associativity;
+  }
+
+  std::string name_;
+  TlbGeometry geometry_;
+  std::vector<Entry> entries_;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_TLB_HPP_

@@ -1,0 +1,39 @@
+// Interface the memory system uses to translate virtual addresses and to
+// find the physical locations of page-table entries for walk costing.
+// Implemented by the kernel's AddressSpace; the hardware layer only sees
+// this abstract view.
+#ifndef TP_HW_TRANSLATION_HPP_
+#define TP_HW_TRANSLATION_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace tp::hw {
+
+struct Translation {
+  PAddr paddr = 0;
+  bool global = false;  // TLB entry survives non-global flushes
+};
+
+class TranslationContext {
+ public:
+  virtual ~TranslationContext() = default;
+
+  // Translation for the page containing `vaddr`, or nullopt on fault.
+  virtual std::optional<Translation> Translate(VAddr vaddr) const = 0;
+
+  // Physical addresses of the page-table entries a hardware walker reads to
+  // translate `vaddr` (outermost first). These reads go through the data
+  // cache hierarchy, so page tables have cache footprints — the basis of
+  // page-table side channels, which colouring kernel memory defeats.
+  virtual void WalkPath(VAddr vaddr, std::vector<PAddr>& out) const = 0;
+
+  virtual Asid asid() const = 0;
+};
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_TRANSLATION_HPP_

@@ -1,0 +1,44 @@
+// Core scalar types shared across the hardware simulator.
+//
+// The simulator is a *timing* model: addresses index cache/TLB/predictor
+// state and every access yields a cycle cost, but no byte contents are
+// stored (programs keep their own C++ state). This is sufficient for
+// microarchitectural timing channels, which depend only on hit/miss and
+// write-back behaviour, never on data values.
+#ifndef TP_HW_TYPES_HPP_
+#define TP_HW_TYPES_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tp::hw {
+
+using Cycles = std::uint64_t;
+using VAddr = std::uint64_t;
+using PAddr = std::uint64_t;
+using Asid = std::uint16_t;
+using CoreId = std::uint32_t;
+using IrqLine = std::uint32_t;
+
+inline constexpr std::uint64_t kPageBits = 12;
+inline constexpr std::uint64_t kPageSize = std::uint64_t{1} << kPageBits;
+inline constexpr std::uint64_t kPageOffsetMask = kPageSize - 1;
+
+// Kernel window: kernel virtual addresses are the physical address plus this
+// offset (a direct map, as seL4 uses). User virtual addresses live below it.
+inline constexpr VAddr kKernelBase = std::uint64_t{1} << 47;
+
+constexpr std::uint64_t PageNumber(std::uint64_t addr) { return addr >> kPageBits; }
+constexpr std::uint64_t PageOffset(std::uint64_t addr) { return addr & kPageOffsetMask; }
+constexpr std::uint64_t PageAlignDown(std::uint64_t addr) { return addr & ~kPageOffsetMask; }
+constexpr std::uint64_t PageAlignUp(std::uint64_t addr) {
+  return (addr + kPageSize - 1) & ~kPageOffsetMask;
+}
+
+constexpr bool IsKernelAddress(VAddr va) { return va >= kKernelBase; }
+constexpr VAddr KernelVaddrFor(PAddr pa) { return pa + kKernelBase; }
+constexpr PAddr PaddrOfKernelVaddr(VAddr va) { return va - kKernelBase; }
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_TYPES_HPP_

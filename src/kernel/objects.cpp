@@ -1,0 +1,69 @@
+#include "kernel/objects.hpp"
+
+#include <stdexcept>
+
+namespace tp::kernel {
+
+CapIdx CSpace::Insert(const Capability& cap) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].is_null()) {
+      slots_[i] = cap;
+      return static_cast<CapIdx>(i);
+    }
+  }
+  slots_.push_back(cap);
+  return static_cast<CapIdx>(slots_.size() - 1);
+}
+
+const Capability& CSpace::At(CapIdx idx) const {
+  if (idx >= slots_.size()) {
+    throw std::out_of_range("CSpace::At: bad capability index");
+  }
+  return slots_[idx];
+}
+
+Capability& CSpace::At(CapIdx idx) {
+  if (idx >= slots_.size()) {
+    throw std::out_of_range("CSpace::At: bad capability index");
+  }
+  return slots_[idx];
+}
+
+CapIdx CSpace::Derive(CapIdx src, const CapRights& new_rights) {
+  Capability derived = At(src);
+  // Derivation may only reduce authority.
+  derived.rights.read = derived.rights.read && new_rights.read;
+  derived.rights.write = derived.rights.write && new_rights.write;
+  derived.rights.grant = derived.rights.grant && new_rights.grant;
+  derived.rights.clone = derived.rights.clone && new_rights.clone;
+  return Insert(derived);
+}
+
+void CSpace::Delete(CapIdx idx) {
+  if (idx < slots_.size()) {
+    slots_[idx] = Capability{};
+  }
+}
+
+ObjectTable::ObjectTable() {
+  // Slot 0 is the null object so that ObjId 0 is never valid.
+  objects_.push_back(Object{});
+}
+
+void ObjectTable::Destroy(ObjId id) {
+  Object& o = objects_.at(id);
+  o.live = false;
+  ++o.generation;
+  o.data = std::monostate{};
+  o.type = ObjectType::kNull;
+}
+
+bool ObjectTable::Validate(const Capability& cap) const {
+  if (cap.is_null() || cap.obj >= objects_.size()) {
+    return false;
+  }
+  const Object& o = objects_[cap.obj];
+  return o.live && o.type == cap.type && o.generation == cap.generation;
+}
+
+}  // namespace tp::kernel

@@ -1,0 +1,104 @@
+// Kernel-level identifiers, rights and enums.
+//
+// The object and capability model follows seL4: all authority is conferred
+// by capabilities, all kernel metadata lives in memory supplied by userland
+// via Untyped retype (paper §2.4, Fig. 2), and the two time-protection
+// object types Kernel_Image / Kernel_Memory are first-class (paper §4.1).
+#ifndef TP_KERNEL_TYPES_HPP_
+#define TP_KERNEL_TYPES_HPP_
+
+#include <cstdint>
+
+#include "hw/types.hpp"
+
+namespace tp::kernel {
+
+using ObjId = std::uint32_t;
+inline constexpr ObjId kNullObj = 0;
+
+using DomainId = std::uint16_t;
+using KernelImageId = std::uint16_t;
+using CapIdx = std::uint32_t;
+using Badge = std::uint64_t;
+
+enum class ObjectType : std::uint8_t {
+  kNull,
+  kUntyped,
+  kFrame,
+  kTcb,
+  kEndpoint,
+  kNotification,
+  kVSpace,
+  kKernelImage,   // a kernel: text, stack, replicated globals, idle thread
+  kKernelMemory,  // physical memory mappable into a kernel image
+  kIrqHandler,
+  kDeviceTimer,
+};
+
+struct CapRights {
+  bool read = true;
+  bool write = true;
+  bool grant = true;
+  bool clone = false;  // Kernel_Image only: authority to clone from it
+
+  static CapRights All() { return CapRights{true, true, true, true}; }
+  static CapRights NoClone() { return CapRights{true, true, true, false}; }
+};
+
+enum class SyscallError : std::uint8_t {
+  kOk = 0,
+  kInvalidCap,
+  kInvalidArgument,
+  kInsufficientRights,
+  kInsufficientMemory,
+  kWouldBlock,
+  kDeleted,
+  kRevoked,
+};
+
+struct SyscallResult {
+  SyscallError error = SyscallError::kOk;
+  std::uint64_t value = 0;
+  bool ok() const { return error == SyscallError::kOk; }
+};
+
+// Operations with distinct kernel text footprints; used by the kernel cost
+// model to fetch the right text window so each operation has a recognisable
+// cache signature (the raw kernel-image channel of paper §5.3.1).
+enum class KernelOp : std::uint8_t {
+  kEntry,
+  kExit,
+  kSignal,
+  kWait,
+  kPoll,
+  kTcbSetPriority,
+  kIpcSend,
+  kIpcRecv,
+  kIpcCall,
+  kIpcReplyRecv,
+  kYield,
+  kRetype,
+  kMap,
+  kClone,
+  kDestroy,
+  kIrq,
+  kTick,
+  kSchedule,
+  kStackSwitch,
+  kSetTimer,
+  kCount,
+};
+
+enum class ThreadState : std::uint8_t {
+  kInactive,
+  kRunnable,
+  kRunning,
+  kBlockedOnSend,
+  kBlockedOnRecv,
+  kBlockedOnNotification,
+  kIdle,  // per-kernel-image idle threads
+};
+
+}  // namespace tp::kernel
+
+#endif  // TP_KERNEL_TYPES_HPP_

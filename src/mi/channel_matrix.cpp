@@ -1,0 +1,103 @@
+#include "mi/channel_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace tp::mi {
+
+ChannelMatrix::ChannelMatrix(const Observations& obs, std::size_t output_bins)
+    : bins_(std::max<std::size_t>(output_bins, 1)) {
+  lo_ = std::numeric_limits<double>::infinity();
+  hi_ = -std::numeric_limits<double>::infinity();
+  for (double y : obs.outputs()) {
+    lo_ = std::min(lo_, y);
+    hi_ = std::max(hi_, y);
+  }
+  if (!(hi_ > lo_)) {
+    hi_ = lo_ + 1.0;
+  }
+
+  auto by = obs.ByInput();
+  for (const auto& [input, ys] : by) {
+    inputs_.push_back(input);
+    std::vector<double> row(bins_, 0.0);
+    for (double y : ys) {
+      auto b = static_cast<std::size_t>((y - lo_) / (hi_ - lo_) * static_cast<double>(bins_));
+      b = std::min(b, bins_ - 1);
+      row[b] += 1.0;
+    }
+    if (!ys.empty()) {
+      for (double& p : row) {
+        p /= static_cast<double>(ys.size());
+      }
+    }
+    prob_.push_back(std::move(row));
+  }
+}
+
+double ChannelMatrix::Probability(std::size_t input_index, std::size_t bin) const {
+  return prob_.at(input_index).at(bin);
+}
+
+double ChannelMatrix::BinCenter(std::size_t bin) const {
+  double width = (hi_ - lo_) / static_cast<double>(bins_);
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::string ChannelMatrix::ToCsv() const {
+  std::ostringstream oss;
+  oss << "output_bin_center";
+  for (int in : inputs_) {
+    oss << ",input_" << in;
+  }
+  oss << "\n";
+  for (std::size_t b = 0; b < bins_; ++b) {
+    oss << BinCenter(b);
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      oss << "," << prob_[i][b];
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+std::string ChannelMatrix::ToAscii(std::size_t max_rows) const {
+  static const char kShades[] = " .:-=+*#%@";
+  std::size_t rows = std::min(max_rows, bins_);
+  std::size_t stride = (bins_ + rows - 1) / rows;
+
+  double pmax = 0.0;
+  for (const auto& row : prob_) {
+    for (double p : row) {
+      pmax = std::max(pmax, p);
+    }
+  }
+  if (pmax <= 0.0) {
+    pmax = 1.0;
+  }
+
+  std::ostringstream oss;
+  for (std::size_t r = rows; r-- > 0;) {
+    std::size_t b0 = r * stride;
+    oss << "  ";
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      double p = 0.0;
+      for (std::size_t b = b0; b < std::min(b0 + stride, bins_); ++b) {
+        p = std::max(p, prob_[i][b]);
+      }
+      auto shade = static_cast<std::size_t>(p / pmax * 9.0);
+      oss << kShades[std::min<std::size_t>(shade, 9)] << ' ';
+    }
+    oss << "| y~" << static_cast<std::int64_t>(BinCenter(std::min(b0, bins_ - 1))) << "\n";
+  }
+  oss << "  ";
+  for (int in : inputs_) {
+    oss << in << ' ';
+  }
+  oss << "^ inputs\n";
+  return oss.str();
+}
+
+}  // namespace tp::mi

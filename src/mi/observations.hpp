@@ -1,0 +1,41 @@
+// Channel observation dataset: (input symbol, continuous output) pairs.
+// The sender places inputs drawn from a finite set I into the channel; the
+// receiver observes continuous outputs (time or event counts), as modelled
+// in paper §5.1.
+#ifndef TP_MI_OBSERVATIONS_HPP_
+#define TP_MI_OBSERVATIONS_HPP_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace tp::mi {
+
+class Observations {
+ public:
+  void Add(int input, double output) {
+    inputs_.push_back(input);
+    outputs_.push_back(output);
+  }
+
+  std::size_t size() const { return inputs_.size(); }
+  const std::vector<int>& inputs() const { return inputs_; }
+  const std::vector<double>& outputs() const { return outputs_; }
+
+  // Outputs grouped per input symbol.
+  std::map<int, std::vector<double>> ByInput() const {
+    std::map<int, std::vector<double>> by;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      by[inputs_[i]].push_back(outputs_[i]);
+    }
+    return by;
+  }
+
+ private:
+  std::vector<int> inputs_;
+  std::vector<double> outputs_;
+};
+
+}  // namespace tp::mi
+
+#endif  // TP_MI_OBSERVATIONS_HPP_

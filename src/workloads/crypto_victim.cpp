@@ -1,0 +1,83 @@
+#include "workloads/crypto_victim.hpp"
+
+namespace tp::workloads {
+
+namespace {
+// Lines of "code" executed per function invocation; several iterations per
+// call mimic the multi-precision inner loop.
+constexpr std::size_t kFunctionLines = 8;
+constexpr int kInnerIterations = 4;
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>((static_cast<unsigned __int128>(a) * b) % m);
+}
+}  // namespace
+
+std::vector<bool> ModExpVictim::KeyBits(std::uint64_t exponent) {
+  std::vector<bool> bits;
+  bool seen_top = false;
+  for (int i = 63; i >= 0; --i) {
+    bool bit = (exponent >> i) & 1;
+    if (bit) {
+      seen_top = true;
+    }
+    if (seen_top) {
+      bits.push_back(bit);
+    }
+  }
+  return bits;
+}
+
+ModExpVictim::ModExpVictim(const core::MappedBuffer& code, const core::MappedBuffer& data,
+                           std::uint64_t exponent, std::uint64_t modulus,
+                           hw::Cycles pace_cycles)
+    : square_fn_(code.base),
+      multiply_fn_(code.base + hw::kPageSize),
+      square_page_(code.pages.at(0).second),
+      data_base_(data.base),
+      data_bytes_(data.bytes),
+      bits_(KeyBits(exponent)),
+      modulus_(modulus),
+      pace_cycles_(pace_cycles) {}
+
+void ModExpVictim::RunFunction(kernel::UserApi& api, hw::VAddr fn_base, std::size_t lines) {
+  for (int it = 0; it < kInnerIterations; ++it) {
+    for (std::size_t l = 0; l < lines; ++l) {
+      api.Fetch(fn_base + l * 64);
+    }
+    // Operand reads from the multi-precision working buffers.
+    api.Read(data_base_ + (it * 256) % data_bytes_);
+    api.Write(data_base_ + (it * 256 + 64) % data_bytes_);
+  }
+}
+
+void ModExpVictim::Step(kernel::UserApi& api) {
+  if (bits_.empty()) {
+    api.Compute(100);
+    return;
+  }
+  bool bit = bits_[bit_pos_];
+
+  // Square: executed for every bit, followed by its limb arithmetic.
+  accumulator_ = MulMod(accumulator_, accumulator_, modulus_);
+  RunFunction(api, square_fn_, kFunctionLines);
+  api.Compute(pace_cycles_);
+
+  // Multiply: executed for 1-bits only — the secret-dependent interval
+  // between consecutive square invocations (short = 0, long = 1).
+  if (bit) {
+    accumulator_ = MulMod(accumulator_, base_value_, modulus_);
+    RunFunction(api, multiply_fn_, kFunctionLines);
+    api.Compute(pace_cycles_);
+  }
+
+  ++bit_pos_;
+  if (bit_pos_ >= bits_.size()) {
+    bit_pos_ = 0;
+    ++decryptions_;
+    accumulator_ = 1;
+    api.Compute(2000);  // inter-decryption gap (I/O, padding checks)
+  }
+}
+
+}  // namespace tp::workloads

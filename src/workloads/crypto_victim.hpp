@@ -1,0 +1,63 @@
+// Square-and-multiply modular exponentiation victim, standing in for GnuPG
+// 1.4.13's ElGamal decryption in the cross-core LLC side-channel experiment
+// of paper §5.3.3 (Fig. 4).
+//
+// The secret-dependent observable is the victim's *instruction* footprint:
+// the square function executes for every exponent bit, the multiply
+// function only for 1-bits, and the interval between square invocations
+// (short = 0, long = 1) is exactly what the Liu et al. prime&probe spy
+// recovers from the square function's LLC set.
+#ifndef TP_WORKLOADS_CRYPTO_VICTIM_HPP_
+#define TP_WORKLOADS_CRYPTO_VICTIM_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/domain.hpp"
+#include "kernel/kernel.hpp"
+
+namespace tp::workloads {
+
+class ModExpVictim final : public kernel::UserProgram {
+ public:
+  // `code` must span at least 2 pages: page 0 holds the square function's
+  // code lines, page 1 the multiply function's. `exponent` is the secret.
+  // `pace_cycles` is the multi-precision arithmetic time per function call
+  // (GnuPG's limb loops dominate; it sets the dot spacing of Fig. 4).
+  ModExpVictim(const core::MappedBuffer& code, const core::MappedBuffer& data,
+               std::uint64_t exponent, std::uint64_t modulus = 0xFFFFFFFFFFFFFFC5ull,
+               hw::Cycles pace_cycles = 100'000);
+
+  // One Step = one exponent-bit iteration (square, conditionally multiply),
+  // restarting from the top bit when the exponent is exhausted.
+  void Step(kernel::UserApi& api) override;
+
+  std::uint64_t result() const { return accumulator_; }
+  std::uint64_t decryptions() const { return decryptions_; }
+  const std::vector<bool>& bits() const { return bits_; }
+
+  // The physical page holding the square function (the spy's target).
+  hw::PAddr square_code_page() const { return square_page_; }
+
+  static std::vector<bool> KeyBits(std::uint64_t exponent);
+
+ private:
+  void RunFunction(kernel::UserApi& api, hw::VAddr fn_base, std::size_t lines);
+
+  hw::VAddr square_fn_;
+  hw::VAddr multiply_fn_;
+  hw::PAddr square_page_;
+  hw::VAddr data_base_;
+  std::size_t data_bytes_;
+  std::vector<bool> bits_;
+  std::size_t bit_pos_ = 0;
+  std::uint64_t base_value_ = 0x123456789ABCDEFull;
+  std::uint64_t accumulator_ = 1;
+  std::uint64_t modulus_;
+  hw::Cycles pace_cycles_;
+  std::uint64_t decryptions_ = 0;
+};
+
+}  // namespace tp::workloads
+
+#endif  // TP_WORKLOADS_CRYPTO_VICTIM_HPP_

@@ -1,0 +1,222 @@
+#include "workloads/splash.hpp"
+
+namespace tp::workloads {
+
+namespace {
+
+constexpr std::size_t kAccessesPerStep = 48;
+// Arithmetic work per memory access: Splash-2 programs compute between
+// accesses (FP math, tree logic), which hides part of the miss cost. Pure
+// pointer-chasing without this would overstate colouring slowdowns by an
+// order of magnitude.
+constexpr hw::Cycles kComputePerAccess = 220;
+
+std::uint64_t XorShift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+}  // namespace
+
+const char* SplashName(SplashKind kind) {
+  switch (kind) {
+    case SplashKind::kBarnes:
+      return "barnes";
+    case SplashKind::kCholesky:
+      return "cholesky";
+    case SplashKind::kFft:
+      return "fft";
+    case SplashKind::kFmm:
+      return "fmm";
+    case SplashKind::kLu:
+      return "lu";
+    case SplashKind::kOcean:
+      return "ocean";
+    case SplashKind::kRadiosity:
+      return "radiosity";
+    case SplashKind::kRadix:
+      return "radix";
+    case SplashKind::kRaytrace:
+      return "raytrace";
+    case SplashKind::kWaterNSquared:
+      return "waternsquared";
+    case SplashKind::kWaterSpatial:
+      return "waterspatial";
+  }
+  return "?";
+}
+
+std::vector<SplashKind> AllSplashKinds() {
+  return {SplashKind::kBarnes,      SplashKind::kCholesky, SplashKind::kFft,
+          SplashKind::kFmm,         SplashKind::kLu,       SplashKind::kOcean,
+          SplashKind::kRadiosity,   SplashKind::kRadix,    SplashKind::kRaytrace,
+          SplashKind::kWaterNSquared, SplashKind::kWaterSpatial};
+}
+
+std::size_t WorkingSetBytes(SplashKind kind, const hw::MachineConfig& config) {
+  std::size_t llc = config.llc.size_bytes;
+  double factor = 0.5;
+  switch (kind) {
+    case SplashKind::kBarnes:
+      factor = 0.50;
+      break;
+    case SplashKind::kCholesky:
+      factor = 0.75;
+      break;
+    case SplashKind::kFft:
+      factor = 1.00;
+      break;
+    case SplashKind::kFmm:
+      factor = 0.50;
+      break;
+    case SplashKind::kLu:
+      factor = 0.375;
+      break;
+    case SplashKind::kOcean:
+      factor = 1.00;
+      break;
+    case SplashKind::kRadiosity:
+      factor = 0.625;
+      break;
+    case SplashKind::kRadix:
+      factor = 0.75;
+      break;
+    case SplashKind::kRaytrace:
+      factor = 2.00;  // large cache working set: 6.5% slowdown at 50% (Arm)
+      break;
+    case SplashKind::kWaterNSquared:
+      factor = 0.25;
+      break;
+    case SplashKind::kWaterSpatial:
+      factor = 0.375;
+      break;
+  }
+  std::size_t bytes = static_cast<std::size_t>(static_cast<double>(llc) * factor);
+  return hw::PageAlignUp(bytes);
+}
+
+SplashProgram::SplashProgram(SplashKind kind, const core::MappedBuffer& buffer,
+                             std::uint64_t seed)
+    : kind_(kind), base_(buffer.base), size_(buffer.bytes), rng_(seed | 1) {}
+
+hw::VAddr SplashProgram::Addr(std::uint64_t index) const { return base_ + index % size_; }
+
+void SplashProgram::Step(kernel::UserApi& api) {
+  ++steps_;
+  std::uint64_t before = accesses_;
+  for (std::size_t i = 0; i < kAccessesPerStep; ++i) {
+    switch (kind_) {
+      case SplashKind::kFft: {
+        // Butterfly pairs at a stride that halves each phase.
+        std::uint64_t stride = (size_ / 2) >> (phase_ % 12);
+        if (stride < 64) {
+          stride = size_ / 2;
+        }
+        api.Read(Addr(cursor_));
+        api.Read(Addr(cursor_ + stride));
+        api.Write(Addr(cursor_));
+        cursor_ += 64;
+        if (cursor_ >= size_) {
+          cursor_ = 0;
+          ++phase_;
+        }
+        accesses_ += 3;
+        break;
+      }
+      case SplashKind::kLu:
+      case SplashKind::kCholesky: {
+        // Blocked dense: sweep a block, then move to the next (cholesky's
+        // blocks shrink, modelling the triangular factor).
+        std::uint64_t block = kind_ == SplashKind::kLu ? 32 * 1024 : 16 * 1024 + (phase_ % 3) * 8192;
+        std::uint64_t block_base = (phase_ * block) % size_;
+        api.Read(Addr(block_base + cursor_ % block));
+        api.Write(Addr(block_base + (cursor_ + 8) % block));
+        cursor_ += 64;
+        if (cursor_ % block == 0) {
+          ++phase_;
+        }
+        accesses_ += 2;
+        break;
+      }
+      case SplashKind::kRadix: {
+        // Counting sort: sequential read, scattered histogram write.
+        api.Read(Addr(cursor_));
+        api.Write(Addr((XorShift(rng_) % (size_ / 4)) & ~std::uint64_t{7}));
+        cursor_ += 64;
+        accesses_ += 2;
+        break;
+      }
+      case SplashKind::kOcean: {
+        // 5-point stencil over a 2D grid (row = 4 KiB).
+        std::uint64_t row = 4096;
+        api.Read(Addr(cursor_));
+        api.Read(Addr(cursor_ + 8));
+        api.Read(Addr(cursor_ + row));
+        api.Read(Addr(cursor_ >= row ? cursor_ - row : cursor_));
+        api.Write(Addr(cursor_));
+        cursor_ += 8;
+        accesses_ += 5;
+        break;
+      }
+      case SplashKind::kBarnes: {
+        // Tree walk: pointer chase through a hashed next-node function.
+        pointer_ = (pointer_ * 0x9E3779B97F4A7C15ull + 0x7F4A7C15ull) % size_;
+        api.Read(Addr(pointer_ & ~std::uint64_t{7}));
+        accesses_ += 1;
+        break;
+      }
+      case SplashKind::kFmm: {
+        // Cluster interactions: random cluster, sequential within.
+        std::uint64_t cluster = 8192;
+        if (cursor_ % cluster == 0) {
+          pointer_ = (XorShift(rng_) % (size_ / cluster)) * cluster;
+        }
+        api.Read(Addr(pointer_ + cursor_ % cluster));
+        cursor_ += 32;
+        accesses_ += 1;
+        break;
+      }
+      case SplashKind::kRadiosity: {
+        // Random patch pairs: gather two, update one.
+        api.Read(Addr(XorShift(rng_) & ~std::uint64_t{31}));
+        api.Write(Addr(XorShift(rng_) & ~std::uint64_t{31}));
+        accesses_ += 2;
+        break;
+      }
+      case SplashKind::kRaytrace: {
+        // Rays hit scattered scene data: large, random, read-mostly.
+        api.Read(Addr(XorShift(rng_) & ~std::uint64_t{31}));
+        api.Read(Addr(XorShift(rng_) & ~std::uint64_t{31}));
+        accesses_ += 2;
+        break;
+      }
+      case SplashKind::kWaterNSquared: {
+        // O(n^2) molecule pairs: two sequential streams at an offset.
+        api.Read(Addr(cursor_));
+        api.Read(Addr(cursor_ + size_ / 2));
+        api.Write(Addr(cursor_));
+        cursor_ += 32;
+        accesses_ += 3;
+        break;
+      }
+      case SplashKind::kWaterSpatial: {
+        // Cell lists: a cell and one neighbour cell.
+        std::uint64_t cell = 2048;
+        std::uint64_t c0 = (phase_ * cell) % size_;
+        api.Read(Addr(c0 + cursor_ % cell));
+        api.Read(Addr(c0 + cell + cursor_ % cell));
+        cursor_ += 32;
+        if (cursor_ % cell == 0) {
+          ++phase_;
+        }
+        accesses_ += 2;
+        break;
+      }
+    }
+  }
+  api.Compute((accesses_ - before) * kComputePerAccess);
+}
+
+}  // namespace tp::workloads

@@ -1,0 +1,71 @@
+// Synthetic Splash-2 workload kernels (Woo et al. 1995), used for the
+// colouring-cost evaluation of paper §5.4.4 (Fig. 7) and the time-shared
+// overhead of Table 8.
+//
+// Each program reproduces the locality class of its namesake — blocked
+// dense linear algebra, strided FFT butterflies, stencil sweeps, counting
+// sort passes, pointer chasing, random shooting — because that, not the
+// arithmetic, is what determines sensitivity to a reduced cache share.
+#ifndef TP_WORKLOADS_SPLASH_HPP_
+#define TP_WORKLOADS_SPLASH_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/domain.hpp"
+#include "kernel/kernel.hpp"
+
+namespace tp::workloads {
+
+enum class SplashKind {
+  kBarnes,
+  kCholesky,
+  kFft,
+  kFmm,
+  kLu,
+  kOcean,
+  kRadiosity,
+  kRadix,
+  kRaytrace,
+  kWaterNSquared,
+  kWaterSpatial,
+};
+
+const char* SplashName(SplashKind kind);
+std::vector<SplashKind> AllSplashKinds();
+
+// Working-set size for a kind, scaled to the platform's LLC (raytrace gets
+// the largest set — it is the benchmark that suffers most at 50% colours in
+// the paper).
+std::size_t WorkingSetBytes(SplashKind kind, const hw::MachineConfig& config);
+
+class SplashProgram final : public kernel::UserProgram {
+ public:
+  SplashProgram(SplashKind kind, const core::MappedBuffer& buffer, std::uint64_t seed);
+
+  void Step(kernel::UserApi& api) override;
+
+  // Progress metric: completed accesses (the unit of "work" for slowdown
+  // comparisons across configurations).
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t steps() const { return steps_; }
+  SplashKind kind() const { return kind_; }
+
+ private:
+  hw::VAddr Addr(std::uint64_t index) const;
+
+  SplashKind kind_;
+  hw::VAddr base_;
+  std::uint64_t size_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t phase_ = 0;
+  std::uint64_t pointer_ = 0;  // pointer-chasing state
+  std::uint64_t rng_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace tp::workloads
+
+#endif  // TP_WORKLOADS_SPLASH_HPP_

@@ -1,0 +1,133 @@
+// Eviction-set construction and the colouring-blindness property the
+// cross-core defence rests on.
+#include <gtest/gtest.h>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/intra_core.hpp"
+#include "attacks/prime_probe.hpp"
+#include "core/colour.hpp"
+
+namespace tp::attacks {
+namespace {
+
+class EvictionFixture : public ::testing::Test {
+ protected:
+  EvictionFixture()
+      : exp_(MakeExperiment(hw::MachineConfig::Haswell(1), core::Scenario::kRaw,
+                            {.timeslice_ms = 1.0})) {}
+  Experiment exp_;
+};
+
+TEST_F(EvictionFixture, BuildCoversRequestedSets) {
+  const hw::CacheGeometry& l1 = exp_.machine_config.l1d;
+  core::MappedBuffer buf = exp_.manager->AllocBuffer(*exp_.receiver_domain,
+                                                     2 * l1.size_bytes);
+  hw::SetAssociativeCache model("m", l1, hw::Indexing::kVirtual);
+  std::set<std::size_t> sets;
+  for (std::size_t s = 0; s < l1.SetsPerSlice(); ++s) {
+    sets.insert(s);
+  }
+  EvictionSet es = EvictionSet::Build(model, buf, sets, l1.associativity, true);
+  EXPECT_EQ(es.covered_sets(), l1.SetsPerSlice());
+  EXPECT_EQ(es.lines().size(), l1.SetsPerSlice() * l1.associativity)
+      << "a 2x-cache buffer must fully populate every set";
+}
+
+TEST_F(EvictionFixture, BuildRespectsLinesPerSetCap) {
+  const hw::CacheGeometry& l1 = exp_.machine_config.l1d;
+  core::MappedBuffer buf = exp_.manager->AllocBuffer(*exp_.receiver_domain,
+                                                     2 * l1.size_bytes);
+  hw::SetAssociativeCache model("m", l1, hw::Indexing::kVirtual);
+  EvictionSet es = EvictionSet::Build(model, buf, {0, 1}, 3, true);
+  EXPECT_LE(es.lines().size(), 6u);
+}
+
+TEST_F(EvictionFixture, SlicedBuildBucketsPerSlice) {
+  const hw::SetAssociativeCache& llc = exp_.machine->llc();
+  core::MappedBuffer buf =
+      exp_.manager->AllocBuffer(*exp_.receiver_domain, 4096 * hw::kPageSize);
+  EvictionSet es = EvictionSet::BuildSliced(llc, buf, {100},
+                                            llc.geometry().associativity);
+  // Every slice of set 100 should be (nearly) fully covered.
+  EXPECT_GE(es.covered_sets(), llc.geometry().num_slices - 1);
+  EXPECT_GE(es.lines().size(),
+            (llc.geometry().num_slices - 1) * llc.geometry().associativity);
+}
+
+TEST(EvictionColouring, ProtectedSpyCannotReachForeignColours) {
+  // The Fig. 4 defence mechanism: with 50% colours, the spy's frames can
+  // only index LLC sets within its own colour group.
+  Experiment exp = MakeExperiment(hw::MachineConfig::Haswell(2),
+                                  core::Scenario::kProtected, {.timeslice_ms = 1.0});
+  const hw::SetAssociativeCache& llc = exp.machine->llc();
+  const hw::MachineConfig& mc = exp.machine_config;
+
+  core::MappedBuffer spy_buf =
+      exp.manager->AllocBuffer(*exp.receiver_domain, 256 * hw::kPageSize);
+  core::MappedBuffer victim_buf =
+      exp.manager->AllocBuffer(*exp.sender_domain, 4 * hw::kPageSize);
+
+  // Target: the sets of the victim's pages.
+  std::set<std::size_t> victim_sets;
+  for (const auto& [va, pa] : victim_buf.pages) {
+    for (std::size_t off = 0; off < hw::kPageSize; off += mc.llc.line_size) {
+      victim_sets.insert(llc.SetIndexOf(pa + off));
+    }
+  }
+  EvictionSet es = EvictionSet::Build(llc, spy_buf, victim_sets,
+                                      llc.geometry().associativity, false);
+  EXPECT_TRUE(es.empty())
+      << "coloured spy frames must not index any of the victim's LLC sets";
+}
+
+TEST(EvictionColouring, RawSpyReachesEverything) {
+  Experiment exp = MakeExperiment(hw::MachineConfig::Haswell(2), core::Scenario::kRaw,
+                                  {.timeslice_ms = 1.0});
+  const hw::SetAssociativeCache& llc = exp.machine->llc();
+  core::MappedBuffer spy_buf =
+      exp.manager->AllocBuffer(*exp.receiver_domain, 64 * hw::kPageSize);
+  core::MappedBuffer victim_buf =
+      exp.manager->AllocBuffer(*exp.sender_domain, 4 * hw::kPageSize);
+  std::set<std::size_t> victim_sets;
+  for (const auto& [va, pa] : victim_buf.pages) {
+    victim_sets.insert(llc.SetIndexOf(pa));
+  }
+  EvictionSet es = EvictionSet::Build(llc, spy_buf, victim_sets, 4, false);
+  EXPECT_FALSE(es.empty()) << "uncoloured memory reaches the victim's sets";
+}
+
+TEST(SliceSyncTest, DetectsGaps) {
+  SliceSync sync(1000);
+  EXPECT_TRUE(sync.NewSlice(0)) << "first step starts a slice";
+  sync.StepEnd(100);
+  EXPECT_FALSE(sync.NewSlice(200));
+  sync.StepEnd(300);
+  EXPECT_TRUE(sync.NewSlice(5000)) << "a big gap means preemption happened";
+  EXPECT_EQ(sync.last_gap(), 4700u);
+}
+
+TEST(ResourceNames, AllDistinct) {
+  std::set<std::string> names;
+  for (int r = 0; r <= static_cast<int>(IntraCoreResource::kL2); ++r) {
+    names.insert(ResourceName(static_cast<IntraCoreResource>(r)));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(ResourceAvailability, L2OnlyWithPrivateL2) {
+  EXPECT_TRUE(ResourceAvailable(IntraCoreResource::kL2, hw::MachineConfig::Haswell()));
+  EXPECT_FALSE(ResourceAvailable(IntraCoreResource::kL2, hw::MachineConfig::Sabre()));
+  EXPECT_TRUE(ResourceAvailable(IntraCoreResource::kBhb, hw::MachineConfig::Sabre()));
+}
+
+TEST(ScaledRoundsTest, QuickModeScalesDown) {
+  // (Depends on TP_QUICK not being set in the test environment.)
+  if (std::getenv("TP_QUICK") == nullptr) {
+    EXPECT_EQ(ScaledRounds(800), 800u);
+  } else {
+    EXPECT_LE(ScaledRounds(800), 800u);
+  }
+}
+
+}  // namespace
+}  // namespace tp::attacks

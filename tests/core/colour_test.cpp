@@ -1,0 +1,142 @@
+#include "core/colour.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/padding.hpp"
+#include "core/time_protection.hpp"
+
+namespace tp::core {
+namespace {
+
+TEST(Colour, PlatformColourCounts) {
+  EXPECT_EQ(NumColours(hw::MachineConfig::Haswell()), 8u)
+      << "x86 colours by the private L2 (§5.4.4)";
+  EXPECT_EQ(NumColours(hw::MachineConfig::Sabre()), 16u);
+}
+
+TEST(Colour, ColourOfCyclesWithPages) {
+  hw::MachineConfig mc = hw::MachineConfig::Haswell();
+  for (std::size_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(ColourOf(mc, p * hw::kPageSize), p % 8);
+  }
+}
+
+TEST(Colour, SplitColoursAreDisjointAndEqual) {
+  hw::MachineConfig mc = hw::MachineConfig::Sabre();
+  auto split = SplitColours(mc, 2);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0].size(), 8u);
+  EXPECT_EQ(split[1].size(), 8u);
+  for (std::size_t c : split[0]) {
+    EXPECT_EQ(split[1].count(c), 0u) << "partitions must be disjoint";
+  }
+}
+
+TEST(Colour, SplitColoursFraction) {
+  hw::MachineConfig mc = hw::MachineConfig::Sabre();
+  auto split75 = SplitColours(mc, 1, 0.75);
+  EXPECT_EQ(split75[0].size(), 12u);
+  auto split50 = SplitColours(mc, 1, 0.5);
+  EXPECT_EQ(split50[0].size(), 8u);
+}
+
+TEST(Colour, SplitNeverEmpty) {
+  hw::MachineConfig mc = hw::MachineConfig::Haswell();
+  auto split = SplitColours(mc, 8, 0.1);
+  for (const auto& s : split) {
+    EXPECT_GE(s.size(), 1u);
+  }
+}
+
+class ColourPoolTest : public ::testing::Test {
+ protected:
+  ColourPoolTest()
+      : machine_(hw::MachineConfig::Haswell(1)), kernel_(machine_, kernel::KernelConfig{}) {}
+  hw::Machine machine_;
+  kernel::Kernel kernel_;
+};
+
+TEST_F(ColourPoolTest, RefillBucketsByColour) {
+  ColourPool pool(kernel_, kernel_.boot_info().root_cspace, kernel_.boot_info().untyped);
+  EXPECT_EQ(pool.Refill(32), 32u);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < pool.num_colours(); ++c) {
+    total += pool.Available(c);
+  }
+  EXPECT_EQ(total, 32u);
+}
+
+TEST_F(ColourPoolTest, TakeFrameRespectsColours) {
+  ColourPool pool(kernel_, kernel_.boot_info().root_cspace, kernel_.boot_info().untyped);
+  std::set<std::size_t> want{3, 5};
+  for (int i = 0; i < 20; ++i) {
+    auto cap = pool.TakeFrame(want);
+    ASSERT_TRUE(cap.has_value());
+    std::size_t colour = ColourOf(machine_.config(), pool.FrameBase(*cap));
+    EXPECT_TRUE(want.count(colour)) << "got colour " << colour;
+  }
+}
+
+TEST_F(ColourPoolTest, TakeFrameAnyColourWorks) {
+  ColourPool pool(kernel_, kernel_.boot_info().root_cspace, kernel_.boot_info().untyped);
+  auto cap = pool.TakeFrame({});
+  ASSERT_TRUE(cap.has_value());
+}
+
+TEST_F(ColourPoolTest, FramesAreUnique) {
+  ColourPool pool(kernel_, kernel_.boot_info().root_cspace, kernel_.boot_info().untyped);
+  std::set<hw::PAddr> seen;
+  for (int i = 0; i < 64; ++i) {
+    auto cap = pool.TakeFrame({});
+    ASSERT_TRUE(cap.has_value());
+    hw::PAddr base = pool.FrameBase(*cap);
+    EXPECT_TRUE(seen.insert(base).second) << "duplicate frame handed out";
+  }
+}
+
+TEST(Padding, PaperValuesMatchPlatform) {
+  hw::Machine x86(hw::MachineConfig::Haswell(1));
+  EXPECT_NEAR(x86.CyclesToMicros(PaperPadCycles(x86)), 58.8, 0.1);
+  hw::Machine arm(hw::MachineConfig::Sabre(1));
+  EXPECT_NEAR(arm.CyclesToMicros(PaperPadCycles(arm)), 62.5, 0.1);
+}
+
+TEST(Padding, WorstCaseOrdering) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  hw::Cycles none = WorstCaseSwitchCycles(m, kernel::FlushMode::kNone);
+  hw::Cycles oncore = WorstCaseSwitchCycles(m, kernel::FlushMode::kOnCore);
+  hw::Cycles full = WorstCaseSwitchCycles(m, kernel::FlushMode::kFull);
+  EXPECT_LT(none, oncore);
+  EXPECT_LT(oncore, full) << "full-hierarchy flush dominates";
+}
+
+TEST(Scenario, PresetFlagsMatchPaper) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  kernel::KernelConfig raw = MakeKernelConfig(Scenario::kRaw, m, 1.0);
+  EXPECT_FALSE(raw.clone_support);
+  EXPECT_EQ(raw.flush_mode, kernel::FlushMode::kNone);
+
+  kernel::KernelConfig ready = MakeKernelConfig(Scenario::kColourReady, m, 1.0);
+  EXPECT_TRUE(ready.clone_support);
+  EXPECT_EQ(ready.flush_mode, kernel::FlushMode::kNone);
+
+  kernel::KernelConfig full = MakeKernelConfig(Scenario::kFullFlush, m, 1.0);
+  EXPECT_EQ(full.flush_mode, kernel::FlushMode::kFull);
+  EXPECT_FALSE(full.clone_support);
+
+  kernel::KernelConfig prot = MakeKernelConfig(Scenario::kProtected, m, 1.0);
+  EXPECT_TRUE(prot.clone_support);
+  EXPECT_EQ(prot.flush_mode, kernel::FlushMode::kOnCore);
+  EXPECT_TRUE(prot.prefetch_shared_data);
+  EXPECT_TRUE(prot.pad_switches);
+  EXPECT_TRUE(prot.partition_irqs);
+}
+
+TEST(Scenario, TimesliceConversion) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  kernel::KernelConfig cfg = MakeKernelConfig(Scenario::kRaw, m, 10.0);
+  EXPECT_EQ(cfg.timeslice_cycles, m.MicrosToCycles(10'000.0));
+}
+
+}  // namespace
+}  // namespace tp::core

@@ -1,0 +1,187 @@
+#include "hw/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+
+namespace tp::hw {
+namespace {
+
+CacheGeometry SmallGeometry() {
+  return CacheGeometry{.size_bytes = 4096, .line_size = 64, .associativity = 2};
+}
+
+TEST(CacheGeometry, HaswellTable1Shapes) {
+  MachineConfig c = MachineConfig::Haswell();
+  EXPECT_EQ(c.l1d.SetsPerSlice(), 64u);
+  EXPECT_EQ(c.l1d.Colours(), 1u) << "L1 must be uncolourable (single colour)";
+  EXPECT_EQ(c.l2.SetsPerSlice(), 512u);
+  EXPECT_EQ(c.l2.Colours(), 8u) << "paper: 8 colours on the Haswell L2";
+  EXPECT_EQ(c.llc.SetsPerSlice(), 2048u);
+  EXPECT_EQ(c.llc.Colours(), 32u) << "paper: 32 colours on the sliced LLC";
+}
+
+TEST(CacheGeometry, SabreTable1Shapes) {
+  MachineConfig c = MachineConfig::Sabre();
+  EXPECT_EQ(c.l1d.line_size, 32u);
+  EXPECT_EQ(c.llc.Colours(), 16u);
+  EXPECT_FALSE(c.has_private_l2);
+}
+
+TEST(Cache, HitAfterFill) {
+  SetAssociativeCache cache("t", SmallGeometry(), Indexing::kPhysical);
+  EXPECT_FALSE(cache.Access(0x1000, 0x1000, false).hit);
+  EXPECT_TRUE(cache.Access(0x1000, 0x1000, false).hit);
+  EXPECT_TRUE(cache.Access(0x1010, 0x1010, false).hit) << "same line";
+  EXPECT_FALSE(cache.Access(0x1040, 0x1040, false).hit) << "next line";
+}
+
+TEST(Cache, LruEvictsOldest) {
+  SetAssociativeCache cache("t", SmallGeometry(), Indexing::kPhysical);
+  // 32 sets, 2 ways; three conflicting lines in set 0.
+  PAddr a = 0;
+  PAddr b = 32 * 64;
+  PAddr c = 2 * 32 * 64;
+  cache.Access(a, a, false);
+  cache.Access(b, b, false);
+  cache.Access(a, a, false);      // a is now MRU
+  cache.Access(c, c, false);      // evicts b
+  EXPECT_TRUE(cache.Contains(a, a));
+  EXPECT_FALSE(cache.Contains(b, b));
+  EXPECT_TRUE(cache.Contains(c, c));
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  SetAssociativeCache cache("t", SmallGeometry(), Indexing::kPhysical);
+  PAddr a = 0;
+  PAddr b = 32 * 64;
+  PAddr c = 2 * 32 * 64;
+  cache.Access(a, a, true);  // dirty
+  cache.Access(b, b, false);
+  AccessResult r = cache.Access(c, c, false);  // evicts dirty a
+  EXPECT_TRUE(r.writeback);
+  EXPECT_TRUE(r.evicted_valid);
+  EXPECT_EQ(r.evicted_line_addr, a / 64);
+}
+
+TEST(Cache, FlushAllCountsDirtyLines) {
+  SetAssociativeCache cache("t", SmallGeometry(), Indexing::kPhysical);
+  for (PAddr p = 0; p < 4096; p += 64) {
+    cache.Access(p, p, (p / 64) % 2 == 0);
+  }
+  EXPECT_EQ(cache.DirtyLineCount(), 32u);
+  EXPECT_EQ(cache.FlushAll(), 32u);
+  EXPECT_EQ(cache.ValidLineCount(), 0u);
+}
+
+TEST(Cache, InvalidateAllDropsWithoutWriteback) {
+  SetAssociativeCache cache("t", SmallGeometry(), Indexing::kPhysical);
+  cache.Access(0, 0, true);
+  std::uint64_t wb0 = cache.writebacks();
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.writebacks(), wb0);
+  EXPECT_EQ(cache.ValidLineCount(), 0u);
+}
+
+TEST(Cache, VirtualIndexingUsesVaddr) {
+  SetAssociativeCache cache("t", SmallGeometry(), Indexing::kVirtual);
+  // Same paddr tag, different vaddr index bits: occupies the set named by
+  // the vaddr.
+  VAddr va = 13 * 64;
+  PAddr pa = 5 * 64;
+  cache.Access(va, pa, false);
+  EXPECT_TRUE(cache.Contains(va, pa));
+  EXPECT_FALSE(cache.Contains(pa, pa)) << "indexed by vaddr, not paddr";
+}
+
+TEST(Cache, InvalidateLineByPaddrSearchesAliases) {
+  // Arm-style: 256-set, 32 B lines -> index spans 8 KiB > 4 KiB page.
+  CacheGeometry g{.size_bytes = 32 * 1024, .line_size = 32, .associativity = 4};
+  SetAssociativeCache cache("l1-arm", g, Indexing::kVirtual);
+  ASSERT_GT(g.WaySpanBytes(), kPageSize);
+  // VIPT: va and pa share the page offset; only index bit 12 differs.
+  PAddr pa = 7 * 32;
+  VAddr va = kPageSize + 7 * 32;  // index bit 12 set, same page offset
+  cache.Access(va, pa, true);
+  EXPECT_TRUE(cache.InvalidateLineByPaddr(pa)) << "alias probing must find the dirty line";
+  EXPECT_FALSE(cache.Contains(va, pa));
+}
+
+TEST(Cache, SliceHashDistributes) {
+  MachineConfig c = MachineConfig::Haswell();
+  SetAssociativeCache llc("llc", c.llc, Indexing::kPhysical);
+  std::vector<std::size_t> counts(c.llc.num_slices, 0);
+  for (PAddr p = 0; p < (1 << 22); p += 4096) {
+    ++counts[llc.SliceOf(p)];
+  }
+  for (std::size_t n : counts) {
+    EXPECT_GT(n, 100u) << "slices should all receive pages";
+  }
+}
+
+TEST(Cache, ColourOfIsPageGranular) {
+  MachineConfig c = MachineConfig::Haswell();
+  SetAssociativeCache l2("l2", c.l2, Indexing::kPhysical);
+  EXPECT_EQ(l2.ColourOf(0), 0u);
+  EXPECT_EQ(l2.ColourOf(kPageSize), 1u);
+  EXPECT_EQ(l2.ColourOf(8 * kPageSize), 0u) << "8 colours wrap";
+  // All lines within a page share its colour.
+  EXPECT_EQ(l2.ColourOf(kPageSize + 64), l2.ColourOf(kPageSize));
+}
+
+TEST(Cache, DisjointColoursNeverConflict) {
+  // Property: lines from pages of different colours cannot evict each other
+  // in the colouring cache (the basis of time protection's partitioning).
+  MachineConfig c = MachineConfig::Haswell();
+  SetAssociativeCache l2("l2", c.l2, Indexing::kPhysical);
+  // Fill with colour-0 pages far beyond capacity.
+  for (PAddr page = 0; page < 512; ++page) {
+    PAddr base = page * 8 * kPageSize;  // colour 0
+    for (PAddr off = 0; off < kPageSize; off += 64) {
+      l2.Access(base + off, base + off, false);
+    }
+  }
+  // A colour-1 line inserted earlier would still be present; insert now and
+  // verify colour-0 traffic cannot evict it.
+  PAddr victim = kPageSize;  // colour 1
+  l2.Access(victim, victim, false);
+  for (PAddr page = 0; page < 512; ++page) {
+    PAddr base = page * 8 * kPageSize;
+    for (PAddr off = 0; off < kPageSize; off += 64) {
+      l2.Access(base + off, base + off, false);
+    }
+  }
+  EXPECT_TRUE(l2.Contains(victim, victim));
+}
+
+// Property sweep: geometry arithmetic consistent across shapes.
+class CacheGeometrySweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CacheGeometrySweep, SetsTimesWaysTimesLineIsSize) {
+  auto [size_kib, line, ways] = GetParam();
+  CacheGeometry g{.size_bytes = static_cast<std::size_t>(size_kib) * 1024,
+                  .line_size = static_cast<std::size_t>(line),
+                  .associativity = static_cast<std::size_t>(ways)};
+  EXPECT_EQ(g.SetsPerSlice() * g.line_size * g.associativity * g.num_slices, g.size_bytes);
+  SetAssociativeCache cache("sweep", g, Indexing::kPhysical);
+  // Filling exactly size_bytes of consecutive lines yields zero capacity
+  // misses on the second pass (LRU, non-conflicting).
+  for (PAddr p = 0; p < g.size_bytes; p += g.line_size) {
+    cache.Access(p, p, false);
+  }
+  std::uint64_t misses0 = cache.misses();
+  for (PAddr p = 0; p < g.size_bytes; p += g.line_size) {
+    cache.Access(p, p, false);
+  }
+  EXPECT_EQ(cache.misses(), misses0) << "second sweep must fully hit";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CacheGeometrySweep,
+                         ::testing::Values(std::make_tuple(4, 64, 2),
+                                           std::make_tuple(32, 64, 8),
+                                           std::make_tuple(32, 32, 4),
+                                           std::make_tuple(256, 64, 8),
+                                           std::make_tuple(1024, 32, 16)));
+
+}  // namespace
+}  // namespace tp::hw

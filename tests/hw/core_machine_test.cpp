@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "hw/core.hpp"
+#include "hw/machine.hpp"
+
+namespace tp::hw {
+namespace {
+
+// Identity-ish translation for exercising the access path without a kernel.
+class FlatContext final : public TranslationContext {
+ public:
+  explicit FlatContext(Asid asid, PAddr pt_base = 0x7000000) : asid_(asid), pt_(pt_base) {}
+
+  std::optional<Translation> Translate(VAddr vaddr) const override {
+    if (IsKernelAddress(vaddr)) {
+      return Translation{PageAlignDown(PaddrOfKernelVaddr(vaddr)), false};
+    }
+    return Translation{PageAlignDown(vaddr) + 0x100000, false};
+  }
+  void WalkPath(VAddr vaddr, std::vector<PAddr>& out) const override {
+    out.push_back(pt_ + (PageNumber(vaddr) % 512) * 8);
+    out.push_back(pt_ + kPageSize + (PageNumber(vaddr) % 512) * 8);
+  }
+  Asid asid() const override { return asid_; }
+
+ private:
+  Asid asid_;
+  PAddr pt_;
+};
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest() : machine_(MachineConfig::Haswell(2)), ctx_(1), kctx_(99, 0x7100000) {
+    machine_.core(0).SetUserContext(&ctx_);
+    machine_.core(0).SetKernelContext(&kctx_, true);
+  }
+  Machine machine_;
+  FlatContext ctx_;
+  FlatContext kctx_;
+};
+
+TEST_F(CoreTest, ColdAccessCostsMoreThanWarm) {
+  Core& core = machine_.core(0);
+  Cycles cold = core.Access(0x1000, AccessKind::kRead);
+  Cycles warm = core.Access(0x1000, AccessKind::kRead);
+  EXPECT_GT(cold, warm);
+  EXPECT_EQ(warm, machine_.config().lat.base_op + machine_.config().lat.l1_hit);
+}
+
+TEST_F(CoreTest, CycleCounterAdvances) {
+  Core& core = machine_.core(0);
+  Cycles t0 = core.now();
+  core.Access(0x2000, AccessKind::kRead);
+  EXPECT_GT(core.now(), t0);
+}
+
+TEST_F(CoreTest, TlbMissTriggersPageWalkThroughCaches) {
+  Core& core = machine_.core(0);
+  core.Access(0x5000, AccessKind::kRead);
+  std::uint64_t walks = core.counters().page_walks;
+  EXPECT_GE(walks, 1u);
+  // Second access to the same page: no further walk.
+  core.Access(0x5008, AccessKind::kRead);
+  EXPECT_EQ(core.counters().page_walks, walks);
+  // After a TLB flush the walk repeats.
+  core.FlushTlbAll();
+  core.Access(0x5010, AccessKind::kRead);
+  EXPECT_EQ(core.counters().page_walks, walks + 1);
+}
+
+TEST_F(CoreTest, WritesDirtyL1AndFlushIsMoreExpensiveOnArm) {
+  Machine arm(MachineConfig::Sabre(1));
+  FlatContext ctx(1);
+  arm.core(0).SetUserContext(&ctx);
+  arm.core(0).SetKernelContext(&ctx, true);
+  Core& core = arm.core(0);
+
+  Cycles clean_flush = core.ArchFlushL1D();
+  for (VAddr va = 0; va < 32 * 1024; va += 32) {
+    core.Access(va, AccessKind::kWrite);
+  }
+  Cycles dirty_flush = core.ArchFlushL1D();
+  EXPECT_GT(dirty_flush, clean_flush)
+      << "flush latency must depend on dirty lines (the Fig. 5 channel)";
+}
+
+TEST_F(CoreTest, X86HasNoArchitectedL1Flush) {
+  EXPECT_THROW(machine_.core(0).ArchFlushL1D(), std::logic_error);
+}
+
+TEST_F(CoreTest, FullFlushEmptiesHierarchy) {
+  Core& core = machine_.core(0);
+  for (VAddr va = 0; va < 64 * 1024; va += 64) {
+    core.Access(va, AccessKind::kWrite);
+  }
+  EXPECT_GT(core.l1d().ValidLineCount(), 0u);
+  core.FullCacheFlush();
+  EXPECT_EQ(core.l1d().ValidLineCount(), 0u);
+  EXPECT_EQ(core.l2()->ValidLineCount(), 0u);
+  EXPECT_EQ(machine_.llc().ValidLineCount(), 0u);
+}
+
+TEST_F(CoreTest, LlcMissCountsInPerfCounters) {
+  Core& core = machine_.core(0);
+  std::uint64_t misses0 = core.counters().llc_misses;
+  core.Access(0x900000, AccessKind::kRead);
+  EXPECT_GT(core.counters().llc_misses, misses0);
+}
+
+TEST_F(CoreTest, InclusiveLlcBackInvalidatesOtherCores) {
+  // Core 1 caches a line; evicting it from the LLC must drop it from core
+  // 1's private caches (the mechanism that makes cross-core prime&probe
+  // observe the victim, Fig. 4).
+  FlatContext ctx1(2);
+  machine_.core(1).SetUserContext(&ctx1);
+  machine_.core(1).SetKernelContext(&kctx_, true);
+
+  machine_.core(1).Access(0x4000, AccessKind::kRead);
+  Cycles warm = machine_.core(1).Access(0x4000, AccessKind::kRead);
+
+  // Evict that line from the LLC directly.
+  auto tr = ctx1.Translate(0x4000);
+  machine_.llc().InvalidateLine(0x4000, tr->paddr);
+  machine_.BackInvalidateLine(tr->paddr);
+
+  Cycles after = machine_.core(1).Access(0x4000, AccessKind::kRead);
+  EXPECT_GT(after, warm) << "back-invalidation must force a refill";
+}
+
+TEST_F(CoreTest, DeviceTimerRaisesIrq) {
+  machine_.device_timer(0).SetDeadline(100);
+  machine_.PollDeviceTimers(50);
+  EXPECT_FALSE(machine_.irq_controller().IsRaised(machine_.device_timer(0).irq_line()));
+  machine_.PollDeviceTimers(150);
+  EXPECT_TRUE(machine_.irq_controller().IsRaised(1));
+}
+
+TEST_F(CoreTest, FaultWithoutContextThrows) {
+  Machine m(MachineConfig::Haswell(1));
+  EXPECT_THROW(m.core(0).Access(0x1000, AccessKind::kRead), std::runtime_error);
+}
+
+TEST(MachineTest, CycleConversionRoundTrips) {
+  Machine m(MachineConfig::Haswell(1));
+  EXPECT_NEAR(m.CyclesToMicros(m.MicrosToCycles(58.8)), 58.8, 0.01);
+  Machine arm(MachineConfig::Sabre(1));
+  EXPECT_NEAR(arm.CyclesToMicros(800'000), 1000.0, 0.01) << "0.8 GHz: 800k cycles = 1 ms";
+}
+
+}  // namespace
+}  // namespace tp::hw

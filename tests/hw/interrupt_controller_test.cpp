@@ -1,0 +1,87 @@
+#include "hw/interrupt_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tp::hw {
+namespace {
+
+TEST(InterruptController, MaskedLineNotDeliverableOnArm) {
+  InterruptController irqc(IrqArch::kArmSimple, 8);
+  irqc.Raise(3);
+  EXPECT_FALSE(irqc.PendingDeliverable().has_value()) << "lines start masked";
+  irqc.Unmask(3);
+  ASSERT_TRUE(irqc.PendingDeliverable().has_value());
+  EXPECT_EQ(*irqc.PendingDeliverable(), 3u);
+}
+
+TEST(InterruptController, ArmMaskImmediatelySuppresses) {
+  // Arm's single-level control has no acceptance race (§4.3).
+  InterruptController irqc(IrqArch::kArmSimple, 8);
+  irqc.Unmask(2);
+  irqc.Raise(2);
+  irqc.Mask(2);
+  EXPECT_FALSE(irqc.PendingDeliverable().has_value());
+}
+
+TEST(InterruptController, X86AcceptedSurvivesMask) {
+  // The §4.3 race: an IRQ raised while unmasked is accepted by the CPU and
+  // stays deliverable after the bottom-level source is masked.
+  InterruptController irqc(IrqArch::kX86Hierarchical, 8);
+  irqc.Unmask(2);
+  irqc.Raise(2);
+  irqc.Mask(2);
+  ASSERT_TRUE(irqc.PendingDeliverable().has_value())
+      << "accepted interrupt must leak past the mask without probing";
+}
+
+TEST(InterruptController, X86ProbeAndAckResolvesRace) {
+  InterruptController irqc(IrqArch::kX86Hierarchical, 8);
+  irqc.Unmask(2);
+  irqc.Raise(2);
+  irqc.Mask(2);
+  EXPECT_EQ(irqc.ProbeAndAckAccepted(), 1u);
+  EXPECT_FALSE(irqc.PendingDeliverable().has_value())
+      << "after probing, the masked IRQ must not fire across the partition";
+  // The source stays raised: delivered once its domain unmasks again.
+  irqc.Unmask(2);
+  EXPECT_TRUE(irqc.PendingDeliverable().has_value());
+}
+
+TEST(InterruptController, AckClearsLine) {
+  InterruptController irqc(IrqArch::kX86Hierarchical, 8);
+  irqc.Unmask(1);
+  irqc.Raise(1);
+  irqc.Ack(1);
+  EXPECT_FALSE(irqc.PendingDeliverable().has_value());
+  EXPECT_FALSE(irqc.IsRaised(1));
+}
+
+TEST(InterruptController, MaskAllMasksEverything) {
+  InterruptController irqc(IrqArch::kArmSimple, 4);
+  for (IrqLine l = 0; l < 4; ++l) {
+    irqc.Unmask(l);
+    irqc.Raise(l);
+  }
+  irqc.MaskAll();
+  EXPECT_FALSE(irqc.PendingDeliverable().has_value());
+}
+
+TEST(InterruptController, LowestLineWins) {
+  InterruptController irqc(IrqArch::kArmSimple, 8);
+  irqc.Unmask(5);
+  irqc.Unmask(2);
+  irqc.Raise(5);
+  irqc.Raise(2);
+  EXPECT_EQ(*irqc.PendingDeliverable(), 2u);
+}
+
+TEST(InterruptController, ArmProbeIsNoop) {
+  InterruptController irqc(IrqArch::kArmSimple, 8);
+  irqc.Unmask(2);
+  irqc.Raise(2);
+  irqc.Mask(2);
+  EXPECT_EQ(irqc.ProbeAndAckAccepted(), 0u);
+}
+
+}  // namespace
+}  // namespace tp::hw

@@ -1,0 +1,116 @@
+#include "hw/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tp::hw {
+namespace {
+
+PrefetcherGeometry TestGeometry() {
+  return PrefetcherGeometry{.data_slots = 4,
+                            .instruction_slots = 2,
+                            .confidence_threshold = 2,
+                            .prefetch_degree = 2,
+                            .credits_on_train = 4,
+                            .interference_cycles = 6,
+                            .max_stale_issues_per_miss = 2};
+}
+
+TEST(Prefetcher, SequentialMissesTrainAStream) {
+  StreamPrefetcher pf(TestGeometry());
+  pf.OnDemandMiss(100, 1, false);
+  PrefetchOutcome out = pf.OnDemandMiss(101, 1, false);
+  EXPECT_FALSE(out.fills.empty()) << "confident stream must issue prefetches";
+  EXPECT_EQ(out.fills.front(), 102u);
+  EXPECT_EQ(pf.ActiveDataStreams(), 1u);
+}
+
+TEST(Prefetcher, RandomMissesDoNotTrain) {
+  StreamPrefetcher pf(TestGeometry());
+  pf.OnDemandMiss(100, 1, false);
+  pf.OnDemandMiss(500, 1, false);
+  pf.OnDemandMiss(900, 1, false);
+  EXPECT_EQ(pf.ActiveDataStreams(), 0u);
+}
+
+TEST(Prefetcher, StaleStreamsInterfereAfterDomainSwitch) {
+  // The Table 3 residual channel: streams trained by domain 1 keep issuing
+  // prefetches while domain 2 runs, delaying its misses.
+  StreamPrefetcher pf(TestGeometry());
+  pf.OnDemandMiss(100, 1, false);
+  pf.OnDemandMiss(101, 1, false);
+  pf.OnDemandMiss(102, 1, false);
+  EXPECT_GT(pf.StaleStreams(2), 0u);
+  PrefetchOutcome out = pf.OnDemandMiss(9000, 2, false);
+  EXPECT_GT(out.interference, 0u) << "stale streams must contend for bandwidth";
+}
+
+TEST(Prefetcher, StaleInterferenceScalesWithTrainedStreams) {
+  StreamPrefetcher few(TestGeometry());
+  few.OnDemandMiss(100, 1, false);
+  few.OnDemandMiss(101, 1, false);
+
+  StreamPrefetcher many(TestGeometry());
+  for (std::uint64_t base : {100u, 300u, 500u, 700u}) {
+    many.OnDemandMiss(base, 1, false);
+    many.OnDemandMiss(base + 1, 1, false);
+  }
+
+  Cycles few_total = 0;
+  Cycles many_total = 0;
+  for (int i = 0; i < 8; ++i) {
+    few_total += few.OnDemandMiss(9000 + i * 50, 2, false).interference;
+    many_total += many.OnDemandMiss(9000 + i * 50, 2, false).interference;
+  }
+  EXPECT_GT(many_total, few_total) << "more trained streams -> more interference";
+}
+
+TEST(Prefetcher, StaleCreditsDrain) {
+  StreamPrefetcher pf(TestGeometry());
+  pf.OnDemandMiss(100, 1, false);
+  pf.OnDemandMiss(101, 1, false);
+  Cycles total = 0;
+  for (int i = 0; i < 32; ++i) {
+    total += pf.OnDemandMiss(5000 + i * 100, 2, false).interference;
+  }
+  EXPECT_EQ(pf.StaleStreams(2), 0u) << "credits must be exhausted";
+  PrefetchOutcome out = pf.OnDemandMiss(100000, 2, false);
+  EXPECT_EQ(out.interference, 0u);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Prefetcher, DisableClearsDataStreamsOnly) {
+  StreamPrefetcher pf(TestGeometry());
+  pf.OnDemandMiss(100, 1, false);
+  pf.OnDemandMiss(101, 1, false);
+  pf.OnDemandMiss(200, 1, true);
+  pf.OnDemandMiss(201, 1, true);
+  EXPECT_GT(pf.ActiveDataStreams(), 0u);
+  EXPECT_GT(pf.ActiveInstructionStreams(), 0u);
+  pf.SetDataPrefetcherEnabled(false);
+  EXPECT_EQ(pf.ActiveDataStreams(), 0u);
+  EXPECT_GT(pf.ActiveInstructionStreams(), 0u)
+      << "the instruction prefetcher cannot be disabled (paper §5.3.2)";
+}
+
+TEST(Prefetcher, DisabledDoesNotTrain) {
+  StreamPrefetcher pf(TestGeometry());
+  pf.SetDataPrefetcherEnabled(false);
+  pf.OnDemandMiss(100, 1, false);
+  PrefetchOutcome out = pf.OnDemandMiss(101, 1, false);
+  EXPECT_TRUE(out.fills.empty());
+  EXPECT_EQ(pf.ActiveDataStreams(), 0u);
+}
+
+TEST(Prefetcher, ZeroSlotGeometryIsInert) {
+  // Sabre configuration: no stream retention at all.
+  PrefetcherGeometry g{};
+  g.data_slots = 0;
+  g.instruction_slots = 0;
+  StreamPrefetcher pf(g);
+  PrefetchOutcome out = pf.OnDemandMiss(100, 1, false);
+  EXPECT_TRUE(out.fills.empty());
+  EXPECT_EQ(out.interference, 0u);
+}
+
+}  // namespace
+}  // namespace tp::hw

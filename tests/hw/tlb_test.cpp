@@ -1,0 +1,80 @@
+#include "hw/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tp::hw {
+namespace {
+
+TEST(Tlb, HitAfterInsertSameAsid) {
+  Tlb tlb("t", TlbGeometry{.entries = 16, .associativity = 2});
+  EXPECT_FALSE(tlb.Lookup(5, 1));
+  tlb.Insert(5, 1, false);
+  EXPECT_TRUE(tlb.Lookup(5, 1));
+  EXPECT_FALSE(tlb.Lookup(5, 2)) << "different ASID must miss";
+}
+
+TEST(Tlb, GlobalEntriesMatchAnyAsid) {
+  Tlb tlb("t", TlbGeometry{.entries = 16, .associativity = 2});
+  tlb.Insert(7, 1, true);
+  EXPECT_TRUE(tlb.Lookup(7, 1));
+  EXPECT_TRUE(tlb.Lookup(7, 42)) << "global entries ignore ASID";
+}
+
+TEST(Tlb, FlushNonGlobalKeepsGlobals) {
+  Tlb tlb("t", TlbGeometry{.entries = 16, .associativity = 2});
+  tlb.Insert(1, 1, false);
+  tlb.Insert(2, 1, true);
+  tlb.FlushNonGlobal();
+  EXPECT_FALSE(tlb.Lookup(1, 1));
+  EXPECT_TRUE(tlb.Lookup(2, 1));
+}
+
+TEST(Tlb, FlushAllDropsGlobals) {
+  Tlb tlb("t", TlbGeometry{.entries = 16, .associativity = 2});
+  tlb.Insert(2, 1, true);
+  tlb.FlushAll();
+  EXPECT_FALSE(tlb.Lookup(2, 1));
+  EXPECT_EQ(tlb.ValidCount(), 0u);
+}
+
+TEST(Tlb, FlushAsidIsSelective) {
+  Tlb tlb("t", TlbGeometry{.entries = 16, .associativity = 2});
+  tlb.Insert(1, 1, false);
+  tlb.Insert(2, 2, false);
+  tlb.FlushAsid(1);
+  EXPECT_FALSE(tlb.Lookup(1, 1));
+  EXPECT_TRUE(tlb.Lookup(2, 2));
+}
+
+TEST(Tlb, SameVpnTwoAsidsOccupyTwoWays) {
+  // The Table 5 mechanism: per-image (non-global) kernel mappings duplicate
+  // entries per ASID, doubling pressure on low-associativity TLBs.
+  Tlb tlb("t", TlbGeometry{.entries = 16, .associativity = 2});
+  tlb.Insert(3, 1, false);
+  tlb.Insert(3, 2, false);
+  EXPECT_TRUE(tlb.Lookup(3, 1));
+  EXPECT_TRUE(tlb.Lookup(3, 2));
+  // A third mapping in the same set evicts the LRU of the two.
+  tlb.Insert(3 + 8, 1, false);  // 8 sets: vpn 11 maps to set 3
+  EXPECT_TRUE(tlb.Lookup(3 + 8, 1));
+  EXPECT_FALSE(tlb.Lookup(3, 1) && tlb.Lookup(3, 2)) << "one of the pair must be gone";
+}
+
+TEST(Tlb, OneWayTlbConflictsImmediately) {
+  // Sabre I/D-TLBs are 1-way (Table 1): any two vpns in a set conflict.
+  Tlb tlb("t", TlbGeometry{.entries = 32, .associativity = 1});
+  tlb.Insert(0, 1, false);
+  tlb.Insert(32, 1, false);  // same set (32 sets)
+  EXPECT_FALSE(tlb.Lookup(0, 1));
+  EXPECT_TRUE(tlb.Lookup(32, 1));
+}
+
+TEST(Tlb, InsertIsIdempotentForSameEntry) {
+  Tlb tlb("t", TlbGeometry{.entries = 16, .associativity = 2});
+  tlb.Insert(5, 1, false);
+  tlb.Insert(5, 1, false);
+  EXPECT_EQ(tlb.ValidCount(), 1u);
+}
+
+}  // namespace
+}  // namespace tp::hw

@@ -1,0 +1,203 @@
+// IPC and capability edge cases beyond the happy path.
+#include <gtest/gtest.h>
+
+#include "core/domain.hpp"
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+
+namespace tp::kernel {
+namespace {
+
+class IpcFixture : public ::testing::Test {
+ protected:
+  IpcFixture()
+      : machine_(hw::MachineConfig::Haswell(1)),
+        kernel_(machine_, KernelConfig{.timeslice_cycles = 10'000'000}),
+        mgr_(kernel_),
+        domain_(mgr_.CreateDomain({.id = 1})) {
+    kernel_.SetDomainSchedule(0, {1});
+    kernel_.KickSchedule(0);
+  }
+
+  // The first step consumes the kicked tick; run a few so the program
+  // executes at least once.
+  void Run(int steps) {
+    for (int i = 0; i < steps; ++i) {
+      kernel_.StepCore(0);
+    }
+  }
+
+  hw::Machine machine_;
+  Kernel kernel_;
+  core::DomainManager mgr_;
+  core::Domain& domain_;
+};
+
+struct ScriptedProgram final : UserProgram {
+  std::function<void(UserApi&)> step;
+  void Step(UserApi& api) override { step(api); }
+};
+
+TEST_F(IpcFixture, SyscallWithInvalidCapFails) {
+  SyscallResult captured;
+  ScriptedProgram prog;
+  prog.step = [&](UserApi& api) { captured = api.Signal(9999); };
+  mgr_.StartThread(domain_, &prog, 100, 0);
+  Run(3);
+  EXPECT_EQ(captured.error, SyscallError::kInvalidCap);
+}
+
+TEST_F(IpcFixture, SyscallWithWrongCapTypeFails) {
+  CapIdx ep = mgr_.GrantCap(domain_, mgr_.CreateEndpoint(domain_));
+  SyscallResult captured;
+  ScriptedProgram prog;
+  prog.step = [&](UserApi& api) { captured = api.Signal(ep); };  // ep is not a notification
+  mgr_.StartThread(domain_, &prog, 100, 0);
+  Run(3);
+  EXPECT_EQ(captured.error, SyscallError::kInvalidCap);
+}
+
+TEST_F(IpcFixture, PollOnEmptyNotificationReturnsZero) {
+  CapIdx n = mgr_.GrantCap(domain_, mgr_.CreateNotification(domain_));
+  SyscallResult captured;
+  ScriptedProgram prog;
+  prog.step = [&](UserApi& api) { captured = api.Poll(n); };
+  mgr_.StartThread(domain_, &prog, 100, 0);
+  Run(3);
+  EXPECT_TRUE(captured.ok());
+  EXPECT_EQ(captured.value, 0u);
+}
+
+TEST_F(IpcFixture, SignalAccumulatesUntilPolled) {
+  CapIdx n = mgr_.GrantCap(domain_, mgr_.CreateNotification(domain_));
+  int phase = 0;
+  SyscallResult polled;
+  ScriptedProgram prog;
+  prog.step = [&](UserApi& api) {
+    if (phase < 3) {
+      api.Signal(n);
+    } else if (phase == 3) {
+      polled = api.Poll(n);
+    }
+    ++phase;
+  };
+  mgr_.StartThread(domain_, &prog, 100, 0);
+  for (int i = 0; i < 5; ++i) {
+    kernel_.StepCore(0);
+  }
+  EXPECT_NE(polled.value, 0u) << "signalled word must be pending";
+}
+
+TEST_F(IpcFixture, SendBlocksWithoutReceiver) {
+  CapIdx ep = mgr_.GrantCap(domain_, mgr_.CreateEndpoint(domain_));
+  SyscallResult captured;
+  ScriptedProgram sender;
+  sender.step = [&](UserApi& api) { captured = api.Send(ep, 7); };
+  mgr_.StartThread(domain_, &sender, 100, 0);
+  Run(3);
+  EXPECT_EQ(captured.error, SyscallError::kWouldBlock);
+  // The thread is now blocked; the domain idles.
+  ObjId cur = kernel_.current_tcb(0);
+  EXPECT_TRUE(kernel_.objects().As<TcbObj>(cur).is_idle);
+}
+
+TEST_F(IpcFixture, SendWakesPendingReceiver) {
+  CapIdx ep = mgr_.GrantCap(domain_, mgr_.CreateEndpoint(domain_));
+  SyscallResult recv_result;
+  bool receiver_resumed = false;
+  ScriptedProgram receiver;
+  int rphase = 0;
+  receiver.step = [&](UserApi& api) {
+    if (rphase++ == 0) {
+      recv_result = api.Recv(ep);
+    } else {
+      receiver_resumed = true;
+    }
+  };
+  ScriptedProgram sender;
+  sender.step = [&](UserApi& api) { api.Send(ep, 99); };
+
+  mgr_.StartThread(domain_, &receiver, 150, 0);  // runs first, blocks
+  mgr_.StartThread(domain_, &sender, 100, 0);
+  for (int i = 0; i < 10; ++i) {
+    kernel_.StepCore(0);
+  }
+  EXPECT_TRUE(receiver_resumed);
+}
+
+TEST_F(IpcFixture, BadgeDelivered) {
+  CapIdx n_mgr = mgr_.CreateNotification(domain_);
+  // Mint a badged copy in the domain cspace.
+  Capability badged = mgr_.cspace().At(n_mgr);
+  badged.badge = 0xAB;
+  CapIdx n = domain_.cspace->Insert(badged);
+
+  SyscallResult polled;
+  int phase = 0;
+  ScriptedProgram prog;
+  prog.step = [&](UserApi& api) {
+    if (phase == 0) {
+      api.Signal(n);
+    } else if (phase == 1) {
+      polled = api.Poll(n);
+    }
+    ++phase;
+  };
+  mgr_.StartThread(domain_, &prog, 100, 0);
+  Run(4);
+  EXPECT_EQ(polled.value, 0xABu) << "the badge is the signalled word";
+}
+
+TEST_F(IpcFixture, RevokedCapabilityFailsValidation) {
+  CapIdx n_mgr = mgr_.CreateNotification(domain_);
+  CapIdx n = mgr_.GrantCap(domain_, n_mgr);
+  ObjId obj = mgr_.cspace().At(n_mgr).obj;
+  kernel_.objects().Destroy(obj);
+
+  SyscallResult captured;
+  ScriptedProgram prog;
+  prog.step = [&](UserApi& api) { captured = api.Signal(n); };
+  mgr_.StartThread(domain_, &prog, 100, 0);
+  Run(3);
+  EXPECT_EQ(captured.error, SyscallError::kInvalidCap)
+      << "generation check must catch stale capabilities";
+}
+
+TEST_F(IpcFixture, DeriveStripsRights) {
+  CSpace cs;
+  Capability cap;
+  cap.obj = 5;
+  cap.type = ObjectType::kKernelImage;
+  cap.rights = CapRights::All();
+  CapIdx idx = cs.Insert(cap);
+  CapIdx derived = cs.Derive(idx, CapRights::NoClone());
+  EXPECT_FALSE(cs.At(derived).rights.clone);
+  EXPECT_TRUE(cs.At(derived).rights.read);
+  // Derivation can only reduce: re-deriving with All() keeps clone off.
+  CapIdx re = cs.Derive(derived, CapRights::All());
+  EXPECT_FALSE(cs.At(re).rights.clone);
+}
+
+TEST_F(IpcFixture, YieldRotatesEqualPriorityThreads) {
+  std::vector<int> order;
+  ScriptedProgram a;
+  a.step = [&](UserApi& api) {
+    order.push_back(1);
+    api.Yield();
+  };
+  ScriptedProgram b;
+  b.step = [&](UserApi& api) {
+    order.push_back(2);
+    api.Yield();
+  };
+  mgr_.StartThread(domain_, &a, 100, 0);
+  mgr_.StartThread(domain_, &b, 100, 0);
+  for (int i = 0; i < 6; ++i) {
+    kernel_.StepCore(0);
+  }
+  ASSERT_GE(order.size(), 4u);
+  EXPECT_NE(order[0], order[1]) << "yield must alternate equal-priority threads";
+}
+
+}  // namespace
+}  // namespace tp::kernel

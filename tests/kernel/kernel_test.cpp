@@ -1,0 +1,375 @@
+#include "kernel/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/domain.hpp"
+#include "core/time_protection.hpp"
+#include "hw/machine.hpp"
+
+namespace tp::kernel {
+namespace {
+
+class CountingProgram final : public UserProgram {
+ public:
+  void Step(UserApi& api) override {
+    api.Compute(100);
+    ++steps_;
+  }
+  std::uint64_t steps() const { return steps_; }
+
+ private:
+  std::uint64_t steps_ = 0;
+};
+
+KernelConfig BaseConfig(bool clone = false) {
+  KernelConfig c;
+  c.clone_support = clone;
+  c.timeslice_cycles = 200'000;
+  return c;
+}
+
+TEST(KernelBoot, BootInfoGrantsUntypedAndMasterImage) {
+  hw::Machine m(hw::MachineConfig::Haswell(2));
+  Kernel k(m, BaseConfig());
+  const BootInfo& bi = k.boot_info();
+  const Capability& ucap = bi.root_cspace->At(bi.untyped);
+  EXPECT_EQ(ucap.type, ObjectType::kUntyped);
+  const Capability& kcap = bi.root_cspace->At(bi.kernel_image);
+  EXPECT_EQ(kcap.type, ObjectType::kKernelImage);
+  EXPECT_TRUE(kcap.rights.clone) << "boot image capability carries the clone right";
+}
+
+TEST(KernelBoot, EveryCoreHasAnIdleThread) {
+  hw::Machine m(hw::MachineConfig::Haswell(4));
+  Kernel k(m, BaseConfig());
+  const KernelImageObj& boot = k.objects().As<KernelImageObj>(k.boot_image_id());
+  EXPECT_EQ(boot.idle_threads.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(k.current_tcb(c), boot.idle_threads[c]);
+  }
+}
+
+TEST(KernelRetype, CreatesObjectsFromUntyped) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig());
+  CSpace& cs = *k.boot_info().root_cspace;
+  CapIdx frame = 0;
+  ASSERT_TRUE(k.Retype(0, cs, k.boot_info().untyped, ObjectType::kFrame, 0, &frame).ok());
+  EXPECT_EQ(cs.At(frame).type, ObjectType::kFrame);
+  CapIdx tcb = 0;
+  ASSERT_TRUE(k.Retype(0, cs, k.boot_info().untyped, ObjectType::kTcb, 0, &tcb).ok());
+  CapIdx ep = 0;
+  ASSERT_TRUE(k.Retype(0, cs, k.boot_info().untyped, ObjectType::kEndpoint, 0, &ep).ok());
+  // Frames are page-aligned and distinct.
+  hw::PAddr f = k.objects().As<FrameObj>(cs.At(frame).obj).base;
+  EXPECT_EQ(f % hw::kPageSize, 0u);
+}
+
+TEST(KernelRetype, FailsOnExhaustedUntyped) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig());
+  CSpace& cs = *k.boot_info().root_cspace;
+  CapIdx child = 0;
+  ASSERT_TRUE(
+      k.Retype(0, cs, k.boot_info().untyped, ObjectType::kUntyped, 8192, &child).ok());
+  CapIdx a = 0;
+  EXPECT_TRUE(k.Retype(0, cs, child, ObjectType::kFrame, 0, &a).ok());
+  EXPECT_TRUE(k.Retype(0, cs, child, ObjectType::kFrame, 0, &a).ok());
+  EXPECT_EQ(k.Retype(0, cs, child, ObjectType::kFrame, 0, &a).error,
+            SyscallError::kInsufficientMemory);
+}
+
+TEST(KernelRetype, InvalidCapRejected) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig());
+  CSpace& cs = *k.boot_info().root_cspace;
+  CapIdx out = 0;
+  EXPECT_EQ(k.Retype(0, cs, 9999, ObjectType::kFrame, 0, &out).error,
+            SyscallError::kInvalidCap);
+  // A frame capability is not an untyped capability.
+  CapIdx frame = 0;
+  ASSERT_TRUE(k.Retype(0, cs, k.boot_info().untyped, ObjectType::kFrame, 0, &frame).ok());
+  EXPECT_EQ(k.Retype(0, cs, frame, ObjectType::kFrame, 0, &out).error,
+            SyscallError::kInvalidCap);
+}
+
+TEST(Scheduler, PicksHighestPriorityInDomain) {
+  Scheduler s;
+  s.Enqueue(10, 100, 0);
+  s.Enqueue(11, 200, 0);
+  s.Enqueue(12, 255, 1);
+  EXPECT_EQ(s.PickAndRotate(0), 11u);
+  EXPECT_EQ(s.Peek(1), 12u);
+}
+
+TEST(Scheduler, RoundRobinWithinPriority) {
+  Scheduler s;
+  s.Enqueue(1, 50, 0);
+  s.Enqueue(2, 50, 0);
+  EXPECT_EQ(s.PickAndRotate(0), 1u);
+  EXPECT_EQ(s.PickAndRotate(0), 2u);
+  EXPECT_EQ(s.PickAndRotate(0), 1u);
+}
+
+TEST(Scheduler, DequeueClearsBitmap) {
+  Scheduler s;
+  s.Enqueue(1, 50, 0);
+  s.Dequeue(1, 50, 0);
+  EXPECT_EQ(s.PickAndRotate(0), kNullObj);
+}
+
+TEST(KernelRun, ThreadsRunAndPreempt) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig());
+  core::DomainManager mgr(k);
+  core::Domain& d1 = mgr.CreateDomain({.id = 1});
+  core::Domain& d2 = mgr.CreateDomain({.id = 2});
+  CountingProgram p1;
+  CountingProgram p2;
+  mgr.StartThread(d1, &p1, 100, 0);
+  mgr.StartThread(d2, &p2, 100, 0);
+  k.SetDomainSchedule(0, {1, 2});
+  k.RunFor(2'000'000);  // 10 slices
+  EXPECT_GT(p1.steps(), 100u);
+  EXPECT_GT(p2.steps(), 100u);
+  EXPECT_GT(k.domain_switches(), 5u);
+}
+
+TEST(KernelRun, DomainsShareTimeFairly) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig());
+  core::DomainManager mgr(k);
+  core::Domain& d1 = mgr.CreateDomain({.id = 1});
+  core::Domain& d2 = mgr.CreateDomain({.id = 2});
+  CountingProgram p1;
+  CountingProgram p2;
+  mgr.StartThread(d1, &p1, 100, 0);
+  mgr.StartThread(d2, &p2, 100, 0);
+  k.SetDomainSchedule(0, {1, 2});
+  k.RunFor(4'000'000);
+  double ratio = static_cast<double>(p1.steps()) / static_cast<double>(p2.steps());
+  EXPECT_NEAR(ratio, 1.0, 0.2);
+}
+
+TEST(KernelClone, CloneProducesIndependentImage) {
+  hw::Machine m(hw::MachineConfig::Haswell(2));
+  Kernel k(m, BaseConfig(/*clone=*/true));
+  core::DomainManager mgr(k);
+  core::Domain& d = mgr.CreateDomain({.id = 1});
+  const Capability& cap = mgr.cspace().At(d.kernel_image);
+  const KernelImageObj& img = k.objects().As<KernelImageObj>(cap.obj);
+  EXPECT_TRUE(img.initialised);
+  EXPECT_FALSE(img.is_boot_image);
+  EXPECT_EQ(img.idle_threads.size(), m.num_cores());
+  EXPECT_EQ(img.parent, k.boot_image_id());
+  // The clone's frames are disjoint from the boot image's.
+  const KernelImageObj& boot = k.objects().As<KernelImageObj>(k.boot_image_id());
+  for (hw::PAddr f : img.frames) {
+    for (hw::PAddr b : boot.frames) {
+      EXPECT_NE(f, b);
+    }
+  }
+}
+
+TEST(KernelClone, CloneRespectsDomainColours) {
+  hw::Machine m(hw::MachineConfig::Haswell(2));
+  Kernel k(m, BaseConfig(/*clone=*/true));
+  core::DomainManager mgr(k);
+  auto colours = core::SplitColours(m.config(), 2);
+  core::Domain& d = mgr.CreateDomain({.id = 1, .colours = colours[0]});
+  const Capability& cap = mgr.cspace().At(d.kernel_image);
+  const KernelImageObj& img = k.objects().As<KernelImageObj>(cap.obj);
+  for (hw::PAddr f : img.frames) {
+    EXPECT_TRUE(colours[0].count(core::ColourOf(m.config(), f)))
+        << "cloned kernel frame has a foreign colour";
+  }
+}
+
+TEST(KernelClone, CloneRightRequired) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig(true));
+  CSpace& cs = *k.boot_info().root_cspace;
+  CapIdx derived = cs.Derive(k.boot_info().kernel_image, CapRights::NoClone());
+  CapIdx dest = 0;
+  ASSERT_TRUE(
+      k.Retype(0, cs, k.boot_info().untyped, ObjectType::kKernelImage, 0, &dest).ok());
+  CapIdx kmem = 0;
+  ASSERT_TRUE(k.Retype(0, cs, k.boot_info().untyped, ObjectType::kKernelMemory,
+                       512 * 1024, &kmem)
+                  .ok());
+  EXPECT_EQ(k.KernelClone(0, cs, dest, derived, kmem).error,
+            SyscallError::kInsufficientRights);
+}
+
+TEST(KernelClone, InsufficientKernelMemoryRejected) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig(true));
+  CSpace& cs = *k.boot_info().root_cspace;
+  CapIdx dest = 0;
+  ASSERT_TRUE(
+      k.Retype(0, cs, k.boot_info().untyped, ObjectType::kKernelImage, 0, &dest).ok());
+  CapIdx kmem = 0;
+  ASSERT_TRUE(
+      k.Retype(0, cs, k.boot_info().untyped, ObjectType::kKernelMemory, 8192, &kmem).ok());
+  EXPECT_EQ(k.KernelClone(0, cs, dest, k.boot_info().kernel_image, kmem).error,
+            SyscallError::kInsufficientMemory);
+}
+
+TEST(KernelDestroy, BootImageIsIndestructible) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig(true));
+  CSpace& cs = *k.boot_info().root_cspace;
+  EXPECT_EQ(k.KernelDestroy(0, cs, k.boot_info().kernel_image).error,
+            SyscallError::kInsufficientRights)
+      << "§4.4: the initial kernel must survive so an idle thread remains";
+}
+
+TEST(KernelDestroy, DestroyedImageFallsBackToBootIdle) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig(true));
+  core::DomainManager mgr(k);
+  core::Domain& d = mgr.CreateDomain({.id = 1});
+  CountingProgram p;
+  mgr.StartThread(d, &p, 100, 0);
+  k.SetDomainSchedule(0, {1});
+  k.RunFor(500'000);
+  EXPECT_GT(p.steps(), 0u);
+
+  ASSERT_TRUE(mgr.DestroyDomainKernel(d).ok());
+  const Capability& cap = mgr.cspace().At(d.kernel_image);
+  EXPECT_FALSE(k.objects().Validate(cap)) << "stale capability must fail validation";
+
+  // The system keeps running on the boot image's idle thread.
+  std::uint64_t steps_before = p.steps();
+  k.RunFor(500'000);
+  EXPECT_EQ(p.steps(), steps_before) << "threads of a destroyed kernel must not run";
+  EXPECT_EQ(k.current_image(0), k.boot_image_id());
+}
+
+TEST(KernelIpc, CallReplyRoundTrip) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig());
+  core::DomainManager mgr(k);
+  core::Domain& d = mgr.CreateDomain({.id = 1});
+  CapIdx ep_mgr = mgr.CreateEndpoint(d);
+  CapIdx ep = mgr.GrantCap(d, ep_mgr);
+
+  struct Client final : UserProgram {
+    CapIdx ep;
+    int state = 0;
+    std::uint64_t replies = 0;
+    void Step(UserApi& api) override {
+      if (state == 0) {
+        api.Call(ep, 42);
+        state = 1;
+      } else {
+        ++replies;
+        state = 0;
+      }
+    }
+  };
+  struct Server final : UserProgram {
+    CapIdx ep;
+    bool first = true;
+    std::uint64_t requests = 0;
+    std::uint64_t last_msg = 0;
+    void Step(UserApi& api) override {
+      if (first) {
+        api.Recv(ep);
+        first = false;
+      } else {
+        ++requests;
+        api.ReplyRecv(ep, 43);
+      }
+    }
+  };
+
+  Client client;
+  client.ep = ep;
+  Server server;
+  server.ep = ep;
+  mgr.StartThread(d, &server, 150, 0);
+  mgr.StartThread(d, &client, 100, 0);
+  k.SetDomainSchedule(0, {1});
+  k.RunFor(3'000'000);
+  EXPECT_GT(server.requests, 10u);
+  EXPECT_GT(client.replies, 10u);
+}
+
+TEST(KernelNotification, SignalWakesWaiter) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig());
+  core::DomainManager mgr(k);
+  core::Domain& d = mgr.CreateDomain({.id = 1});
+  CapIdx n = mgr.GrantCap(d, mgr.CreateNotification(d));
+
+  struct Waiter final : UserProgram {
+    CapIdx n;
+    std::uint64_t wakeups = 0;
+    bool waiting = false;
+    void Step(UserApi& api) override {
+      if (!waiting) {
+        SyscallResult r = api.Wait(n);
+        if (r.error == SyscallError::kWouldBlock) {
+          waiting = true;
+        } else {
+          ++wakeups;
+        }
+      } else {
+        waiting = false;
+        ++wakeups;
+      }
+    }
+  };
+  struct Signaller final : UserProgram {
+    CapIdx n;
+    void Step(UserApi& api) override {
+      api.Signal(n);
+      api.Compute(500);
+    }
+  };
+
+  Waiter w;
+  w.n = n;
+  Signaller s;
+  s.n = n;
+  mgr.StartThread(d, &w, 150, 0);
+  mgr.StartThread(d, &s, 100, 0);
+  k.SetDomainSchedule(0, {1});
+  k.RunFor(2'000'000);
+  EXPECT_GT(w.wakeups, 5u);
+}
+
+TEST(KernelPadding, PaddedSwitchHasConstantCost) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  kernel::KernelConfig cfg = core::MakeKernelConfig(core::Scenario::kProtected, m, 0.2);
+  Kernel k(m, cfg);
+  core::DomainManager mgr(k);
+  auto colours = core::SplitColours(m.config(), 2);
+  hw::Cycles pad = m.MicrosToCycles(58.8);
+  core::Domain& d1 = mgr.CreateDomain({.id = 1, .colours = colours[0], .pad_cycles = pad});
+  core::Domain& d2 = mgr.CreateDomain({.id = 2, .colours = colours[1], .pad_cycles = pad});
+  CountingProgram p1;
+  CountingProgram p2;
+  mgr.StartThread(d1, &p1, 100, 0);
+  mgr.StartThread(d2, &p2, 100, 0);
+  k.SetDomainSchedule(0, {1, 2});
+  k.RunFor(3'000'000);
+  EXPECT_GT(k.domain_switches(), 4u);
+  // Switch cost (pre-padding) must not exceed the pad: padding would
+  // otherwise fail to mask it.
+  EXPECT_LT(k.last_switch_cost(0), pad);
+}
+
+TEST(KernelIrq, SetIntAssociatesLineWithImage) {
+  hw::Machine m(hw::MachineConfig::Haswell(1));
+  Kernel k(m, BaseConfig(true));
+  core::DomainManager mgr(k);
+  core::Domain& d = mgr.CreateDomain({.id = 1, .device_timers = {0}});
+  const Capability& cap = mgr.cspace().At(d.kernel_image);
+  const KernelImageObj& img = k.objects().As<KernelImageObj>(cap.obj);
+  EXPECT_EQ(img.irqs.count(m.device_timer(0).irq_line()), 1u);
+}
+
+}  // namespace
+}  // namespace tp::kernel

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "mi/channel_matrix.hpp"
+#include "mi/kde.hpp"
+#include "mi/leakage_test.hpp"
+#include "mi/mutual_information.hpp"
+
+namespace tp::mi {
+namespace {
+
+TEST(Kde, SilvermanBandwidthScalesWithSpread) {
+  std::vector<double> tight{1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02};
+  std::vector<double> wide{1.0, 11.0, -9.0, 10.5, -9.5, 1.0, 10.2};
+  EXPECT_GT(SilvermanBandwidth(wide), SilvermanBandwidth(tight));
+}
+
+TEST(Kde, DegenerateDataHasZeroBandwidth) {
+  std::vector<double> constant(50, 3.0);
+  EXPECT_EQ(SilvermanBandwidth(constant), 0.0);
+  EXPECT_EQ(SilvermanBandwidth({1.0}), 0.0);
+}
+
+TEST(Kde, DensityIntegratesToOne) {
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) {
+    samples.push_back(dist(rng));
+  }
+  std::vector<double> grid = MakeGrid(-6.0, 6.0, 512);
+  std::vector<double> density = KdeOnGrid(samples, grid, SilvermanBandwidth(samples));
+  double integral = 0.0;
+  double dy = grid[1] - grid[0];
+  for (double d : density) {
+    integral += d * dy;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, DensityPeaksAtMean) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> dist(2.0, 0.5);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) {
+    samples.push_back(dist(rng));
+  }
+  std::vector<double> grid = MakeGrid(-1.0, 5.0, 256);
+  std::vector<double> density = KdeOnGrid(samples, grid, SilvermanBandwidth(samples));
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < density.size(); ++i) {
+    if (density[i] > density[peak]) {
+      peak = i;
+    }
+  }
+  EXPECT_NEAR(grid[peak], 2.0, 0.3);
+}
+
+TEST(Mi, PerfectBinaryChannelIsOneBit) {
+  // Two inputs with fully separated outputs: M = log2(2) = 1 bit.
+  Observations obs;
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> a(0.0, 0.5);
+  std::normal_distribution<double> b(100.0, 0.5);
+  for (int i = 0; i < 2000; ++i) {
+    obs.Add(0, a(rng));
+    obs.Add(1, b(rng));
+  }
+  EXPECT_NEAR(EstimateMi(obs), 1.0, 0.05);
+}
+
+TEST(Mi, PerfectFourSymbolChannelIsTwoBits) {
+  Observations obs;
+  std::mt19937_64 rng(5);
+  for (int sym = 0; sym < 4; ++sym) {
+    std::normal_distribution<double> d(sym * 100.0, 0.5);
+    for (int i = 0; i < 1500; ++i) {
+      obs.Add(sym, d(rng));
+    }
+  }
+  EXPECT_NEAR(EstimateMi(obs), 2.0, 0.08);
+}
+
+TEST(Mi, IndependentOutputsCarryNoInformation) {
+  Observations obs;
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> d(50.0, 10.0);
+  std::uniform_int_distribution<int> in(0, 3);
+  for (int i = 0; i < 6000; ++i) {
+    obs.Add(in(rng), d(rng));
+  }
+  EXPECT_LT(EstimateMi(obs), 0.02);
+}
+
+TEST(Mi, PartialOverlapGivesIntermediateMi) {
+  Observations obs;
+  std::mt19937_64 rng(13);
+  std::normal_distribution<double> a(0.0, 2.0);
+  std::normal_distribution<double> b(2.0, 2.0);  // heavy overlap
+  for (int i = 0; i < 3000; ++i) {
+    obs.Add(0, a(rng));
+    obs.Add(1, b(rng));
+  }
+  double m = EstimateMi(obs);
+  EXPECT_GT(m, 0.05);
+  EXPECT_LT(m, 0.6);
+}
+
+TEST(Mi, ConstantOutputsGiveZero) {
+  Observations obs;
+  for (int i = 0; i < 100; ++i) {
+    obs.Add(i % 2, 42.0);
+  }
+  EXPECT_EQ(EstimateMi(obs), 0.0);
+}
+
+TEST(LeakageTest, DetectsRealLeak) {
+  Observations obs;
+  std::mt19937_64 rng(17);
+  std::normal_distribution<double> a(0.0, 1.0);
+  std::normal_distribution<double> b(6.0, 1.0);
+  for (int i = 0; i < 1200; ++i) {
+    obs.Add(0, a(rng));
+    obs.Add(1, b(rng));
+  }
+  LeakageOptions opt;
+  opt.shuffles = 40;
+  LeakageResult r = TestLeakage(obs, opt);
+  EXPECT_TRUE(r.leak);
+  EXPECT_GT(r.mi_bits, r.m0_bits);
+}
+
+TEST(LeakageTest, NoFalsePositiveOnNoise) {
+  Observations obs;
+  std::mt19937_64 rng(19);
+  std::normal_distribution<double> d(0.0, 1.0);
+  std::uniform_int_distribution<int> in(0, 3);
+  for (int i = 0; i < 4000; ++i) {
+    obs.Add(in(rng), d(rng));
+  }
+  LeakageOptions opt;
+  opt.shuffles = 40;
+  LeakageResult r = TestLeakage(obs, opt);
+  EXPECT_FALSE(r.leak) << "M=" << r.mi_bits << " M0=" << r.m0_bits;
+}
+
+TEST(LeakageTest, M0TracksShuffleDistribution) {
+  Observations obs;
+  std::mt19937_64 rng(23);
+  std::normal_distribution<double> d(0.0, 1.0);
+  for (int i = 0; i < 2000; ++i) {
+    obs.Add(i % 2, d(rng));
+  }
+  LeakageOptions opt;
+  opt.shuffles = 30;
+  LeakageResult r = TestLeakage(obs, opt);
+  EXPECT_GE(r.m0_bits, r.shuffle_mean);
+  EXPECT_NEAR(r.m0_bits, r.shuffle_mean + 1.96 * r.shuffle_sd, 1e-12);
+}
+
+TEST(ChannelMatrix, RowsAreConditionalDistributions) {
+  Observations obs;
+  for (int i = 0; i < 100; ++i) {
+    obs.Add(0, 1.0);
+    obs.Add(1, 9.0);
+  }
+  ChannelMatrix m(obs, 10);
+  ASSERT_EQ(m.num_inputs(), 2u);
+  double sum0 = 0.0;
+  for (std::size_t b = 0; b < m.num_bins(); ++b) {
+    sum0 += m.Probability(0, b);
+  }
+  EXPECT_NEAR(sum0, 1.0, 1e-9);
+  EXPECT_GT(m.Probability(0, 0), 0.9);
+  EXPECT_GT(m.Probability(1, 9), 0.9);
+}
+
+TEST(ChannelMatrix, CsvHasHeaderAndRows) {
+  Observations obs;
+  obs.Add(0, 1.0);
+  obs.Add(1, 2.0);
+  ChannelMatrix m(obs, 4);
+  std::string csv = m.ToCsv();
+  EXPECT_NE(csv.find("input_0"), std::string::npos);
+  EXPECT_NE(csv.find("input_1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tp::mi
