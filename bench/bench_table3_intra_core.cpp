@@ -36,7 +36,6 @@ void RunPlatform(const char* name, const hw::MachineConfig& mc,
     }
     std::string cells[3];
     bool leak[3] = {false, false, false};
-    double mi[3] = {0, 0, 0};
     core::Scenario scenarios[3] = {core::Scenario::kRaw, core::Scenario::kFullFlush,
                                    core::Scenario::kProtected};
     for (int s = 0; s < 3; ++s) {
@@ -45,7 +44,6 @@ void RunPlatform(const char* name, const hw::MachineConfig& mc,
       mi::LeakageOptions opt;
       opt.shuffles = 50;
       mi::LeakageResult r = mi::TestLeakage(obs, opt);
-      mi[s] = r.MilliBits();
       leak[s] = r.leak;
       if (s == 0) {
         cells[s] = bench::Fmt("%.1f", r.MilliBits());

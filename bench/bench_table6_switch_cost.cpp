@@ -131,7 +131,9 @@ double MeasureSwitch(const hw::MachineConfig& mc, core::Scenario scenario, Recei
 void RunPlatform(const char* name, const hw::MachineConfig& mc, bool has_l3,
                  const char* paper, std::size_t switches) {
   std::printf("\n--- %s (paper: %s) ---\n", name, paper);
-  bench::Table t({"mode", "Idle", "L1-D", "L1-I", "L2", "L3"});
+  bench::Table t({"mode", ReceiverName(Receiver::kIdle), ReceiverName(Receiver::kL1D),
+                  ReceiverName(Receiver::kL1I), ReceiverName(Receiver::kL2),
+                  ReceiverName(Receiver::kL3)});
   for (core::Scenario s : {core::Scenario::kRaw, core::Scenario::kFullFlush,
                            core::Scenario::kProtected}) {
     std::vector<std::string> row{core::ScenarioName(s)};

@@ -129,7 +129,8 @@ void SplashProgram::Step(kernel::UserApi& api) {
       case SplashKind::kCholesky: {
         // Blocked dense: sweep a block, then move to the next (cholesky's
         // blocks shrink, modelling the triangular factor).
-        std::uint64_t block = kind_ == SplashKind::kLu ? 32 * 1024 : 16 * 1024 + (phase_ % 3) * 8192;
+        std::uint64_t block =
+            kind_ == SplashKind::kLu ? 32 * 1024 : 16 * 1024 + (phase_ % 3) * 8192;
         std::uint64_t block_base = (phase_ * block) % size_;
         api.Read(Addr(block_base + cursor_ % block));
         api.Write(Addr(block_base + (cursor_ + 8) % block));

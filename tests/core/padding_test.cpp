@@ -1,0 +1,150 @@
+#include "core/padding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/domain.hpp"
+#include "core/time_protection.hpp"
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+#include "support/test_support.hpp"
+
+namespace tp::core {
+namespace {
+
+TEST(PaperPad, MatchesTable4DeployedValues) {
+  hw::Machine x86(hw::MachineConfig::Haswell(1));
+  EXPECT_EQ(PaperPadCycles(x86), x86.MicrosToCycles(58.8));
+  hw::Machine arm(hw::MachineConfig::Sabre(1));
+  EXPECT_EQ(PaperPadCycles(arm), arm.MicrosToCycles(62.5));
+}
+
+TEST(WorstCase, MonotoneInFlushMode) {
+  for (const hw::MachineConfig& mc :
+       {hw::MachineConfig::Haswell(1), hw::MachineConfig::Sabre(1)}) {
+    hw::Machine m(mc);
+    hw::Cycles none = WorstCaseSwitchCycles(m, kernel::FlushMode::kNone);
+    hw::Cycles on_core = WorstCaseSwitchCycles(m, kernel::FlushMode::kOnCore);
+    hw::Cycles full = WorstCaseSwitchCycles(m, kernel::FlushMode::kFull);
+    EXPECT_GT(none, 0u) << mc.name << ": even an unmitigated switch costs cycles";
+    EXPECT_LT(none, on_core) << mc.name;
+    EXPECT_LT(on_core, full) << mc.name << ": full hierarchy flush dominates on-core";
+  }
+}
+
+TEST(WorstCase, BoundsMeasuredFlushCost) {
+  // The whole point of the analysis: the computed worst case must exceed
+  // what the flush actually costs on the simulated hardware, even with a
+  // fully dirty L1 (the worst state a sender can set up).
+  for (const hw::MachineConfig& mc :
+       {hw::MachineConfig::Haswell(1), hw::MachineConfig::Sabre(1)}) {
+    test::BootedSystem sys(1, /*clone_support=*/false, mc);
+    hw::SetAssociativeCache& l1d = sys.machine.core(0).l1d();
+    for (hw::PAddr p = 0; p < mc.l1d.size_bytes; p += mc.l1d.line_size) {
+      l1d.Access(p, p, /*write=*/true);
+    }
+    hw::Cycles measured = sys.kernel.MeasureOnCoreFlush(0);
+    EXPECT_LE(measured, WorstCaseSwitchCycles(sys.machine, kernel::FlushMode::kOnCore))
+        << mc.name << ": worst-case analysis must bound the measured on-core flush";
+
+    for (hw::PAddr p = 0; p < mc.l1d.size_bytes; p += mc.l1d.line_size) {
+      l1d.Access(p, p, /*write=*/true);
+    }
+    hw::Cycles full = sys.kernel.MeasureFullFlush(0);
+    EXPECT_LE(full, WorstCaseSwitchCycles(sys.machine, kernel::FlushMode::kFull))
+        << mc.name << ": worst-case analysis must bound the measured full flush";
+  }
+}
+
+// Drives a two-domain schedule until `wanted` switches completed and returns
+// the core-clock timestamps at which each switch's StepCore finished. The
+// first transition is discarded: it switches away from the *boot* image,
+// whose pad is zero (padding is an attribute of the source kernel image).
+std::vector<hw::Cycles> SwitchCompletionTimes(kernel::Kernel& kernel, hw::Machine& machine,
+                                              std::size_t wanted, bool dirty_l1) {
+  kernel.SetDomainSchedule(0, {1, 2});
+  kernel.KickSchedule(0);
+  std::vector<hw::Cycles> times;
+  std::uint64_t last = kernel.domain_switches();
+  ++wanted;  // the discarded boot transition
+  for (std::uint64_t guard = 0; guard < 2'000'000 && times.size() < wanted; ++guard) {
+    if (dirty_l1) {
+      // A sender-controlled dirty working set: without padding this would
+      // modulate the switch latency; with padding it must not.
+      const hw::MachineConfig& mc = machine.config();
+      hw::PAddr p = (guard % (mc.l1d.size_bytes / mc.l1d.line_size)) * mc.l1d.line_size;
+      machine.core(0).l1d().Access(p, p, /*write=*/true);
+    }
+    kernel.StepCore(0);
+    if (kernel.domain_switches() != last) {
+      last = kernel.domain_switches();
+      times.push_back(machine.core(0).now());
+    }
+  }
+  if (!times.empty()) {
+    times.erase(times.begin());
+  }
+  return times;
+}
+
+core::Domain& MakePaddedDomain(DomainManager& mgr, kernel::DomainId id, hw::Cycles pad) {
+  return mgr.CreateDomain({.id = id, .pad_cycles = pad});
+}
+
+TEST(PadRoundsUp, SwitchEndIsIndependentOfMicroarchState) {
+  // Requirement 4 (§4.3): the pad rounds the switch up to a fixed deadline,
+  // so the time at which the next domain starts running cannot depend on
+  // how much state the previous domain left dirty. We run the identical
+  // schedule twice — once with the receiver-visible caches clean, once with
+  // userland dirtying the L1 the whole time — and require the switch
+  // completion times to line up exactly.
+  auto run = [](bool dirty) {
+    hw::Machine machine(hw::MachineConfig::Haswell(1));
+    kernel::KernelConfig kc = MakeKernelConfig(Scenario::kProtected, machine, 2.0);
+    kernel::Kernel kernel(machine, kc);
+    DomainManager mgr(kernel);
+    hw::Cycles pad = WorstCaseSwitchCycles(machine, kc.flush_mode);
+    MakePaddedDomain(mgr, 1, pad);
+    MakePaddedDomain(mgr, 2, pad);
+    return SwitchCompletionTimes(kernel, machine, 6, dirty);
+  };
+  std::vector<hw::Cycles> clean = run(false);
+  std::vector<hw::Cycles> dirty = run(true);
+  ASSERT_GE(clean.size(), 6u);
+  ASSERT_EQ(clean.size(), dirty.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(clean[i], dirty[i]) << "switch " << i
+                                  << ": padded completion time leaked µ-arch state";
+  }
+}
+
+TEST(PadRoundsUp, LargerPadDelaysCompletionByExactlyTheDifference) {
+  // The pad is a deadline (t0 + pad), not a sleep appended to variable
+  // work: growing the pad by D must move every switch completion by exactly
+  // D, independent of the work the switch performed.
+  // A generous timeslice keeps every padded switch inside its slice, so
+  // tick times (each switch's t0) are identical across the two runs and the
+  // completion shift equals the pad difference exactly.
+  auto run = [](hw::Cycles pad) {
+    hw::Machine machine(hw::MachineConfig::Haswell(1));
+    kernel::KernelConfig kc = MakeKernelConfig(Scenario::kProtected, machine, 2.0);
+    kernel::Kernel kernel(machine, kc);
+    DomainManager mgr(kernel);
+    MakePaddedDomain(mgr, 1, pad);
+    MakePaddedDomain(mgr, 2, pad);
+    return SwitchCompletionTimes(kernel, machine, 4, false);
+  };
+  hw::Machine probe(hw::MachineConfig::Haswell(1));
+  hw::Cycles base = WorstCaseSwitchCycles(probe, kernel::FlushMode::kOnCore);
+  hw::Cycles delta = probe.MicrosToCycles(100.0);
+  std::vector<hw::Cycles> small = run(base);
+  std::vector<hw::Cycles> large = run(base + delta);
+  ASSERT_GE(small.size(), 4u);
+  ASSERT_EQ(small.size(), large.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(large[i], small[i] + delta)
+        << "switch " << i << ": pad must round up to t0 + pad";
+  }
+}
+
+}  // namespace
+}  // namespace tp::core

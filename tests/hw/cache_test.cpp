@@ -3,13 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "hw/machine.hpp"
+#include "support/test_support.hpp"
 
 namespace tp::hw {
 namespace {
 
-CacheGeometry SmallGeometry() {
-  return CacheGeometry{.size_bytes = 4096, .line_size = 64, .associativity = 2};
-}
+CacheGeometry SmallGeometry() { return test::TinyCacheGeometry(); }
 
 TEST(CacheGeometry, HaswellTable1Shapes) {
   MachineConfig c = MachineConfig::Haswell();

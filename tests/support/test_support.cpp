@@ -1,0 +1,46 @@
+#include "support/test_support.hpp"
+
+namespace tp::test {
+
+std::uint64_t StableSeed(const std::string& label) {
+  // FNV-1a: stable across platforms and standard-library versions (unlike
+  // std::hash), so recorded test behaviour is reproducible everywhere.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t DeterministicTest::seed() const {
+  const ::testing::TestInfo* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info == nullptr) {
+    return StableSeed("tp-default");
+  }
+  return StableSeed(std::string(info->test_suite_name()) + "." + info->name());
+}
+
+hw::CacheGeometry TinyCacheGeometry() {
+  return hw::CacheGeometry{.size_bytes = 4096, .line_size = 64, .associativity = 2};
+}
+
+kernel::KernelConfig TestKernelConfig(bool clone_support) {
+  kernel::KernelConfig c;
+  c.clone_support = clone_support;
+  c.timeslice_cycles = 200'000;
+  return c;
+}
+
+namespace {
+hw::MachineConfig WithCores(hw::MachineConfig config, std::size_t cores) {
+  config.num_cores = cores;
+  return config;
+}
+}  // namespace
+
+BootedSystem::BootedSystem(std::size_t cores, bool clone_support, hw::MachineConfig config)
+    : machine(WithCores(std::move(config), cores)),
+      kernel(machine, TestKernelConfig(clone_support)) {}
+
+}  // namespace tp::test

@@ -1,0 +1,49 @@
+// Shared test scaffolding: deterministic seeding and canonical machine /
+// kernel setups, shared by suites across layers.
+#ifndef TP_TESTS_SUPPORT_TEST_SUPPORT_HPP_
+#define TP_TESTS_SUPPORT_TEST_SUPPORT_HPP_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+
+namespace tp::test {
+
+// Stable 64-bit seed derived from a label (typically the test name), so a
+// test keeps its RNG stream when unrelated tests are added or reordered.
+std::uint64_t StableSeed(const std::string& label);
+
+// Fixture giving every test a deterministic, per-test-name RNG.
+class DeterministicTest : public ::testing::Test {
+ protected:
+  std::mt19937_64& rng() { return rng_; }
+  std::uint64_t seed() const;
+
+ private:
+  std::mt19937_64 rng_{seed()};
+};
+
+// Canonical small cache shape for unit tests that do not need Table 1
+// fidelity: 4 KiB, 64 B lines, 2-way.
+hw::CacheGeometry TinyCacheGeometry();
+
+// Default kernel config used by kernel/core/integration tests.
+kernel::KernelConfig TestKernelConfig(bool clone_support);
+
+// A booted machine + kernel pair, the common preamble of kernel-level tests.
+struct BootedSystem {
+  explicit BootedSystem(std::size_t cores = 1, bool clone_support = false,
+                        hw::MachineConfig config = hw::MachineConfig::Haswell());
+  hw::Machine machine;
+  kernel::Kernel kernel;
+};
+
+}  // namespace tp::test
+
+#endif  // TP_TESTS_SUPPORT_TEST_SUPPORT_HPP_
