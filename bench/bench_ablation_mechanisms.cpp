@@ -10,6 +10,9 @@
 //   IRQ partitioning           interrupt channel (Fig. 6)      Req. 5
 //   BP flush (pre-IBC x86)     BTB channel (Table 3 / §6.1)    Req. 1
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "attacks/channel_experiment.hpp"
 #include "attacks/flush_channel.hpp"
@@ -18,6 +21,8 @@
 #include "attacks/kernel_channel.hpp"
 #include "bench/bench_util.hpp"
 #include "mi/leakage_test.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 namespace tp {
 namespace {
@@ -28,18 +33,17 @@ mi::LeakageResult Analyse(const mi::Observations& obs) {
   return mi::TestLeakage(obs, opt);
 }
 
-mi::LeakageResult KernelChannelWith(std::function<void(kernel::KernelConfig&)> hook,
-                                    std::size_t rounds) {
+mi::Observations KernelChannelWith(const std::function<void(kernel::KernelConfig&)>& hook,
+                                   std::uint64_t seed, std::size_t rounds) {
   attacks::ExperimentOptions opt;
   opt.timeslice_ms = 0.25;
-  opt.config_hook = std::move(hook);
-  attacks::Experiment exp =
-      attacks::MakeExperiment(tp::hw::MachineConfig::Haswell(1),
-                              core::Scenario::kProtected, opt);
-  return Analyse(attacks::RunKernelChannel(exp, rounds, 0xAB1A7));
+  opt.config_hook = hook;
+  attacks::Experiment exp = attacks::MakeExperiment(tp::hw::MachineConfig::Haswell(1),
+                                                    core::Scenario::kProtected, opt);
+  return attacks::RunKernelChannel(exp, rounds, seed);
 }
 
-mi::LeakageResult FlushChannelWith(bool pad, std::size_t rounds) {
+mi::Observations FlushChannelWith(bool pad, std::uint64_t seed, std::size_t rounds) {
   hw::MachineConfig mc = tp::hw::MachineConfig::Sabre(1);
   attacks::ExperimentOptions opt;
   opt.timeslice_ms = 0.5;
@@ -49,14 +53,15 @@ mi::LeakageResult FlushChannelWith(bool pad, std::size_t rounds) {
   core::MappedBuffer sbuf =
       exp.manager->AllocBuffer(*exp.sender_domain, 2 * mc.l1d.size_bytes);
   attacks::DirtyLineSender sender(sbuf, mc.l1d.TotalLines() / 4, mc.l1d.line_size, 4,
-                                  0xAB1A7, gap);
+                                  seed, gap);
   attacks::FlushTimingReceiver receiver(attacks::TimingObservable::kOffline, gap);
   exp.manager->StartThread(*exp.sender_domain, &sender, 120, 0);
   exp.manager->StartThread(*exp.receiver_domain, &receiver, 120, 0);
-  return Analyse(attacks::CollectObservations(exp, sender, receiver, rounds));
+  return attacks::CollectObservations(exp, sender, receiver, rounds);
 }
 
-mi::LeakageResult InterruptChannelWith(bool partition, std::size_t rounds) {
+mi::Observations InterruptChannelWith(bool partition, std::uint64_t seed,
+                                      std::size_t rounds) {
   hw::MachineConfig mc = tp::hw::MachineConfig::Haswell(1);
   attacks::ExperimentOptions opt;
   opt.timeslice_ms = 2.0;
@@ -70,11 +75,19 @@ mi::LeakageResult InterruptChannelWith(bool partition, std::size_t rounds) {
   kernel::CapIdx timer =
       exp.manager->GrantCap(*exp.sender_domain, exp.kernel->boot_info().device_timers[0]);
   attacks::TimerTrojan trojan(timer, m.MicrosToCycles(2600), m.MicrosToCycles(200), 5,
-                              0xAB1A7, gap);
+                              seed, gap);
   attacks::InterruptSpy spy(300, gap);
   exp.manager->StartThread(*exp.sender_domain, &trojan, 120, 0);
   exp.manager->StartThread(*exp.receiver_domain, &spy, 120, 0);
-  return Analyse(attacks::CollectObservations(exp, trojan, spy, rounds, 1));
+  return attacks::CollectObservations(exp, trojan, spy, rounds, 1);
+}
+
+mi::Observations IntraCoreWith(attacks::IntraCoreResource resource,
+                               const std::function<void(kernel::KernelConfig&)>& hook,
+                               std::uint64_t seed, std::size_t rounds) {
+  return attacks::RunIntraCoreChannel(tp::hw::MachineConfig::Haswell(1),
+                                      core::Scenario::kProtected, resource, rounds, seed,
+                                      hook);
 }
 
 void Row(bench::Table& t, const char* mechanism, const char* channel,
@@ -92,48 +105,96 @@ void Row(bench::Table& t, const char* mechanism, const char* channel,
 }  // namespace tp
 
 int main() {
-  tp::bench::Header("Ablation: protected configuration minus one mechanism at a time",
-                    "each §3.2 requirement defeats a specific channel class; removing "
-                    "any one of them reopens its channel");
-  std::size_t rounds = tp::bench::Scaled(700, 128);
-  tp::bench::Table t({"mechanism removed", "channel probed", "M without (mb)",
-                      "M with (mb)", "verdict"});
+  using namespace tp;
+  bench::Header("Ablation: protected configuration minus one mechanism at a time",
+                "each §3.2 requirement defeats a specific channel class; removing "
+                "any one of them reopens its channel");
+  runner::ExperimentRunner pool;
+  bench::Recorder recorder("ablation_mechanisms");
+  std::size_t rounds = bench::Scaled(700, 128);
+  bench::Table t({"mechanism removed", "channel probed", "M without (mb)",
+                  "M with (mb)", "verdict"});
 
-  {
-    auto without = tp::KernelChannelWith(
-        [](tp::kernel::KernelConfig& kc) { kc.clone_support = false; }, rounds);
-    auto with = tp::KernelChannelWith(nullptr, rounds);
-    tp::Row(t, "kernel clone (Req 2)", "kernel image (Fig 3)", without, with);
+  // The five studies, each a (mechanism off, mechanism on) pair of cells;
+  // every shard of every cell joins one flat task pool.
+  using ShardFn = std::function<mi::Observations(std::uint64_t, std::size_t)>;
+  struct Study {
+    const char* mechanism;
+    const char* channel;
+    ShardFn without;
+    ShardFn with;
+  };
+  const std::vector<Study> studies = {
+      {"kernel clone (Req 2)", "kernel image (Fig 3)",
+       [](std::uint64_t seed, std::size_t r) {
+         return KernelChannelWith(
+             [](kernel::KernelConfig& kc) { kc.clone_support = false; }, seed, r);
+       },
+       [](std::uint64_t seed, std::size_t r) {
+         return KernelChannelWith(nullptr, seed, r);
+       }},
+      {"on-core flush (Req 1)", "L1-D prime&probe",
+       [](std::uint64_t seed, std::size_t r) {
+         return IntraCoreWith(
+             attacks::IntraCoreResource::kL1D,
+             [](kernel::KernelConfig& kc) { kc.flush_mode = kernel::FlushMode::kNone; },
+             seed, r);
+       },
+       [](std::uint64_t seed, std::size_t r) {
+         return IntraCoreWith(attacks::IntraCoreResource::kL1D, nullptr, seed, r);
+       }},
+      {"switch padding (Req 4)", "flush latency (Fig 5)",
+       [](std::uint64_t seed, std::size_t r) { return FlushChannelWith(false, seed, r); },
+       [](std::uint64_t seed, std::size_t r) { return FlushChannelWith(true, seed, r); }},
+      {"IRQ partitioning (Req 5)", "interrupt (Fig 6)",
+       [](std::uint64_t seed, std::size_t r) {
+         return InterruptChannelWith(false, seed, r);
+       },
+       [](std::uint64_t seed, std::size_t r) {
+         return InterruptChannelWith(true, seed, r);
+       }},
+      {"BP flush / IBC (§6.1)", "BTB channel",
+       [](std::uint64_t seed, std::size_t r) {
+         return IntraCoreWith(
+             attacks::IntraCoreResource::kBtb,
+             [](kernel::KernelConfig& kc) { kc.has_bp_flush = false; }, seed, r);
+       },
+       [](std::uint64_t seed, std::size_t r) {
+         return IntraCoreWith(attacks::IntraCoreResource::kBtb, nullptr, seed, r);
+       }},
+  };
+
+  std::vector<const ShardFn*> cells;
+  std::vector<runner::ShardPlan> plans;
+  for (const Study& study : studies) {
+    cells.push_back(&study.without);
+    cells.push_back(&study.with);
+    plans.push_back(runner::PlanShards(rounds, /*root_seed=*/0xAB1A7));
+    plans.push_back(runner::PlanShards(rounds, /*root_seed=*/0xAB1A7));
   }
-  {
-    auto without = tp::Analyse(tp::attacks::RunIntraCoreChannel(
-        tp::hw::MachineConfig::Haswell(1), tp::core::Scenario::kProtected,
-        tp::attacks::IntraCoreResource::kL1D, rounds, 0xAB1A7,
-        [](tp::kernel::KernelConfig& kc) { kc.flush_mode = tp::kernel::FlushMode::kNone; }));
-    auto with = tp::Analyse(tp::attacks::RunIntraCoreChannel(
-        tp::hw::MachineConfig::Haswell(1), tp::core::Scenario::kProtected,
-        tp::attacks::IntraCoreResource::kL1D, rounds, 0xAB1A7));
-    tp::Row(t, "on-core flush (Req 1)", "L1-D prime&probe", without, with);
-  }
-  {
-    auto without = tp::FlushChannelWith(false, rounds);
-    auto with = tp::FlushChannelWith(true, rounds);
-    tp::Row(t, "switch padding (Req 4)", "flush latency (Fig 5)", without, with);
-  }
-  {
-    auto without = tp::InterruptChannelWith(false, rounds);
-    auto with = tp::InterruptChannelWith(true, rounds);
-    tp::Row(t, "IRQ partitioning (Req 5)", "interrupt (Fig 6)", without, with);
-  }
-  {
-    auto without = tp::Analyse(tp::attacks::RunIntraCoreChannel(
-        tp::hw::MachineConfig::Haswell(1), tp::core::Scenario::kProtected,
-        tp::attacks::IntraCoreResource::kBtb, rounds, 0xAB1A7,
-        [](tp::kernel::KernelConfig& kc) { kc.has_bp_flush = false; }));
-    auto with = tp::Analyse(tp::attacks::RunIntraCoreChannel(
-        tp::hw::MachineConfig::Haswell(1), tp::core::Scenario::kProtected,
-        tp::attacks::IntraCoreResource::kBtb, rounds, 0xAB1A7));
-    tp::Row(t, "BP flush / IBC (§6.1)", "BTB channel", without, with);
+  std::uint64_t t0 = bench::Recorder::NowNs();
+  std::vector<mi::Observations> merged = runner::RunShardedCells(
+      pool, plans, [&](std::size_t cell, const runner::Shard& shard) {
+        return (*cells[cell])(shard.seed, shard.rounds);
+      });
+  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+
+  for (std::size_t i = 0; i < studies.size(); ++i) {
+    mi::LeakageResult without = Analyse(merged[i * 2]);
+    mi::LeakageResult with = Analyse(merged[i * 2 + 1]);
+    Row(t, studies[i].mechanism, studies[i].channel, without, with);
+    for (std::size_t k = 0; k < 2; ++k) {
+      const mi::LeakageResult& r = k == 0 ? without : with;
+      recorder.Add({.cell = std::string(studies[i].mechanism) +
+                            (k == 0 ? "/without" : "/with"),
+                    .rounds = rounds,
+                    .samples = r.samples,
+                    .mi_bits = r.mi_bits,
+                    .m0_bits = r.m0_bits,
+                    .wall_ns = grid_ns / (2 * studies.size()),
+                    .threads = pool.threads(),
+                    .shards = plans[i * 2 + k].num_shards()});
+    }
   }
   t.Print();
   std::printf("(* = definite channel: M > M0)\n");

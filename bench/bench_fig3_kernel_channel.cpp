@@ -5,21 +5,30 @@
 // Paper: x86 raw M = 0.79 b (395 b/s at a 2 ms round); protected M = 0.6 mb
 // (M0 = 0.1 mb). Arm raw M = 20 mb; protected 0.0 mb.
 #include <cstdio>
+#include <string>
 
 #include "attacks/channel_experiment.hpp"
 #include "attacks/kernel_channel.hpp"
 #include "bench/bench_util.hpp"
 #include "mi/channel_matrix.hpp"
 #include "mi/leakage_test.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 namespace tp {
 namespace {
 
-void RunPlatform(const char* name, const hw::MachineConfig& mc, std::size_t rounds) {
+void RunPlatform(const char* name, const hw::MachineConfig& mc, std::size_t rounds,
+                 const runner::ExperimentRunner& pool, bench::Recorder& recorder) {
   std::printf("\n--- %s ---\n", name);
   for (core::Scenario s : {core::Scenario::kRaw, core::Scenario::kProtected}) {
-    attacks::Experiment exp = attacks::MakeExperiment(mc, s, {.timeslice_ms = 0.25});
-    mi::Observations obs = attacks::RunKernelChannel(exp, rounds, /*seed=*/0xF16'3);
+    std::uint64_t t0 = bench::Recorder::NowNs();
+    runner::ShardPlan plan = runner::PlanShards(rounds, /*root_seed=*/0xF16'3);
+    mi::Observations obs =
+        runner::RunSharded(pool, plan, [&](const runner::Shard& shard) {
+          attacks::Experiment exp = attacks::MakeExperiment(mc, s, {.timeslice_ms = 0.25});
+          return attacks::RunKernelChannel(exp, shard.rounds, shard.seed);
+        });
     mi::LeakageOptions opt;
     opt.shuffles = 60;
     mi::LeakageResult r = mi::TestLeakage(obs, opt);
@@ -29,6 +38,14 @@ void RunPlatform(const char* name, const hw::MachineConfig& mc, std::size_t roun
     mi::ChannelMatrix matrix(obs, 24);
     std::printf("channel matrix (inputs: 0=Signal 1=SetPriority 2=Poll 3=idle; "
                 "output: LLC misses):\n%s", matrix.ToAscii(16).c_str());
+    recorder.Add({.cell = std::string(name) + "/" + core::ScenarioName(s),
+                  .rounds = rounds,
+                  .samples = r.samples,
+                  .mi_bits = r.mi_bits,
+                  .m0_bits = r.m0_bits,
+                  .wall_ns = bench::Recorder::NowNs() - t0,
+                  .threads = pool.threads(),
+                  .shards = plan.num_shards()});
   }
 }
 
@@ -39,9 +56,11 @@ int main() {
   tp::bench::Header("Figure 3: timing channel via a shared kernel image",
                     "x86: raw M=0.79b (n=255790), protected M=0.6mb (M0=0.1mb). "
                     "Arm: raw M=20mb, protected 0.0mb");
+  tp::runner::ExperimentRunner pool;
+  tp::bench::Recorder recorder("fig3_kernel_channel");
   std::size_t rounds = tp::bench::Scaled(1200);
-  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), rounds);
-  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), rounds);
+  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), rounds, pool, recorder);
+  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), rounds, pool, recorder);
   std::printf("\nShape check: raw shows a clear channel on both platforms; cloned,\n"
               "coloured kernels remove the correlation entirely.\n");
   return 0;

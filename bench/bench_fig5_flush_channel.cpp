@@ -12,30 +12,41 @@
 #include "bench/bench_util.hpp"
 #include "mi/channel_matrix.hpp"
 #include "mi/leakage_test.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 int main() {
   using namespace tp;
   bench::Header("Figure 5: unmitigated cache-flush channel (Arm)",
                 "receiver offline time vs sender dirty footprint; M = 1.4 b, n = 1828");
+  runner::ExperimentRunner pool;
+  bench::Recorder recorder("fig5_flush_channel");
 
   hw::MachineConfig mc = hw::MachineConfig::Sabre(1);
-  attacks::ExperimentOptions opt;
-  opt.timeslice_ms = 0.5;
-  opt.disable_padding = true;  // protection minus Requirement 4
-  attacks::Experiment exp = attacks::MakeExperiment(mc, core::Scenario::kProtected, opt);
-  hw::Cycles gap = exp.SliceGapThreshold();
-
-  core::MappedBuffer sbuf =
-      exp.manager->AllocBuffer(*exp.sender_domain, 2 * mc.l1d.size_bytes);
   std::size_t lines_per_symbol = mc.l1d.TotalLines() / 8;
-  attacks::DirtyLineSender sender(sbuf, lines_per_symbol, mc.l1d.line_size, 8, 0xF165,
-                                  gap);
-  attacks::FlushTimingReceiver receiver(attacks::TimingObservable::kOffline, gap);
-
-  exp.manager->StartThread(*exp.sender_domain, &sender, 120, 0);
-  exp.manager->StartThread(*exp.receiver_domain, &receiver, 120, 0);
   std::size_t rounds = bench::Scaled(1800, 256);
-  mi::Observations obs = attacks::CollectObservations(exp, sender, receiver, rounds);
+
+  std::uint64_t t0 = bench::Recorder::NowNs();
+  runner::ShardPlan plan = runner::PlanShards(rounds, /*root_seed=*/0xF165);
+  // One probe machine outside the shards for the unit conversions below.
+  hw::Machine probe(mc);
+  mi::Observations obs =
+      runner::RunSharded(pool, plan, [&](const runner::Shard& shard) {
+        attacks::ExperimentOptions opt;
+        opt.timeslice_ms = 0.5;
+        opt.disable_padding = true;  // protection minus Requirement 4
+        attacks::Experiment exp =
+            attacks::MakeExperiment(mc, core::Scenario::kProtected, opt);
+        hw::Cycles gap = exp.SliceGapThreshold();
+        core::MappedBuffer sbuf =
+            exp.manager->AllocBuffer(*exp.sender_domain, 2 * mc.l1d.size_bytes);
+        attacks::DirtyLineSender sender(sbuf, lines_per_symbol, mc.l1d.line_size, 8,
+                                        shard.seed, gap);
+        attacks::FlushTimingReceiver receiver(attacks::TimingObservable::kOffline, gap);
+        exp.manager->StartThread(*exp.sender_domain, &sender, 120, 0);
+        exp.manager->StartThread(*exp.receiver_domain, &receiver, 120, 0);
+        return attacks::CollectObservations(exp, sender, receiver, shard.rounds);
+      });
 
   // Scatter summary: mean offline time per dirty-footprint symbol.
   std::map<int, std::pair<double, std::size_t>> per_symbol;
@@ -46,8 +57,7 @@ int main() {
   }
   bench::Table t({"dirty cache sets (symbol)", "mean offline (us)", "samples"});
   for (const auto& [sym, acc] : per_symbol) {
-    double mean_us =
-        exp.machine->CyclesToMicros(static_cast<hw::Cycles>(acc.first / acc.second));
+    double mean_us = probe.CyclesToMicros(static_cast<hw::Cycles>(acc.first / acc.second));
     t.AddRow({std::to_string(sym * (lines_per_symbol / (mc.l1d.associativity))),
               bench::Fmt("%.2f", mean_us), std::to_string(acc.second)});
   }
@@ -61,6 +71,14 @@ int main() {
   mi::ChannelMatrix matrix(obs, 24);
   std::printf("\nchannel matrix (offline time vs dirty footprint):\n%s",
               matrix.ToAscii(16).c_str());
+  recorder.Add({.cell = "Sabre (Arm)/protected-nopad",
+                .rounds = rounds,
+                .samples = r.samples,
+                .mi_bits = r.mi_bits,
+                .m0_bits = r.m0_bits,
+                .wall_ns = bench::Recorder::NowNs() - t0,
+                .threads = pool.threads(),
+                .shards = plan.num_shards()});
   std::printf("\nShape check: offline time increases monotonically with the dirty\n"
               "footprint; the channel is large without padding.\n");
   return 0;

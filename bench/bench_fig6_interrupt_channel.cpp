@@ -6,18 +6,20 @@
 // with IRQ partitioning the spy's slice is uninterrupted and the channel is
 // closed (M = 0.5 mb, M0 = 0.7 mb).
 #include <cstdio>
+#include <string>
 
 #include "attacks/channel_experiment.hpp"
 #include "attacks/interrupt_channel.hpp"
 #include "bench/bench_util.hpp"
 #include "mi/channel_matrix.hpp"
 #include "mi/leakage_test.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 namespace tp {
 namespace {
 
-mi::LeakageResult RunOne(core::Scenario scenario, std::size_t rounds,
-                         mi::Observations* out_obs) {
+mi::Observations RunShard(core::Scenario scenario, std::uint64_t seed, std::size_t rounds) {
   hw::MachineConfig mc = hw::MachineConfig::Haswell(1);
   attacks::ExperimentOptions opt;
   // Scaled-down tick (2 ms instead of 10 ms) keeps simulation time sane;
@@ -31,19 +33,37 @@ mi::LeakageResult RunOne(core::Scenario scenario, std::size_t rounds,
   kernel::CapIdx timer =
       exp.manager->GrantCap(*exp.sender_domain, exp.kernel->boot_info().device_timers[0]);
   attacks::TimerTrojan trojan(timer, m.MicrosToCycles(2600), m.MicrosToCycles(200), 5,
-                              0xF166, gap);
+                              seed, gap);
   attacks::InterruptSpy spy(/*irq_gap=*/300, gap);
   exp.manager->StartThread(*exp.sender_domain, &trojan, 120, 0);
   exp.manager->StartThread(*exp.receiver_domain, &spy, 120, 0);
 
-  mi::Observations obs =
-      attacks::CollectObservations(exp, trojan, spy, rounds, /*sample_lag=*/1);
+  return attacks::CollectObservations(exp, trojan, spy, rounds, /*sample_lag=*/1);
+}
+
+mi::LeakageResult RunOne(core::Scenario scenario, std::size_t rounds,
+                         const runner::ExperimentRunner& pool, bench::Recorder& recorder,
+                         mi::Observations* out_obs) {
+  std::uint64_t t0 = bench::Recorder::NowNs();
+  runner::ShardPlan plan = runner::PlanShards(rounds, /*root_seed=*/0xF166);
+  mi::Observations obs = runner::RunSharded(pool, plan, [&](const runner::Shard& shard) {
+    return RunShard(scenario, shard.seed, shard.rounds);
+  });
   if (out_obs != nullptr) {
     *out_obs = obs;
   }
   mi::LeakageOptions lopt;
   lopt.shuffles = 50;
-  return mi::TestLeakage(obs, lopt);
+  mi::LeakageResult r = mi::TestLeakage(obs, lopt);
+  recorder.Add({.cell = std::string("Haswell (x86)/") + core::ScenarioName(scenario),
+                .rounds = rounds,
+                .samples = r.samples,
+                .mi_bits = r.mi_bits,
+                .m0_bits = r.m0_bits,
+                .wall_ns = bench::Recorder::NowNs() - t0,
+                .threads = pool.threads(),
+                .shards = plan.num_shards()});
+  return r;
 }
 
 }  // namespace
@@ -53,10 +73,13 @@ int main() {
   tp::bench::Header("Figure 6: interrupt covert channel",
                     "raw: M = 902 mb (timer 13-17ms, 10ms tick); partitioned: closed "
                     "(M = 0.5 mb, M0 = 0.7 mb)");
+  tp::runner::ExperimentRunner pool;
+  tp::bench::Recorder recorder("fig6_interrupt_channel");
   std::size_t rounds = tp::bench::Scaled(700, 128);
 
   tp::mi::Observations raw_obs;
-  tp::mi::LeakageResult raw = tp::RunOne(tp::core::Scenario::kRaw, rounds, &raw_obs);
+  tp::mi::LeakageResult raw =
+      tp::RunOne(tp::core::Scenario::kRaw, rounds, pool, recorder, &raw_obs);
   std::printf("\nraw: M = %.1f mb, M0 = %.1f mb, n = %zu -> %s\n", raw.MilliBits(),
               raw.M0MilliBits(), raw.samples, raw.leak ? "CHANNEL" : "no channel");
   tp::mi::ChannelMatrix matrix(raw_obs, 20);
@@ -64,7 +87,7 @@ int main() {
               matrix.ToAscii(14).c_str());
 
   tp::mi::LeakageResult prot =
-      tp::RunOne(tp::core::Scenario::kProtected, rounds, nullptr);
+      tp::RunOne(tp::core::Scenario::kProtected, rounds, pool, recorder, nullptr);
   std::printf("\npartitioned (Kernel_SetInt): M = %.1f mb, M0 = %.1f mb, n = %zu -> %s\n",
               prot.MilliBits(), prot.M0MilliBits(), prot.samples,
               prot.leak ? "CHANNEL" : "no channel");

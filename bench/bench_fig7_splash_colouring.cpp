@@ -7,12 +7,16 @@
 // almost nothing on top of colouring.
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/domain.hpp"
 #include "core/time_protection.hpp"
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 #include "workloads/splash.hpp"
 
 namespace tp {
@@ -52,34 +56,55 @@ double RunOnce(const hw::MachineConfig& mc, workloads::SplashKind kind, bool clo
   return static_cast<double>(machine.core(0).now() - t0);
 }
 
+struct Config {
+  bool clone;
+  double fraction;
+};
+constexpr Config kConfigs[6] = {{false, 1.0}, {false, 0.75}, {false, 0.5},
+                                {true, 1.0},  {true, 0.75},  {true, 0.5}};
+
 void RunPlatform(const char* name, const hw::MachineConfig& mc,
-                 std::uint64_t target_accesses) {
+                 std::uint64_t target_accesses, const runner::ExperimentRunner& pool,
+                 bench::Recorder& recorder) {
   std::printf("\n--- %s ---\n", name);
+  std::vector<workloads::SplashKind> kinds = workloads::AllSplashKinds();
+
+  // Every (benchmark, config) run — including the 100% baseline — is an
+  // independent simulation; fan them all out at once.
+  std::uint64_t t0 = bench::Recorder::NowNs();
+  std::vector<double> cycles =
+      pool.Map(kinds.size() * 6, [&](std::size_t task) {
+        const Config& c = kConfigs[task % 6];
+        return RunOnce(mc, kinds[task / 6], c.clone, c.fraction, target_accesses);
+      });
+  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+
   bench::Table t({"benchmark", "75% base", "50% base", "100% clone", "75% clone",
                   "50% clone"});
-  struct Config {
-    bool clone;
-    double fraction;
-  };
-  Config configs[5] = {{false, 0.75}, {false, 0.5}, {true, 1.0}, {true, 0.75}, {true, 0.5}};
   double geo[5] = {1, 1, 1, 1, 1};
-  std::size_t n = 0;
-  for (workloads::SplashKind kind : workloads::AllSplashKinds()) {
-    double base = RunOnce(mc, kind, false, 1.0, target_accesses);
-    std::vector<std::string> row{workloads::SplashName(kind)};
-    for (int c = 0; c < 5; ++c) {
-      double cycles = RunOnce(mc, kind, configs[c].clone, configs[c].fraction,
-                              target_accesses);
-      double slowdown = cycles / base - 1.0;
-      geo[c] *= cycles / base;
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    double base = cycles[k * 6];
+    std::vector<std::string> row{workloads::SplashName(kinds[k])};
+    bench::BenchRecord rec;
+    rec.cell = std::string(name) + "/" + workloads::SplashName(kinds[k]);
+    rec.rounds = target_accesses;
+    rec.wall_ns = grid_ns / kinds.size();
+    rec.threads = pool.threads();
+    rec.metrics["base_cycles"] = base;
+    for (int c = 1; c < 6; ++c) {
+      double slowdown = cycles[k * 6 + static_cast<std::size_t>(c)] / base - 1.0;
+      geo[c - 1] *= slowdown + 1.0;
       row.push_back(bench::Fmt("%+.2f%%", slowdown * 100.0));
+      rec.metrics[std::string(kConfigs[c].clone ? "clone_" : "base_") +
+                  bench::Fmt("%.0f", kConfigs[c].fraction * 100.0) + "pct_slowdown"] =
+          slowdown;
     }
-    ++n;
+    recorder.Add(std::move(rec));
     t.AddRow(std::move(row));
   }
   std::vector<std::string> mean_row{"GEOMEAN"};
   for (int c = 0; c < 5; ++c) {
-    double g = std::pow(geo[c], 1.0 / static_cast<double>(n)) - 1.0;
+    double g = std::pow(geo[c], 1.0 / static_cast<double>(kinds.size())) - 1.0;
     mean_row.push_back(bench::Fmt("%+.2f%%", g * 100.0));
   }
   t.AddRow(std::move(mean_row));
@@ -93,9 +118,13 @@ int main() {
   tp::bench::Header("Figure 7: Splash-2 slowdown from colouring and cloned kernels",
                     "most benchmarks <2% even at 50% colours; raytrace worst (6.5% at "
                     "50% Arm, 2.5% at 75%); cloning adds ~0 on top");
+  tp::runner::ExperimentRunner pool;
+  tp::bench::Recorder recorder("fig7_splash_colouring");
   std::uint64_t accesses = tp::bench::QuickMode() ? 60'000 : 320'000;
-  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), accesses);
-  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), accesses);
+  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), accesses, pool,
+                  recorder);
+  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), accesses, pool,
+                  recorder);
   std::printf("\nShape checks: slowdown grows as the colour share shrinks; the\n"
               "large-working-set benchmarks (raytrace, fft, ocean) suffer most; the\n"
               "cloned-kernel columns track the base columns closely.\n");

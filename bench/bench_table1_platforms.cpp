@@ -6,11 +6,13 @@
 #include "bench/bench_util.hpp"
 #include "core/colour.hpp"
 #include "hw/machine.hpp"
+#include "runner/recorder.hpp"
 
 namespace tp {
 namespace {
 
-void PrintPlatform(const hw::MachineConfig& mc) {
+void PrintPlatform(const hw::MachineConfig& mc, bench::Recorder& recorder) {
+  std::uint64_t t0 = bench::Recorder::NowNs();
   std::printf("\n%s\n", mc.name.c_str());
   bench::Table t({"property", "value"});
   t.AddRow({"clock", bench::Fmt("%.1f GHz", mc.clock_ghz)});
@@ -46,6 +48,11 @@ void PrintPlatform(const hw::MachineConfig& mc) {
   t.AddRow({"L1 flush", mc.has_architected_l1_flush ? "architected (DCCISW/ICIALLU)"
                                                     : "manual (loads + jump chain)"});
   t.Print();
+  recorder.Add({.cell = mc.name,
+                .wall_ns = bench::Recorder::NowNs() - t0,
+                .metrics = {{"num_colours", static_cast<double>(core::NumColours(mc))},
+                            {"llc_colours", static_cast<double>(mc.llc.Colours())},
+                            {"cores", static_cast<double>(mc.num_cores)}}});
 }
 
 }  // namespace
@@ -54,7 +61,8 @@ void PrintPlatform(const hw::MachineConfig& mc) {
 int main() {
   tp::bench::Header("Table 1: hardware platforms (simulated)",
                     "Haswell Core i7-4770 4x2 @3.4GHz; Sabre i.MX6Q Cortex A9 4x1 @0.8GHz");
-  tp::PrintPlatform(tp::hw::MachineConfig::Haswell());
-  tp::PrintPlatform(tp::hw::MachineConfig::Sabre());
+  tp::bench::Recorder recorder("table1_platforms");
+  tp::PrintPlatform(tp::hw::MachineConfig::Haswell(), recorder);
+  tp::PrintPlatform(tp::hw::MachineConfig::Sabre(), recorder);
   return 0;
 }

@@ -7,12 +7,15 @@
 // working set matches the flushed cache, measured as extra cycles on its
 // first sweep after the flush.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/domain.hpp"
 #include "core/time_protection.hpp"
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 namespace tp {
 namespace {
@@ -39,53 +42,45 @@ class SweepProgram final : public kernel::UserProgram {
   std::uint64_t sweeps_ = 0;
 };
 
-struct FlushCosts {
-  double l1_direct_us, l1_indirect_us, full_direct_us, full_indirect_us;
+// One (platform, full?) measurement cell; independent of every other cell.
+struct CostCell {
+  double direct_us = 0.0;
+  double indirect_us = 0.0;
 };
 
-FlushCosts Measure(const hw::MachineConfig& mc) {
-  FlushCosts costs{};
-  for (bool full : {false, true}) {
-    hw::Machine machine(mc);
-    kernel::KernelConfig kc;
-    kc.timeslice_cycles = machine.MicrosToCycles(1e6);  // no preemption
-    kernel::Kernel kernel(machine, kc);
-    core::DomainManager mgr(kernel);
-    core::Domain& d = mgr.CreateDomain({.id = 1});
-    std::size_t ws = full ? mc.llc.size_bytes : mc.l1d.size_bytes;
-    core::MappedBuffer buf = mgr.AllocBuffer(d, ws);
-    SweepProgram prog(buf, mc.l1d.line_size);
-    mgr.StartThread(d, &prog, 100, 0);
-    kernel.SetDomainSchedule(0, {1});
+CostCell MeasureCell(const hw::MachineConfig& mc, bool full) {
+  hw::Machine machine(mc);
+  kernel::KernelConfig kc;
+  kc.timeslice_cycles = machine.MicrosToCycles(1e6);  // no preemption
+  kernel::Kernel kernel(machine, kc);
+  core::DomainManager mgr(kernel);
+  core::Domain& d = mgr.CreateDomain({.id = 1});
+  std::size_t ws = full ? mc.llc.size_bytes : mc.l1d.size_bytes;
+  core::MappedBuffer buf = mgr.AllocBuffer(d, ws);
+  SweepProgram prog(buf, mc.l1d.line_size);
+  mgr.StartThread(d, &prog, 100, 0);
+  kernel.SetDomainSchedule(0, {1});
   kernel.KickSchedule(0);
 
-    // Warm up: several sweeps so the working set is cache-resident and the
-    // L1 is fully dirty (writes).
-    while (prog.sweeps() < 4) {
-      kernel.StepCore(0);
-    }
-    hw::Cycles steady = prog.last_sweep();
-
-    hw::Cycles direct =
-        full ? kernel.MeasureFullFlush(0) : kernel.MeasureOnCoreFlush(0);
-
-    // One sweep right after the flush: the indirect (refill) cost.
-    std::uint64_t n = prog.sweeps();
-    while (prog.sweeps() == n) {
-      kernel.StepCore(0);
-    }
-    hw::Cycles cold = prog.last_sweep();
-    double indirect = machine.CyclesToMicros(cold > steady ? cold - steady : 0);
-    double direct_us = machine.CyclesToMicros(direct);
-    if (full) {
-      costs.full_direct_us = direct_us;
-      costs.full_indirect_us = indirect;
-    } else {
-      costs.l1_direct_us = direct_us;
-      costs.l1_indirect_us = indirect;
-    }
+  // Warm up: several sweeps so the working set is cache-resident and the
+  // L1 is fully dirty (writes).
+  while (prog.sweeps() < 4) {
+    kernel.StepCore(0);
   }
-  return costs;
+  hw::Cycles steady = prog.last_sweep();
+
+  hw::Cycles direct = full ? kernel.MeasureFullFlush(0) : kernel.MeasureOnCoreFlush(0);
+
+  // One sweep right after the flush: the indirect (refill) cost.
+  std::uint64_t n = prog.sweeps();
+  while (prog.sweeps() == n) {
+    kernel.StepCore(0);
+  }
+  hw::Cycles cold = prog.last_sweep();
+  CostCell cell;
+  cell.indirect_us = machine.CyclesToMicros(cold > steady ? cold - steady : 0);
+  cell.direct_us = machine.CyclesToMicros(direct);
+  return cell;
 }
 
 }  // namespace
@@ -97,23 +92,38 @@ int main() {
                     "x86 L1 dir 26 ind 1 tot 27; full 270/250/520. "
                     "Arm L1 20/25/45; full 380/770/1150. (x86 L1 is the manual flush; "
                     "~1us with hardware support)");
+  tp::runner::ExperimentRunner pool;
+  tp::bench::Recorder recorder("table2_flush_cost");
+
+  struct Spec {
+    const char* platform;
+    tp::hw::MachineConfig mc;
+    bool full;
+    const char* cache;
+    const char* paper;
+  };
+  std::vector<Spec> specs = {
+      {"x86", tp::hw::MachineConfig::Haswell(1), false, "L1 only", "26 / 1 / 27"},
+      {"x86", tp::hw::MachineConfig::Haswell(1), true, "Full flush", "270 / 250 / 520"},
+      {"Arm", tp::hw::MachineConfig::Sabre(1), false, "L1 only", "20 / 25 / 45"},
+      {"Arm", tp::hw::MachineConfig::Sabre(1), true, "Full flush", "380 / 770 / 1150"},
+  };
+  std::uint64_t t0 = tp::bench::Recorder::NowNs();
+  std::vector<tp::CostCell> cells = pool.Map(specs.size(), [&](std::size_t i) {
+    return tp::MeasureCell(specs[i].mc, specs[i].full);
+  });
+  std::uint64_t grid_ns = tp::bench::Recorder::NowNs() - t0;
 
   tp::bench::Table t({"platform", "cache", "direct", "indirect", "total", "paper(d/i/t)"});
-  {
-    tp::FlushCosts x = tp::Measure(tp::hw::MachineConfig::Haswell(1));
-    t.AddRow({"x86", "L1 only", Fmt("%.1f", x.l1_direct_us), Fmt("%.1f", x.l1_indirect_us),
-              Fmt("%.1f", x.l1_direct_us + x.l1_indirect_us), "26 / 1 / 27"});
-    t.AddRow({"x86", "Full flush", Fmt("%.1f", x.full_direct_us),
-              Fmt("%.1f", x.full_indirect_us),
-              Fmt("%.1f", x.full_direct_us + x.full_indirect_us), "270 / 250 / 520"});
-  }
-  {
-    tp::FlushCosts a = tp::Measure(tp::hw::MachineConfig::Sabre(1));
-    t.AddRow({"Arm", "L1 only", Fmt("%.1f", a.l1_direct_us), Fmt("%.1f", a.l1_indirect_us),
-              Fmt("%.1f", a.l1_direct_us + a.l1_indirect_us), "20 / 25 / 45"});
-    t.AddRow({"Arm", "Full flush", Fmt("%.1f", a.full_direct_us),
-              Fmt("%.1f", a.full_indirect_us),
-              Fmt("%.1f", a.full_direct_us + a.full_indirect_us), "380 / 770 / 1150"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    t.AddRow({specs[i].platform, specs[i].cache, Fmt("%.1f", cells[i].direct_us),
+              Fmt("%.1f", cells[i].indirect_us),
+              Fmt("%.1f", cells[i].direct_us + cells[i].indirect_us), specs[i].paper});
+    recorder.Add({.cell = std::string(specs[i].platform) + "/" + specs[i].cache,
+                  .wall_ns = grid_ns / specs.size(),
+                  .threads = pool.threads(),
+                  .metrics = {{"direct_us", cells[i].direct_us},
+                              {"indirect_us", cells[i].indirect_us}}});
   }
   t.Print();
   std::printf("\nShape checks: full >> L1 on both platforms; x86 manual L1 flush is\n"

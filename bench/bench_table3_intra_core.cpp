@@ -9,10 +9,13 @@
 // the remainder being the instruction prefetcher).
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "attacks/intra_core.hpp"
 #include "bench/bench_util.hpp"
 #include "mi/leakage_test.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 namespace tp {
 namespace {
@@ -24,36 +27,71 @@ struct PaperRow {
   const char* prot;
 };
 
+constexpr core::Scenario kScenarios[3] = {core::Scenario::kRaw, core::Scenario::kFullFlush,
+                                          core::Scenario::kProtected};
+
 void RunPlatform(const char* name, const hw::MachineConfig& mc,
-                 const std::vector<PaperRow>& paper, std::size_t rounds) {
+                 const std::vector<PaperRow>& paper, std::size_t rounds,
+                 const runner::ExperimentRunner& pool, bench::Recorder& recorder) {
   std::printf("\n--- %s ---\n", name);
-  bench::Table t({"cache", "raw M", "full-flush M (M0)", "protected M (M0)", "verdict",
-                  "paper raw/full/prot (mb)"});
+
+  // Flatten the available (resource, scenario) grid into cells so every
+  // shard of every cell feeds one task pool.
+  struct Cell {
+    attacks::IntraCoreResource resource;
+    int scenario;
+  };
+  std::vector<Cell> cells;
+  std::vector<runner::ShardPlan> plans;
   for (std::size_t i = 0; i < paper.size(); ++i) {
     auto resource = static_cast<attacks::IntraCoreResource>(i);
     if (!attacks::ResourceAvailable(resource, mc)) {
       continue;
     }
-    std::string cells[3];
-    bool leak[3] = {false, false, false};
-    core::Scenario scenarios[3] = {core::Scenario::kRaw, core::Scenario::kFullFlush,
-                                   core::Scenario::kProtected};
     for (int s = 0; s < 3; ++s) {
-      mi::Observations obs =
-          attacks::RunIntraCoreChannel(mc, scenarios[s], resource, rounds, 0x7AB13 + s);
+      cells.push_back({resource, s});
+      plans.push_back(runner::PlanShards(rounds, 0x7AB13 + static_cast<std::uint64_t>(s)));
+    }
+  }
+
+  std::uint64_t t0 = bench::Recorder::NowNs();
+  std::vector<mi::Observations> merged = runner::RunShardedCells(
+      pool, plans, [&](std::size_t cell, const runner::Shard& shard) {
+        return attacks::RunIntraCoreChannel(mc, kScenarios[cells[cell].scenario],
+                                            cells[cell].resource, shard.rounds, shard.seed);
+      });
+  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+
+  bench::Table t({"cache", "raw M", "full-flush M (M0)", "protected M (M0)", "verdict",
+                  "paper raw/full/prot (mb)"});
+  for (std::size_t c = 0; c + 3 <= cells.size(); c += 3) {
+    std::size_t row = c / 3;
+    std::string cell_text[3];
+    bool leak[3] = {false, false, false};
+    for (int s = 0; s < 3; ++s) {
       mi::LeakageOptions opt;
       opt.shuffles = 50;
-      mi::LeakageResult r = mi::TestLeakage(obs, opt);
+      mi::LeakageResult r = mi::TestLeakage(merged[c + static_cast<std::size_t>(s)], opt);
       leak[s] = r.leak;
       if (s == 0) {
-        cells[s] = bench::Fmt("%.1f", r.MilliBits());
+        cell_text[s] = bench::Fmt("%.1f", r.MilliBits());
       } else {
-        cells[s] = bench::Fmt("%.1f", r.MilliBits()) + " (" +
-                   bench::Fmt("%.1f", r.M0MilliBits()) + ")";
+        cell_text[s] = bench::Fmt("%.1f", r.MilliBits()) + " (" +
+                       bench::Fmt("%.1f", r.M0MilliBits()) + ")";
       }
       if (r.leak) {
-        cells[s] += "*";
+        cell_text[s] += "*";
       }
+      recorder.Add({.cell = std::string(name) + "/" +
+                            attacks::ResourceName(cells[c].resource) + "/" +
+                            core::ScenarioName(kScenarios[s]),
+                    .rounds = rounds,
+                    .samples = r.samples,
+                    .mi_bits = r.mi_bits,
+                    .m0_bits = r.m0_bits,
+                    .wall_ns = grid_ns / cells.size(),  // grid amortised
+                    .threads = pool.threads(),
+                    .shards = plans[c + static_cast<std::size_t>(s)].num_shards()});
     }
     std::string verdict;
     if (leak[0] && !leak[1] && !leak[2]) {
@@ -65,10 +103,10 @@ void RunPlatform(const char* name, const hw::MachineConfig& mc,
     } else {
       verdict = "see M values";
     }
-    std::string paper_ref = std::string(paper[i].raw) + " / " + paper[i].full + " / " +
-                            paper[i].prot;
-    t.AddRow({attacks::ResourceName(resource), cells[0], cells[1], cells[2], verdict,
-              paper_ref});
+    std::string paper_ref = std::string(paper[row].raw) + " / " + paper[row].full + " / " +
+                            paper[row].prot;
+    t.AddRow({attacks::ResourceName(cells[c].resource), cell_text[0], cell_text[1],
+              cell_text[2], verdict, paper_ref});
   }
   t.Print();
   std::printf("(* = definite channel: M > M0 per the shuffle test)\n");
@@ -82,6 +120,8 @@ int main() {
       "Table 3: intra-core timing channels (mb), raw / full flush / protected",
       "all closed on both platforms except x86 L2: 50.5mb residual from the "
       "prefetcher state machine (6.4mb with the data prefetcher off)");
+  tp::runner::ExperimentRunner pool;
+  tp::bench::Recorder recorder("table3_intra_core");
   std::size_t rounds = tp::bench::Scaled(900);
 
   std::vector<tp::PaperRow> x86 = {
@@ -89,14 +129,16 @@ int main() {
       {"TLB", "2300", "0.5", "16.8"}, {"BTB", "1500", "0.8", "0.4"},
       {"BHB", "1000", "0.5", "0.0"},  {"L2", "2700", "2.3", "50.5*"},
   };
-  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), x86, rounds);
+  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), x86, rounds, pool,
+                  recorder);
 
   std::vector<tp::PaperRow> arm = {
       {"L1-D", "2000", "1", "30.2"},  {"L1-I", "2500", "1.3", "4.9"},
       {"TLB", "600", "0.5", "1.9"},   {"BTB", "7.5", "4.1", "62.2"},
       {"BHB", "1000", "0", "0.2"},
   };
-  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), arm, rounds);
+  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), arm, rounds, pool,
+                  recorder);
 
   std::printf("\nShape check: every raw channel is large; full flush and time protection\n"
               "close them, except the x86 L2 where hidden prefetcher state leaks past\n"

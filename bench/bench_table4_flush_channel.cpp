@@ -7,18 +7,23 @@
 // write-back variation is buried in the jump-chain cost; the Arm DCCISW
 // flush exposes it directly.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "attacks/channel_experiment.hpp"
 #include "attacks/flush_channel.hpp"
 #include "bench/bench_util.hpp"
 #include "core/padding.hpp"
 #include "mi/leakage_test.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 namespace tp {
 namespace {
 
-mi::LeakageResult RunOne(const hw::MachineConfig& mc, bool padded,
-                         attacks::TimingObservable observable, std::size_t rounds) {
+mi::Observations RunShard(const hw::MachineConfig& mc, bool padded,
+                          attacks::TimingObservable observable, std::uint64_t seed,
+                          std::size_t rounds) {
   attacks::ExperimentOptions opt;
   opt.timeslice_ms = mc.arch == hw::Arch::kX86 ? 0.25 : 0.5;
   opt.disable_padding = !padded;
@@ -28,29 +33,52 @@ mi::LeakageResult RunOne(const hw::MachineConfig& mc, bool padded,
   core::MappedBuffer sbuf =
       exp.manager->AllocBuffer(*exp.sender_domain, 2 * mc.l1d.size_bytes);
   attacks::DirtyLineSender sender(sbuf, mc.l1d.TotalLines() / 4, mc.l1d.line_size, 4,
-                                  0x7AB4E, gap);
+                                  seed, gap);
   attacks::FlushTimingReceiver receiver(observable, gap);
   exp.manager->StartThread(*exp.sender_domain, &sender, 120, 0);
   exp.manager->StartThread(*exp.receiver_domain, &receiver, 120, 0);
 
-  mi::Observations obs = attacks::CollectObservations(exp, sender, receiver, rounds);
-  mi::LeakageOptions lopt;
-  lopt.shuffles = 50;
-  return mi::TestLeakage(obs, lopt);
+  return attacks::CollectObservations(exp, sender, receiver, rounds);
 }
 
 void RunPlatform(const char* name, const hw::MachineConfig& mc, const char* paper_pad,
-                 std::size_t rounds) {
+                 std::size_t rounds, const runner::ExperimentRunner& pool,
+                 bench::Recorder& recorder) {
   hw::Machine probe_machine(mc);
   double pad_us = probe_machine.CyclesToMicros(
       core::WorstCaseSwitchCycles(probe_machine, kernel::FlushMode::kOnCore));
   std::printf("\n--- %s (pad = %.1f us; paper pad = %s) ---\n", name, pad_us, paper_pad);
-  bench::Table t({"timing", "no pad M (mb)", "protected M (M0) (mb)", "verdict"});
+
+  // 4 cells: {online, offline} x {unpadded, padded}, sharded together.
+  struct Cell {
+    attacks::TimingObservable observable;
+    bool padded;
+  };
+  std::vector<Cell> cells;
+  std::vector<runner::ShardPlan> plans;
   for (attacks::TimingObservable obs :
        {attacks::TimingObservable::kOnline, attacks::TimingObservable::kOffline}) {
-    mi::LeakageResult nopad = RunOne(mc, false, obs, rounds);
-    mi::LeakageResult padded = RunOne(mc, true, obs, rounds);
-    const char* label = obs == attacks::TimingObservable::kOnline ? "Online" : "Offline";
+    for (bool padded : {false, true}) {
+      cells.push_back({obs, padded});
+      plans.push_back(runner::PlanShards(rounds, /*root_seed=*/0x7AB4E));
+    }
+  }
+  std::uint64_t t0 = bench::Recorder::NowNs();
+  std::vector<mi::Observations> merged = runner::RunShardedCells(
+      pool, plans, [&](std::size_t cell, const runner::Shard& shard) {
+        return RunShard(mc, cells[cell].padded, cells[cell].observable, shard.seed,
+                        shard.rounds);
+      });
+  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+
+  bench::Table t({"timing", "no pad M (mb)", "protected M (M0) (mb)", "verdict"});
+  for (std::size_t c = 0; c < cells.size(); c += 2) {
+    mi::LeakageOptions lopt;
+    lopt.shuffles = 50;
+    mi::LeakageResult nopad = mi::TestLeakage(merged[c], lopt);
+    mi::LeakageResult padded = mi::TestLeakage(merged[c + 1], lopt);
+    const char* label =
+        cells[c].observable == attacks::TimingObservable::kOnline ? "Online" : "Offline";
     std::string verdict = nopad.leak && !padded.leak ? "closed by padding"
                           : (!nopad.leak ? "no unpadded channel" : "STILL LEAKS");
     t.AddRow({label, bench::Fmt("%.1f", nopad.MilliBits()) + (nopad.leak ? "*" : ""),
@@ -58,6 +86,18 @@ void RunPlatform(const char* name, const hw::MachineConfig& mc, const char* pape
                   bench::Fmt("%.1f", padded.M0MilliBits()) + ")" +
                   (padded.leak ? "*" : ""),
               verdict});
+    for (std::size_t k = 0; k < 2; ++k) {
+      const mi::LeakageResult& r = k == 0 ? nopad : padded;
+      recorder.Add({.cell = std::string(name) + "/" + label +
+                            (k == 0 ? "/nopad" : "/padded"),
+                    .rounds = rounds,
+                    .samples = r.samples,
+                    .mi_bits = r.mi_bits,
+                    .m0_bits = r.m0_bits,
+                    .wall_ns = grid_ns / cells.size(),
+                    .threads = pool.threads(),
+                    .shards = plans[c + k].num_shards()});
+    }
   }
   t.Print();
 }
@@ -69,9 +109,13 @@ int main() {
   tp::bench::Header("Table 4: cache-flush channel (mb) without and with time padding",
                     "x86: 8.4/8.3mb -> 0.5/0.6mb (pad 58.8us). "
                     "Arm: 1400/1400mb -> closed (pad 62.5us)");
+  tp::runner::ExperimentRunner pool;
+  tp::bench::Recorder recorder("table4_flush_channel");
   std::size_t rounds = tp::bench::Scaled(900);
-  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), "58.8 us", rounds);
-  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), "62.5 us", rounds);
+  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), "58.8 us", rounds,
+                  pool, recorder);
+  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), "62.5 us", rounds, pool,
+                  recorder);
   std::printf("\nShape check: the Arm channel is orders of magnitude larger than the\n"
               "x86 one (architected flush exposes dirty-line write-back directly);\n"
               "padding to the worst case closes both.\n");

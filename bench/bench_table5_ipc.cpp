@@ -9,12 +9,15 @@
 // L2 TLB is only 2-way associative.
 #include <cstdio>
 #include <optional>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/domain.hpp"
 #include "core/time_protection.hpp"
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 namespace tp {
 namespace {
@@ -144,18 +147,30 @@ double MeasureIpc(const hw::MachineConfig& mc, IpcVersion version, std::size_t r
 }
 
 void RunPlatform(const char* name, const hw::MachineConfig& mc, const char* paper,
-                 std::size_t rounds) {
+                 std::size_t rounds, const runner::ExperimentRunner& pool,
+                 bench::Recorder& recorder) {
   std::printf("\n--- %s (paper: %s) ---\n", name, paper);
+  const std::vector<IpcVersion> versions = {IpcVersion::kOriginal, IpcVersion::kColourReady,
+                                            IpcVersion::kIntraColour,
+                                            IpcVersion::kInterColour};
+  std::uint64_t t0 = bench::Recorder::NowNs();
+  std::vector<double> cycles = pool.Map(versions.size(), [&](std::size_t i) {
+    return MeasureIpc(mc, versions[i], rounds);
+  });
+  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+
   bench::Table t({"version", "cycles", "slowdown"});
-  double base = 0.0;
-  for (IpcVersion v : {IpcVersion::kOriginal, IpcVersion::kColourReady,
-                       IpcVersion::kIntraColour, IpcVersion::kInterColour}) {
-    double cycles = MeasureIpc(mc, v, rounds);
-    if (v == IpcVersion::kOriginal) {
-      base = cycles;
-    }
-    double slowdown = (cycles / base - 1.0) * 100.0;
-    t.AddRow({VersionName(v), bench::Fmt("%.0f", cycles), bench::Fmt("%+.1f%%", slowdown)});
+  double base = cycles[0];
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    double slowdown = (cycles[i] / base - 1.0) * 100.0;
+    t.AddRow({VersionName(versions[i]), bench::Fmt("%.0f", cycles[i]),
+              bench::Fmt("%+.1f%%", slowdown)});
+    recorder.Add({.cell = std::string(name) + "/" + VersionName(versions[i]),
+                  .rounds = rounds,
+                  .wall_ns = grid_ns / versions.size(),
+                  .threads = pool.threads(),
+                  .metrics = {{"ipc_cycles", cycles[i]},
+                              {"slowdown_pct", slowdown}}});
   }
   t.Print();
 }
@@ -167,11 +182,15 @@ int main() {
   tp::bench::Header("Table 5: IPC microbenchmark performance and slowdown",
                     "x86: 381 cycles, ~0-1% slowdown for all versions. Arm: 344 cycles, "
                     "13-15% for clone-capable versions (2-way L2 TLB conflicts)");
+  tp::runner::ExperimentRunner pool;
+  tp::bench::Recorder recorder("table5_ipc");
   std::size_t rounds = tp::bench::Scaled(4000, 512);
   tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1),
-                  "381 cyc; colour-ready +1%, intra 0%, inter -1%", rounds);
+                  "381 cyc; colour-ready +1%, intra 0%, inter -1%", rounds, pool,
+                  recorder);
   tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1),
-                  "344 cyc; colour-ready +14%, intra +15%, inter +13%", rounds);
+                  "344 cyc; colour-ready +14%, intra +15%, inter +13%", rounds, pool,
+                  recorder);
   std::printf("\nShape check: clone support is (nearly) free on x86; on Arm the\n"
               "non-global kernel mappings cost >10%% through L2-TLB conflict misses.\n");
   return 0;

@@ -10,11 +10,15 @@
 #include <cstdio>
 #include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "attacks/channel_experiment.hpp"
 #include "attacks/prime_probe.hpp"
 #include "bench/bench_util.hpp"
 #include "core/padding.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 namespace tp {
 namespace {
@@ -129,21 +133,53 @@ double MeasureSwitch(const hw::MachineConfig& mc, core::Scenario scenario, Recei
 }
 
 void RunPlatform(const char* name, const hw::MachineConfig& mc, bool has_l3,
-                 const char* paper, std::size_t switches) {
+                 const char* paper, std::size_t switches,
+                 const runner::ExperimentRunner& pool, bench::Recorder& recorder) {
   std::printf("\n--- %s (paper: %s) ---\n", name, paper);
+  const core::Scenario scenarios[3] = {core::Scenario::kRaw, core::Scenario::kFullFlush,
+                                       core::Scenario::kProtected};
+  const Receiver receivers[5] = {Receiver::kIdle, Receiver::kL1D, Receiver::kL1I,
+                                 Receiver::kL2, Receiver::kL3};
+
+  // The full scenario x receiver grid of independent measurements.
+  struct Cell {
+    core::Scenario scenario;
+    Receiver receiver;
+  };
+  std::vector<Cell> cells;
+  for (core::Scenario s : scenarios) {
+    for (Receiver r : receivers) {
+      if (r == Receiver::kL3 && !has_l3) {
+        continue;
+      }
+      cells.push_back({s, r});
+    }
+  }
+  std::uint64_t t0 = bench::Recorder::NowNs();
+  std::vector<double> costs = pool.Map(cells.size(), [&](std::size_t i) {
+    return MeasureSwitch(mc, cells[i].scenario, cells[i].receiver, switches);
+  });
+  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+
   bench::Table t({"mode", ReceiverName(Receiver::kIdle), ReceiverName(Receiver::kL1D),
                   ReceiverName(Receiver::kL1I), ReceiverName(Receiver::kL2),
                   ReceiverName(Receiver::kL3)});
-  for (core::Scenario s : {core::Scenario::kRaw, core::Scenario::kFullFlush,
-                           core::Scenario::kProtected}) {
+  std::size_t next = 0;
+  for (core::Scenario s : scenarios) {
     std::vector<std::string> row{core::ScenarioName(s)};
-    for (Receiver r : {Receiver::kIdle, Receiver::kL1D, Receiver::kL1I, Receiver::kL2,
-                       Receiver::kL3}) {
+    for (Receiver r : receivers) {
       if (r == Receiver::kL3 && !has_l3) {
         row.push_back("N/A");
         continue;
       }
-      row.push_back(bench::Fmt("%.2f", MeasureSwitch(mc, s, r, switches)));
+      double cost = costs[next++];
+      row.push_back(bench::Fmt("%.2f", cost));
+      recorder.Add({.cell = std::string(name) + "/" + core::ScenarioName(s) + "/" +
+                            ReceiverName(r),
+                    .rounds = switches,
+                    .wall_ns = grid_ns / cells.size(),
+                    .threads = pool.threads(),
+                    .metrics = {{"switch_us", cost}}});
     }
     t.AddRow(std::move(row));
   }
@@ -157,11 +193,13 @@ int main() {
   tp::bench::Header("Table 6: domain-switch cost (us), no padding, by receiver workload",
                     "x86: raw 0.18-0.5, full 271, protected 30. "
                     "Arm: raw 0.7-1.6, full 414, protected 27-31");
+  tp::runner::ExperimentRunner pool;
+  tp::bench::Recorder recorder("table6_switch_cost");
   std::size_t switches = tp::bench::Scaled(200, 48);
   tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1), true,
-                  "raw 0.18..0.5 / full 271 / protected 30", switches);
+                  "raw 0.18..0.5 / full 271 / protected 30", switches, pool, recorder);
   tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1), false,
-                  "raw 0.7..1.6 / full 414 / protected 27..31", switches);
+                  "raw 0.7..1.6 / full 414 / protected 27..31", switches, pool, recorder);
   std::printf("\nShape checks: raw cost is small and workload-dependent; defended\n"
               "costs are workload-independent; protected << full flush.\n");
   return 0;

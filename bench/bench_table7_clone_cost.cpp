@@ -6,11 +6,14 @@
 // 608 µs, destroy 67 µs, fork+exec 4300 µs. Shapes: clone is a fraction of
 // process creation; destroy is 1-2 orders of magnitude cheaper still.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/domain.hpp"
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
 
 namespace tp {
 namespace {
@@ -21,6 +24,8 @@ struct CloneCosts {
   double spawn_us = 0.0;
 };
 
+// One shard's worth of reps on a fresh machine; summed costs merge across
+// shards by total-reps division.
 CloneCosts Measure(const hw::MachineConfig& mc, std::size_t reps) {
   CloneCosts costs;
   hw::Machine machine(mc);
@@ -61,10 +66,30 @@ CloneCosts Measure(const hw::MachineConfig& mc, std::size_t reps) {
     costs.spawn_us += machine.CyclesToMicros(cpu.now() - t0);
   }
 
-  costs.clone_us /= static_cast<double>(reps);
-  costs.destroy_us /= static_cast<double>(reps);
-  costs.spawn_us /= static_cast<double>(reps);
-  return costs;
+  return costs;  // summed; callers divide by total reps
+}
+
+// Shards the reps across the pool (every shard boots its own machine) and
+// averages over the total.
+CloneCosts MeasureSharded(const hw::MachineConfig& mc, std::size_t reps,
+                          const runner::ExperimentRunner& pool, std::size_t* shards_out) {
+  runner::ShardPlan plan = runner::PlanShards(reps, /*root_seed=*/0, /*min_shard_rounds=*/2);
+  if (shards_out != nullptr) {
+    *shards_out = plan.num_shards();
+  }
+  std::vector<CloneCosts> parts = pool.Map(plan.num_shards(), [&](std::size_t i) {
+    return Measure(mc, plan.shard_rounds[i]);
+  });
+  CloneCosts total;
+  for (const CloneCosts& part : parts) {
+    total.clone_us += part.clone_us;
+    total.destroy_us += part.destroy_us;
+    total.spawn_us += part.spawn_us;
+  }
+  total.clone_us /= static_cast<double>(reps);
+  total.destroy_us /= static_cast<double>(reps);
+  total.spawn_us /= static_cast<double>(reps);
+  return total;
 }
 
 }  // namespace
@@ -74,20 +99,33 @@ int main() {
   tp::bench::Header("Table 7: kernel clone/destroy vs monolithic process creation (us)",
                     "x86: clone 79, destroy 0.6, fork+exec 257. "
                     "Arm: clone 608, destroy 67, fork+exec 4300");
+  tp::runner::ExperimentRunner pool;
+  tp::bench::Recorder recorder("table7_clone_cost");
   std::size_t reps = tp::bench::Scaled(24, 6);
   tp::bench::Table t(
       {"arch", "clone", "destroy", "process-create", "paper clone/destroy/fork+exec"});
-  {
-    tp::CloneCosts c = tp::Measure(tp::hw::MachineConfig::Haswell(4), reps);
-    t.AddRow({"x86", tp::bench::Fmt("%.1f", c.clone_us),
+  struct Spec {
+    const char* arch;
+    tp::hw::MachineConfig mc;
+    const char* paper;
+  };
+  const Spec specs[2] = {{"x86", tp::hw::MachineConfig::Haswell(4), "79 / 0.6 / 257"},
+                         {"Arm", tp::hw::MachineConfig::Sabre(4), "608 / 67 / 4300"}};
+  for (const Spec& spec : specs) {
+    std::uint64_t t0 = tp::bench::Recorder::NowNs();
+    std::size_t shards = 1;
+    tp::CloneCosts c = tp::MeasureSharded(spec.mc, reps, pool, &shards);
+    t.AddRow({spec.arch, tp::bench::Fmt("%.1f", c.clone_us),
               tp::bench::Fmt("%.2f", c.destroy_us), tp::bench::Fmt("%.1f", c.spawn_us),
-              "79 / 0.6 / 257"});
-  }
-  {
-    tp::CloneCosts c = tp::Measure(tp::hw::MachineConfig::Sabre(4), reps);
-    t.AddRow({"Arm", tp::bench::Fmt("%.1f", c.clone_us),
-              tp::bench::Fmt("%.2f", c.destroy_us), tp::bench::Fmt("%.1f", c.spawn_us),
-              "608 / 67 / 4300"});
+              spec.paper});
+    recorder.Add({.cell = spec.arch,
+                  .rounds = reps,
+                  .wall_ns = tp::bench::Recorder::NowNs() - t0,
+                  .threads = pool.threads(),
+                  .shards = shards,
+                  .metrics = {{"clone_us", c.clone_us},
+                              {"destroy_us", c.destroy_us},
+                              {"spawn_us", c.spawn_us}}});
   }
   t.Print();
   std::printf("\nShape checks: clone << process creation; destroy << clone.\n"

@@ -1,27 +1,17 @@
 // Shared helpers for the paper-reproduction bench binaries: aligned table
-// printing with paper-vs-measured columns, and the TP_QUICK scaling knob.
+// printing with paper-vs-measured columns. The TP_QUICK scaling knob
+// (QuickMode/Scaled) lives in runner/quick.hpp, shared with the library
+// layers.
 #ifndef TP_BENCH_BENCH_UTIL_HPP_
 #define TP_BENCH_BENCH_UTIL_HPP_
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "runner/quick.hpp"
+
 namespace tp::bench {
-
-inline bool QuickMode() {
-  const char* q = std::getenv("TP_QUICK");
-  return q != nullptr && q[0] != '\0' && q[0] != '0';
-}
-
-inline std::size_t Scaled(std::size_t normal, std::size_t quick_min = 64) {
-  if (!QuickMode()) {
-    return normal;
-  }
-  std::size_t s = normal / 8;
-  return s < quick_min ? quick_min : s;
-}
 
 inline void Header(const char* experiment, const char* paper_summary) {
   std::printf("\n================================================================================\n");

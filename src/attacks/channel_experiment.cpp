@@ -109,13 +109,4 @@ mi::Observations CollectObservations(Experiment& exp, const SymbolSender& sender
   return obs;
 }
 
-std::size_t ScaledRounds(std::size_t normal) {
-  const char* quick = std::getenv("TP_QUICK");
-  if (quick != nullptr && quick[0] != '\0' && quick[0] != '0') {
-    std::size_t scaled = normal / 8;
-    return scaled < 64 ? 64 : scaled;
-  }
-  return normal;
-}
-
 }  // namespace tp::attacks

@@ -134,10 +134,6 @@ mi::Observations CollectObservations(Experiment& exp, const SymbolSender& sender
                                      const SliceReceiver& receiver, std::size_t rounds,
                                      std::size_t sample_lag = 0);
 
-// Experiment-scale knob: returns `normal` scaled down when TP_QUICK is set
-// in the environment (used by benches to trade precision for runtime).
-std::size_t ScaledRounds(std::size_t normal);
-
 }  // namespace tp::attacks
 
 #endif  // TP_ATTACKS_CHANNEL_EXPERIMENT_HPP_

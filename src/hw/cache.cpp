@@ -25,6 +25,22 @@ std::size_t SliceHash(std::uint64_t line_addr, std::size_t num_slices) {
 
 }  // namespace
 
+namespace {
+
+// log2 for exact powers of two; -1 otherwise.
+int Log2Exact(std::uint64_t v) {
+  if (v == 0 || (v & (v - 1)) != 0) {
+    return -1;
+  }
+  int shift = 0;
+  while ((v >> shift) != 1) {
+    ++shift;
+  }
+  return shift;
+}
+
+}  // namespace
+
 SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& geometry,
                                          Indexing indexing)
     : name_(std::move(name)), geometry_(geometry), indexing_(indexing) {
@@ -33,14 +49,14 @@ SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& 
          0);
   sets_per_slice_ = geometry_.SetsPerSlice();
   lines_.resize(geometry_.TotalLines());
-}
-
-std::size_t SetAssociativeCache::SetIndexOf(std::uint64_t addr) const {
-  return static_cast<std::size_t>((addr / geometry_.line_size) % sets_per_slice_);
+  line_shift_ = Log2Exact(geometry_.line_size);
+  if (sets_per_slice_ > 0 && (sets_per_slice_ & (sets_per_slice_ - 1)) == 0) {
+    set_mask_ = sets_per_slice_ - 1;
+  }
 }
 
 std::size_t SetAssociativeCache::SliceOf(PAddr paddr) const {
-  return SliceHash(paddr / geometry_.line_size, geometry_.num_slices);
+  return SliceHash(LineOf(paddr), geometry_.num_slices);
 }
 
 std::size_t SetAssociativeCache::SetBase(VAddr addr_for_index, PAddr addr_for_tag) const {
@@ -50,9 +66,25 @@ std::size_t SetAssociativeCache::SetBase(VAddr addr_for_index, PAddr addr_for_ta
   return (slice * sets_per_slice_ + set) * geometry_.associativity;
 }
 
+SetAssociativeCache::Decoded SetAssociativeCache::Decode(VAddr addr_for_index,
+                                                         PAddr addr_for_tag) const {
+  std::uint64_t tag = LineOf(addr_for_tag);
+  std::size_t set;
+  if (indexing_ == Indexing::kPhysical) {
+    // Physical indexing shares the tag's line decode.
+    set = set_mask_ != 0 && line_shift_ >= 0
+              ? static_cast<std::size_t>(tag & set_mask_)
+              : static_cast<std::size_t>(tag % sets_per_slice_);
+  } else {
+    set = SetIndexOf(addr_for_index);
+  }
+  std::size_t slice =
+      geometry_.num_slices > 1 ? SliceHash(tag, geometry_.num_slices) : 0;
+  return Decoded{(slice * sets_per_slice_ + set) * geometry_.associativity, tag};
+}
+
 AccessResult SetAssociativeCache::Access(VAddr addr_for_index, PAddr addr_for_tag, bool write) {
-  std::size_t base = SetBase(addr_for_index, addr_for_tag);
-  std::uint64_t tag = TagOf(addr_for_tag);
+  const auto [base, tag] = Decode(addr_for_index, addr_for_tag);
   AccessResult result;
 
   std::size_t victim = base;
@@ -94,8 +126,7 @@ AccessResult SetAssociativeCache::Access(VAddr addr_for_index, PAddr addr_for_ta
 }
 
 bool SetAssociativeCache::Insert(VAddr addr_for_index, PAddr addr_for_tag, bool dirty) {
-  std::size_t base = SetBase(addr_for_index, addr_for_tag);
-  std::uint64_t tag = TagOf(addr_for_tag);
+  const auto [base, tag] = Decode(addr_for_index, addr_for_tag);
   std::size_t victim = base;
   std::uint64_t victim_lru = ~std::uint64_t{0};
   for (std::size_t way = 0; way < geometry_.associativity; ++way) {

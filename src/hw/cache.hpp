@@ -86,8 +86,20 @@ class SetAssociativeCache {
 
   // Set index (within its slice) that an address maps to; exposed so attack
   // code can construct eviction sets exactly as Mastik does on hardware.
-  std::size_t SetIndexOf(std::uint64_t addr) const;
+  // Power-of-two geometries (every real platform) decode with shift/mask;
+  // the div/mod fallback keeps odd test geometries exact.
+  std::size_t SetIndexOf(std::uint64_t addr) const {
+    if (line_shift_ >= 0 && set_mask_ != 0) {
+      return static_cast<std::size_t>((addr >> line_shift_) & set_mask_);
+    }
+    return static_cast<std::size_t>((addr / geometry_.line_size) % sets_per_slice_);
+  }
   std::size_t SliceOf(PAddr paddr) const;
+
+  // Line number (paddr / line_size) — the tag — via the same fast path.
+  std::uint64_t LineOf(PAddr paddr) const {
+    return line_shift_ >= 0 ? paddr >> line_shift_ : paddr / geometry_.line_size;
+  }
 
   const CacheGeometry& geometry() const { return geometry_; }
   Indexing indexing() const { return indexing_; }
@@ -111,14 +123,26 @@ class SetAssociativeCache {
     bool dirty = false;
   };
 
-  std::uint64_t TagOf(PAddr paddr) const { return paddr / geometry_.line_size; }
+  std::uint64_t TagOf(PAddr paddr) const { return LineOf(paddr); }
   // Flat storage index of the first way of the set for `index_addr`/`tag_addr`.
   std::size_t SetBase(VAddr addr_for_index, PAddr addr_for_tag) const;
+  // One-step address decode for the hot Access/Insert path: set base and
+  // tag from a single pass over the address bits.
+  struct Decoded {
+    std::size_t base;
+    std::uint64_t tag;
+  };
+  Decoded Decode(VAddr addr_for_index, PAddr addr_for_tag) const;
 
   std::string name_;
   CacheGeometry geometry_;
   Indexing indexing_;
   std::size_t sets_per_slice_;
+  // Precomputed decode constants: line_shift_ = log2(line_size) (or -1 when
+  // line_size is not a power of two), set_mask_ = sets_per_slice - 1 when
+  // that is a power of two (else 0 -> modulo fallback).
+  int line_shift_ = -1;
+  std::uint64_t set_mask_ = 0;
   std::vector<Line> lines_;  // [slice][set][way] flattened
   std::uint64_t lru_clock_ = 0;
   std::uint64_t hits_ = 0;

@@ -131,14 +131,13 @@ Cycles Core::CachePath(VAddr vaddr, PAddr paddr, AccessKind kind) {
       cost += L.llc_hit;
     } else {
       ++counters_.llc_misses;
-      std::uint64_t miss_line = paddr / llc.geometry().line_size;
+      std::uint64_t miss_line = llc.LineOf(paddr);
       // Row-buffer/burst locality: consecutive-line misses stream.
       cost += (miss_line == last_miss_line_ + 1) ? L.dram_stream : L.dram;
       last_miss_line_ = miss_line;
 
       // Stream prefetcher trains on demand misses at the level below L1.
-      PrefetchOutcome out =
-          prefetcher_->OnDemandMiss(paddr / llc.geometry().line_size, domain_tag_, instruction);
+      PrefetchOutcome out = prefetcher_->OnDemandMiss(miss_line, domain_tag_, instruction);
       cost += out.interference;
       for (std::uint64_t fill_line : out.fills) {
         PAddr fill_paddr = fill_line * llc.geometry().line_size;

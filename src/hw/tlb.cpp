@@ -9,6 +9,10 @@ Tlb::Tlb(std::string name, const TlbGeometry& geometry)
     : name_(std::move(name)), geometry_(geometry) {
   assert(geometry_.entries % geometry_.associativity == 0);
   entries_.resize(geometry_.entries);
+  sets_ = geometry_.Sets();
+  if (sets_ > 0 && (sets_ & (sets_ - 1)) == 0) {
+    set_mask_ = sets_ - 1;
+  }
 }
 
 bool Tlb::Lookup(std::uint64_t vpn, Asid asid) {

@@ -53,12 +53,18 @@ class Tlb {
     bool valid = false;
   };
 
+  // Set selection, shift/mask when the set count is a power of two (every
+  // real geometry), modulo otherwise.
   std::size_t SetBase(std::uint64_t vpn) const {
-    return (vpn % geometry_.Sets()) * geometry_.associativity;
+    std::size_t set = set_mask_ != 0 ? static_cast<std::size_t>(vpn & set_mask_)
+                                     : static_cast<std::size_t>(vpn % sets_);
+    return set * geometry_.associativity;
   }
 
   std::string name_;
   TlbGeometry geometry_;
+  std::size_t sets_ = 1;
+  std::uint64_t set_mask_ = 0;
   std::vector<Entry> entries_;
   std::uint64_t lru_clock_ = 0;
   std::uint64_t hits_ = 0;

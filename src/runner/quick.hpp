@@ -1,0 +1,31 @@
+// The TP_QUICK experiment-scale knob, shared by every bench driver and the
+// attack harnesses (previously duplicated as tp::bench::Scaled and
+// tp::attacks::ScaledRounds).
+//
+// TP_QUICK set to anything but "" or "0" trades precision for runtime:
+// round counts shrink 8x, floored at a per-call minimum that keeps the MI
+// estimate usable.
+#ifndef TP_RUNNER_QUICK_HPP_
+#define TP_RUNNER_QUICK_HPP_
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace tp::bench {
+
+inline bool QuickMode() {
+  const char* q = std::getenv("TP_QUICK");
+  return q != nullptr && q[0] != '\0' && q[0] != '0';
+}
+
+inline std::size_t Scaled(std::size_t normal, std::size_t quick_min = 64) {
+  if (!QuickMode()) {
+    return normal;
+  }
+  std::size_t s = normal / 8;
+  return s < quick_min ? quick_min : s;
+}
+
+}  // namespace tp::bench
+
+#endif  // TP_RUNNER_QUICK_HPP_

@@ -1,0 +1,209 @@
+#include "runner/recorder.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "runner/quick.hpp"
+
+namespace tp::bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string RecordToJson(const std::string& bench, const std::string& label,
+                         const BenchRecord& r) {
+  std::ostringstream os;
+  os << "{\"schema_version\": 1"
+     << ", \"bench\": \"" << JsonEscape(bench) << "\""
+     << ", \"label\": \"" << JsonEscape(label) << "\""
+     << ", \"cell\": \"" << JsonEscape(r.cell) << "\""
+     << ", \"quick\": " << (QuickMode() ? "true" : "false")
+     << ", \"host_cpus\": " << std::thread::hardware_concurrency()
+     << ", \"threads\": " << r.threads << ", \"shards\": " << r.shards
+     << ", \"rounds\": " << r.rounds << ", \"samples\": " << r.samples;
+  if (!std::isnan(r.mi_bits)) {
+    os << ", \"mi_bits\": " << FormatDouble(r.mi_bits);
+  }
+  if (!std::isnan(r.m0_bits)) {
+    os << ", \"m0_bits\": " << FormatDouble(r.m0_bits);
+  }
+  os << ", \"wall_ns\": " << r.wall_ns << ", \"unix_time\": "
+     << std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+  if (!r.metrics.empty()) {
+    os << ", \"metrics\": {";
+    bool first = true;
+    for (const auto& [key, value] : r.metrics) {
+      if (!first) {
+        os << ", ";
+      }
+      first = false;
+      os << "\"" << JsonEscape(key) << "\": " << FormatDouble(value);
+    }
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+Recorder::Recorder(std::string bench) : bench_(std::move(bench)) {
+  if (const char* path = std::getenv("TP_BENCH_JSON");
+      path != nullptr && path[0] != '\0' && !(path[0] == '0' && path[1] == '\0')) {
+    path_ = path;
+  }
+  if (const char* label = std::getenv("TP_BENCH_LABEL"); label != nullptr) {
+    label_ = label;
+  }
+  start_ns_ = NowNs();
+}
+
+Recorder::~Recorder() {
+  if (enabled()) {
+    BenchRecord total;
+    total.cell = "total";
+    total.wall_ns = NowNs() - start_ns_;
+    // The whole-driver record reflects the run's actual fan-out, not the
+    // BenchRecord defaults.
+    for (const BenchRecord& r : pending_) {
+      total.threads = std::max(total.threads, r.threads);
+      total.shards = std::max(total.shards, r.shards);
+    }
+    Add(std::move(total));
+    Flush();
+  }
+}
+
+void Recorder::Add(BenchRecord record) {
+  if (!enabled()) {
+    return;
+  }
+  pending_.push_back(std::move(record));
+}
+
+void Recorder::Flush() {
+  if (!enabled() || pending_.empty()) {
+    return;
+  }
+  // Append into the existing JSON array by splicing before the trailing
+  // ']'; a missing or malformed file is restarted as a fresh array. An
+  // exclusive flock serialises concurrent sweeps appending to one file.
+  int fd = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "recorder: cannot open %s\n", path_.c_str());
+    pending_.clear();
+    return;
+  }
+  ::flock(fd, LOCK_EX);
+
+  std::string existing;
+  {
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+      existing.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  std::size_t open_bracket = existing.find_first_of('[');
+  std::size_t close = existing.find_last_of(']');
+  std::string prefix;
+  bool needs_comma = false;
+  if (open_bracket != std::string::npos && close != std::string::npos &&
+      open_bracket < close) {
+    prefix = existing.substr(0, close);
+    // A comma is needed unless the array is empty so far.
+    for (std::size_t i = open_bracket + 1; i < prefix.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(prefix[i]))) {
+        needs_comma = true;
+        break;
+      }
+    }
+    while (!prefix.empty() &&
+           std::isspace(static_cast<unsigned char>(prefix.back()))) {
+      prefix.pop_back();
+    }
+  } else {
+    prefix = "[";
+  }
+
+  std::string content = prefix;
+  for (const BenchRecord& r : pending_) {
+    content += needs_comma ? ",\n" : "\n";
+    content += RecordToJson(bench_, label_, r);
+    needs_comma = true;
+  }
+  content += "\n]\n";
+  bool ok = ::lseek(fd, 0, SEEK_SET) == 0 && ::ftruncate(fd, 0) == 0;
+  for (std::size_t off = 0; ok && off < content.size();) {
+    ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (!ok) {
+    std::fprintf(stderr, "recorder: cannot write %s\n", path_.c_str());
+  }
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+  pending_.clear();
+}
+
+std::uint64_t Recorder::NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace tp::bench

@@ -1,0 +1,78 @@
+// Machine-readable benchmark recording.
+//
+// Every bench driver feeds a Recorder one BenchRecord per experiment cell;
+// on Flush (or destruction) the records — plus one whole-process "total"
+// record — are appended to the JSON array file named by the TP_BENCH_JSON
+// environment variable. With TP_BENCH_JSON unset (or "" / "0") recording is
+// disabled and the benches print their tables exactly as before.
+//
+// File schema (documented in BUILDING.md): a JSON array of flat records,
+//   { "schema_version": 1,
+//     "bench": "fig3_kernel_channel",   driver name
+//     "label": "pr2-optimized",         free-form run label (TP_BENCH_LABEL)
+//     "cell": "haswell/raw",            experiment cell within the driver
+//     "quick": true,                    TP_QUICK was set
+//     "host_cpus": 8,                   host hardware concurrency
+//     "threads": 4,                     host threads used
+//     "shards": 8,                      shard count (1 = unsharded)
+//     "rounds": 150,                    requested experiment rounds (0 = n/a)
+//     "samples": 142,                   paired observations (0 = n/a)
+//     "mi_bits": 0.79,                  leakage estimate (absent = n/a)
+//     "m0_bits": 0.01,                  shuffled-baseline MI (absent = n/a)
+//     "wall_ns": 123456789,             host wall-clock for the cell
+//     "unix_time": 1753400000,          record time, seconds since epoch
+//     "metrics": {"clone_us": 79.0} }   bench-specific extras (absent if none)
+#ifndef TP_RUNNER_RECORDER_HPP_
+#define TP_RUNNER_RECORDER_HPP_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tp::bench {
+
+struct BenchRecord {
+  std::string cell;
+  std::size_t rounds = 0;
+  std::size_t samples = 0;
+  double mi_bits = std::numeric_limits<double>::quiet_NaN();
+  double m0_bits = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t wall_ns = 0;
+  std::size_t threads = 1;
+  std::size_t shards = 1;
+  std::map<std::string, double> metrics;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(std::string bench);
+  ~Recorder();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(BenchRecord record);
+
+  // Appends pending records (closing with a "total" record on the first
+  // flush from the destructor) into the JSON array at TP_BENCH_JSON,
+  // creating the file if needed. No-op when disabled.
+  void Flush();
+
+  // Monotonic host wall-clock for wall_ns deltas.
+  static std::uint64_t NowNs();
+
+ private:
+  std::string bench_;
+  std::string label_;
+  std::string path_;
+  std::uint64_t start_ns_ = 0;
+  std::vector<BenchRecord> pending_;
+};
+
+}  // namespace tp::bench
+
+#endif  // TP_RUNNER_RECORDER_HPP_

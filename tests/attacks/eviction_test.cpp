@@ -6,6 +6,7 @@
 #include "attacks/intra_core.hpp"
 #include "attacks/prime_probe.hpp"
 #include "core/colour.hpp"
+#include "runner/quick.hpp"
 
 namespace tp::attacks {
 namespace {
@@ -123,9 +124,9 @@ TEST(ResourceAvailability, L2OnlyWithPrivateL2) {
 TEST(ScaledRoundsTest, QuickModeScalesDown) {
   // (Depends on TP_QUICK not being set in the test environment.)
   if (std::getenv("TP_QUICK") == nullptr) {
-    EXPECT_EQ(ScaledRounds(800), 800u);
+    EXPECT_EQ(bench::Scaled(800), 800u);
   } else {
-    EXPECT_LE(ScaledRounds(800), 800u);
+    EXPECT_LE(bench::Scaled(800), 800u);
   }
 }
 

@@ -2,41 +2,25 @@
 
 #include "hw/core.hpp"
 #include "hw/machine.hpp"
+#include "support/test_support.hpp"
 
 namespace tp::hw {
 namespace {
 
-// Identity-ish translation for exercising the access path without a kernel.
-class FlatContext final : public TranslationContext {
- public:
-  explicit FlatContext(Asid asid, PAddr pt_base = 0x7000000) : asid_(asid), pt_(pt_base) {}
-
-  std::optional<Translation> Translate(VAddr vaddr) const override {
-    if (IsKernelAddress(vaddr)) {
-      return Translation{PageAlignDown(PaddrOfKernelVaddr(vaddr)), false};
-    }
-    return Translation{PageAlignDown(vaddr) + 0x100000, false};
-  }
-  void WalkPath(VAddr vaddr, std::vector<PAddr>& out) const override {
-    out.push_back(pt_ + (PageNumber(vaddr) % 512) * 8);
-    out.push_back(pt_ + kPageSize + (PageNumber(vaddr) % 512) * 8);
-  }
-  Asid asid() const override { return asid_; }
-
- private:
-  Asid asid_;
-  PAddr pt_;
-};
+using test::FlatTranslationContext;
 
 class CoreTest : public ::testing::Test {
  protected:
-  CoreTest() : machine_(MachineConfig::Haswell(2)), ctx_(1), kctx_(99, 0x7100000) {
+  CoreTest()
+      : machine_(MachineConfig::Haswell(2)),
+        ctx_(1),
+        kctx_(99, {.pt_base = 0x7100000}) {
     machine_.core(0).SetUserContext(&ctx_);
     machine_.core(0).SetKernelContext(&kctx_, true);
   }
   Machine machine_;
-  FlatContext ctx_;
-  FlatContext kctx_;
+  FlatTranslationContext ctx_;
+  FlatTranslationContext kctx_;
 };
 
 TEST_F(CoreTest, ColdAccessCostsMoreThanWarm) {
@@ -70,9 +54,8 @@ TEST_F(CoreTest, TlbMissTriggersPageWalkThroughCaches) {
 
 TEST_F(CoreTest, WritesDirtyL1AndFlushIsMoreExpensiveOnArm) {
   Machine arm(MachineConfig::Sabre(1));
-  FlatContext ctx(1);
-  arm.core(0).SetUserContext(&ctx);
-  arm.core(0).SetKernelContext(&ctx, true);
+  FlatTranslationContext ctx(1);
+  test::InstallFlatContext(arm.core(0), ctx);
   Core& core = arm.core(0);
 
   Cycles clean_flush = core.ArchFlushL1D();
@@ -111,7 +94,7 @@ TEST_F(CoreTest, InclusiveLlcBackInvalidatesOtherCores) {
   // Core 1 caches a line; evicting it from the LLC must drop it from core
   // 1's private caches (the mechanism that makes cross-core prime&probe
   // observe the victim, Fig. 4).
-  FlatContext ctx1(2);
+  FlatTranslationContext ctx1(2);
   machine_.core(1).SetUserContext(&ctx1);
   machine_.core(1).SetKernelContext(&kctx_, true);
 

@@ -3,26 +3,18 @@
 
 #include "hw/core.hpp"
 #include "hw/machine.hpp"
+#include "support/test_support.hpp"
 
 namespace tp::hw {
 namespace {
 
-class IdentityContext final : public TranslationContext {
+// The suite's canonical flat context: one-level walks out of a dedicated
+// page-table region.
+class IdentityContext : public test::FlatTranslationContext {
  public:
-  explicit IdentityContext(Asid asid) : asid_(asid) {}
-  std::optional<Translation> Translate(VAddr vaddr) const override {
-    if (IsKernelAddress(vaddr)) {
-      return Translation{PageAlignDown(PaddrOfKernelVaddr(vaddr)), false};
-    }
-    return Translation{PageAlignDown(vaddr) + 0x400000, false};
-  }
-  void WalkPath(VAddr vaddr, std::vector<PAddr>& out) const override {
-    out.push_back(0x8000000 + (PageNumber(vaddr) % 512) * 8);
-  }
-  Asid asid() const override { return asid_; }
-
- private:
-  Asid asid_;
+  explicit IdentityContext(Asid asid)
+      : FlatTranslationContext(
+            asid, {.user_offset = 0x400000, .pt_base = 0x8000000, .walk_levels = 1}) {}
 };
 
 // Property: on both platform presets, the memory-level costs are strictly

@@ -76,5 +76,27 @@ TEST(Tlb, InsertIsIdempotentForSameEntry) {
   EXPECT_EQ(tlb.ValidCount(), 1u);
 }
 
+// The set-selection fast path (mask for power-of-two set counts, modulo
+// otherwise) must preserve the vpn % sets mapping: entries whose vpns are
+// congruent mod sets conflict, others do not.
+TEST(TlbFastPath, SetMappingMatchesModuloForBothPaths) {
+  // 8 sets (pow2 -> mask path) and 3 sets (fallback -> modulo path).
+  for (const TlbGeometry& g : {TlbGeometry{.entries = 16, .associativity = 2},
+                               TlbGeometry{.entries = 6, .associativity = 2}}) {
+    Tlb tlb("t", g);
+    std::uint64_t sets = g.Sets();
+    // Fill set 0 beyond capacity with congruent vpns: the oldest evicts.
+    for (std::uint64_t k = 0; k <= g.associativity; ++k) {
+      tlb.Insert(k * sets, 1, false);
+    }
+    EXPECT_FALSE(tlb.Lookup(0, 1)) << sets << " sets: oldest congruent vpn evicted";
+    EXPECT_TRUE(tlb.Lookup(sets, 1)) << sets << " sets";
+    // A non-congruent vpn lands in a different set and is unaffected.
+    tlb.Insert(1, 1, false);
+    EXPECT_TRUE(tlb.Lookup(1, 1)) << sets << " sets";
+    EXPECT_TRUE(tlb.Lookup(sets, 1)) << sets << " sets";
+  }
+}
+
 }  // namespace
 }  // namespace tp::hw

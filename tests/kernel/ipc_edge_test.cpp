@@ -4,6 +4,7 @@
 #include "core/domain.hpp"
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
+#include "support/test_support.hpp"
 
 namespace tp::kernel {
 namespace {
@@ -12,7 +13,8 @@ class IpcFixture : public ::testing::Test {
  protected:
   IpcFixture()
       : machine_(hw::MachineConfig::Haswell(1)),
-        kernel_(machine_, KernelConfig{.timeslice_cycles = 10'000'000}),
+        // Long timeslice: these tests single-step without preemption.
+        kernel_(machine_, test::TestKernelConfig(false, /*timeslice_cycles=*/10'000'000)),
         mgr_(kernel_),
         domain_(mgr_.CreateDomain({.id = 1})) {
     kernel_.SetDomainSchedule(0, {1});

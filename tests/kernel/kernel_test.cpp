@@ -5,6 +5,7 @@
 #include "core/domain.hpp"
 #include "core/time_protection.hpp"
 #include "hw/machine.hpp"
+#include "support/test_support.hpp"
 
 namespace tp::kernel {
 namespace {
@@ -21,16 +22,9 @@ class CountingProgram final : public UserProgram {
   std::uint64_t steps_ = 0;
 };
 
-KernelConfig BaseConfig(bool clone = false) {
-  KernelConfig c;
-  c.clone_support = clone;
-  c.timeslice_cycles = 200'000;
-  return c;
-}
-
 TEST(KernelBoot, BootInfoGrantsUntypedAndMasterImage) {
-  hw::Machine m(hw::MachineConfig::Haswell(2));
-  Kernel k(m, BaseConfig());
+  test::BootedSystem sys(2);
+  Kernel& k = sys.kernel;
   const BootInfo& bi = k.boot_info();
   const Capability& ucap = bi.root_cspace->At(bi.untyped);
   EXPECT_EQ(ucap.type, ObjectType::kUntyped);
@@ -40,8 +34,8 @@ TEST(KernelBoot, BootInfoGrantsUntypedAndMasterImage) {
 }
 
 TEST(KernelBoot, EveryCoreHasAnIdleThread) {
-  hw::Machine m(hw::MachineConfig::Haswell(4));
-  Kernel k(m, BaseConfig());
+  test::BootedSystem sys(4);
+  Kernel& k = sys.kernel;
   const KernelImageObj& boot = k.objects().As<KernelImageObj>(k.boot_image_id());
   EXPECT_EQ(boot.idle_threads.size(), 4u);
   for (std::size_t c = 0; c < 4; ++c) {
@@ -50,8 +44,8 @@ TEST(KernelBoot, EveryCoreHasAnIdleThread) {
 }
 
 TEST(KernelRetype, CreatesObjectsFromUntyped) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig());
+  test::BootedSystem sys(1);
+  Kernel& k = sys.kernel;
   CSpace& cs = *k.boot_info().root_cspace;
   CapIdx frame = 0;
   ASSERT_TRUE(k.Retype(0, cs, k.boot_info().untyped, ObjectType::kFrame, 0, &frame).ok());
@@ -66,8 +60,8 @@ TEST(KernelRetype, CreatesObjectsFromUntyped) {
 }
 
 TEST(KernelRetype, FailsOnExhaustedUntyped) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig());
+  test::BootedSystem sys(1);
+  Kernel& k = sys.kernel;
   CSpace& cs = *k.boot_info().root_cspace;
   CapIdx child = 0;
   ASSERT_TRUE(
@@ -80,8 +74,8 @@ TEST(KernelRetype, FailsOnExhaustedUntyped) {
 }
 
 TEST(KernelRetype, InvalidCapRejected) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig());
+  test::BootedSystem sys(1);
+  Kernel& k = sys.kernel;
   CSpace& cs = *k.boot_info().root_cspace;
   CapIdx out = 0;
   EXPECT_EQ(k.Retype(0, cs, 9999, ObjectType::kFrame, 0, &out).error,
@@ -119,8 +113,8 @@ TEST(Scheduler, DequeueClearsBitmap) {
 }
 
 TEST(KernelRun, ThreadsRunAndPreempt) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig());
+  test::BootedSystem sys(1);
+  Kernel& k = sys.kernel;
   core::DomainManager mgr(k);
   core::Domain& d1 = mgr.CreateDomain({.id = 1});
   core::Domain& d2 = mgr.CreateDomain({.id = 2});
@@ -136,8 +130,8 @@ TEST(KernelRun, ThreadsRunAndPreempt) {
 }
 
 TEST(KernelRun, DomainsShareTimeFairly) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig());
+  test::BootedSystem sys(1);
+  Kernel& k = sys.kernel;
   core::DomainManager mgr(k);
   core::Domain& d1 = mgr.CreateDomain({.id = 1});
   core::Domain& d2 = mgr.CreateDomain({.id = 2});
@@ -152,8 +146,9 @@ TEST(KernelRun, DomainsShareTimeFairly) {
 }
 
 TEST(KernelClone, CloneProducesIndependentImage) {
-  hw::Machine m(hw::MachineConfig::Haswell(2));
-  Kernel k(m, BaseConfig(/*clone=*/true));
+  test::BootedSystem sys(2, /*clone_support=*/true);
+  hw::Machine& m = sys.machine;
+  Kernel& k = sys.kernel;
   core::DomainManager mgr(k);
   core::Domain& d = mgr.CreateDomain({.id = 1});
   const Capability& cap = mgr.cspace().At(d.kernel_image);
@@ -172,8 +167,9 @@ TEST(KernelClone, CloneProducesIndependentImage) {
 }
 
 TEST(KernelClone, CloneRespectsDomainColours) {
-  hw::Machine m(hw::MachineConfig::Haswell(2));
-  Kernel k(m, BaseConfig(/*clone=*/true));
+  test::BootedSystem sys(2, /*clone_support=*/true);
+  hw::Machine& m = sys.machine;
+  Kernel& k = sys.kernel;
   core::DomainManager mgr(k);
   auto colours = core::SplitColours(m.config(), 2);
   core::Domain& d = mgr.CreateDomain({.id = 1, .colours = colours[0]});
@@ -186,8 +182,8 @@ TEST(KernelClone, CloneRespectsDomainColours) {
 }
 
 TEST(KernelClone, CloneRightRequired) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig(true));
+  test::BootedSystem sys(1, /*clone_support=*/true);
+  Kernel& k = sys.kernel;
   CSpace& cs = *k.boot_info().root_cspace;
   CapIdx derived = cs.Derive(k.boot_info().kernel_image, CapRights::NoClone());
   CapIdx dest = 0;
@@ -202,8 +198,8 @@ TEST(KernelClone, CloneRightRequired) {
 }
 
 TEST(KernelClone, InsufficientKernelMemoryRejected) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig(true));
+  test::BootedSystem sys(1, /*clone_support=*/true);
+  Kernel& k = sys.kernel;
   CSpace& cs = *k.boot_info().root_cspace;
   CapIdx dest = 0;
   ASSERT_TRUE(
@@ -216,8 +212,8 @@ TEST(KernelClone, InsufficientKernelMemoryRejected) {
 }
 
 TEST(KernelDestroy, BootImageIsIndestructible) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig(true));
+  test::BootedSystem sys(1, /*clone_support=*/true);
+  Kernel& k = sys.kernel;
   CSpace& cs = *k.boot_info().root_cspace;
   EXPECT_EQ(k.KernelDestroy(0, cs, k.boot_info().kernel_image).error,
             SyscallError::kInsufficientRights)
@@ -225,8 +221,8 @@ TEST(KernelDestroy, BootImageIsIndestructible) {
 }
 
 TEST(KernelDestroy, DestroyedImageFallsBackToBootIdle) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig(true));
+  test::BootedSystem sys(1, /*clone_support=*/true);
+  Kernel& k = sys.kernel;
   core::DomainManager mgr(k);
   core::Domain& d = mgr.CreateDomain({.id = 1});
   CountingProgram p;
@@ -247,8 +243,8 @@ TEST(KernelDestroy, DestroyedImageFallsBackToBootIdle) {
 }
 
 TEST(KernelIpc, CallReplyRoundTrip) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig());
+  test::BootedSystem sys(1);
+  Kernel& k = sys.kernel;
   core::DomainManager mgr(k);
   core::Domain& d = mgr.CreateDomain({.id = 1});
   CapIdx ep_mgr = mgr.CreateEndpoint(d);
@@ -297,8 +293,8 @@ TEST(KernelIpc, CallReplyRoundTrip) {
 }
 
 TEST(KernelNotification, SignalWakesWaiter) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig());
+  test::BootedSystem sys(1);
+  Kernel& k = sys.kernel;
   core::DomainManager mgr(k);
   core::Domain& d = mgr.CreateDomain({.id = 1});
   CapIdx n = mgr.GrantCap(d, mgr.CreateNotification(d));
@@ -362,8 +358,9 @@ TEST(KernelPadding, PaddedSwitchHasConstantCost) {
 }
 
 TEST(KernelIrq, SetIntAssociatesLineWithImage) {
-  hw::Machine m(hw::MachineConfig::Haswell(1));
-  Kernel k(m, BaseConfig(true));
+  test::BootedSystem sys(1, /*clone_support=*/true);
+  hw::Machine& m = sys.machine;
+  Kernel& k = sys.kernel;
   core::DomainManager mgr(k);
   core::Domain& d = mgr.CreateDomain({.id = 1, .device_timers = {0}});
   const Capability& cap = mgr.cspace().At(d.kernel_image);

@@ -1,0 +1,161 @@
+// The bench Recorder: JSON array creation, cross-process append, schema
+// fields, and the TP_BENCH_JSON enable switch.
+#include "runner/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace tp::bench {
+namespace {
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "recorder_test.json";
+    std::remove(path_.c_str());
+    setenv("TP_BENCH_JSON", path_.c_str(), 1);
+    setenv("TP_BENCH_LABEL", "unit-test", 1);
+  }
+  void TearDown() override {
+    unsetenv("TP_BENCH_JSON");
+    unsetenv("TP_BENCH_LABEL");
+    std::remove(path_.c_str());
+  }
+
+  std::string ReadFile() const {
+    std::ifstream in(path_);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  static std::size_t Count(const std::string& haystack, const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  }
+
+  std::string path_;
+};
+
+TEST_F(RecorderTest, DisabledWithoutEnv) {
+  unsetenv("TP_BENCH_JSON");
+  Recorder r("nobench");
+  EXPECT_FALSE(r.enabled());
+  r.Add({.cell = "x"});
+  r.Flush();
+  EXPECT_EQ(ReadFile(), "");
+}
+
+TEST_F(RecorderTest, DisabledWhenSetToZero) {
+  setenv("TP_BENCH_JSON", "0", 1);
+  Recorder r("nobench");
+  EXPECT_FALSE(r.enabled());
+}
+
+TEST_F(RecorderTest, WritesSchemaFieldsAndTotalRecord) {
+  {
+    Recorder r("mybench");
+    ASSERT_TRUE(r.enabled());
+    r.Add({.cell = "haswell/raw",
+           .rounds = 100,
+           .samples = 96,
+           .mi_bits = 0.5,
+           .m0_bits = 0.01,
+           .wall_ns = 1234,
+           .threads = 4,
+           .shards = 8});
+  }  // destructor appends the "total" record and flushes
+  std::string text = ReadFile();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(Count(text, "\"schema_version\": 1"), 2u);  // cell + total
+  EXPECT_NE(text.find("\"bench\": \"mybench\""), std::string::npos);
+  EXPECT_NE(text.find("\"label\": \"unit-test\""), std::string::npos);
+  EXPECT_NE(text.find("\"cell\": \"haswell/raw\""), std::string::npos);
+  EXPECT_NE(text.find("\"mi_bits\": 0.5"), std::string::npos);
+  EXPECT_NE(text.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(text.find("\"shards\": 8"), std::string::npos);
+  EXPECT_NE(text.find("\"cell\": \"total\""), std::string::npos);
+}
+
+TEST_F(RecorderTest, OmitsMiFieldsWhenUnset) {
+  {
+    Recorder r("costbench");
+    r.Add({.cell = "x86/L1", .metrics = {{"direct_us", 26.0}}});
+  }
+  std::string text = ReadFile();
+  EXPECT_EQ(text.find("mi_bits"), std::string::npos);
+  EXPECT_NE(text.find("\"metrics\": {\"direct_us\": 26}"), std::string::npos);
+}
+
+TEST_F(RecorderTest, AppendsAcrossRecorders) {
+  {
+    Recorder r("bench_a");
+    r.Add({.cell = "a"});
+  }
+  {
+    Recorder r("bench_b");
+    r.Add({.cell = "b"});
+  }
+  std::string text = ReadFile();
+  // 4 records total (2 cells + 2 totals), in one valid-shaped array.
+  EXPECT_EQ(Count(text, "\"schema_version\""), 4u);
+  EXPECT_NE(text.find("\"bench\": \"bench_a\""), std::string::npos);
+  EXPECT_NE(text.find("\"bench\": \"bench_b\""), std::string::npos);
+  EXPECT_EQ(Count(text, "["), 1u);
+  EXPECT_EQ(Count(text, "]"), 1u);
+  // Well-formed comma placement: exactly record-count-1 separators between
+  // closing and opening braces.
+  EXPECT_EQ(Count(text, "},"), 3u);
+}
+
+TEST_F(RecorderTest, RecoversFromMalformedFile) {
+  {
+    std::ofstream out(path_);
+    out << "not json at all";
+  }
+  {
+    Recorder r("bench_c");
+    r.Add({.cell = "c"});
+  }
+  std::string text = ReadFile();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(Count(text, "\"schema_version\""), 2u);
+  EXPECT_EQ(text.find("not json"), std::string::npos);
+}
+
+TEST_F(RecorderTest, RestartsWhenFileHasCloseBracketButNoOpen) {
+  {
+    std::ofstream out(path_);
+    out << "oops]";
+  }
+  {
+    Recorder r("bench_d");
+    r.Add({.cell = "d"});
+  }
+  std::string text = ReadFile();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.find("oops"), std::string::npos);
+  EXPECT_EQ(Count(text, "\"schema_version\""), 2u);
+}
+
+TEST_F(RecorderTest, EscapesStrings) {
+  {
+    Recorder r("bench\"quoted");
+    r.Add({.cell = "cell\\back\nline"});
+  }
+  std::string text = ReadFile();
+  EXPECT_NE(text.find("bench\\\"quoted"), std::string::npos);
+  EXPECT_NE(text.find("cell\\\\back\\nline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tp::bench

@@ -25,11 +25,17 @@ hw::CacheGeometry TinyCacheGeometry() {
   return hw::CacheGeometry{.size_bytes = 4096, .line_size = 64, .associativity = 2};
 }
 
-kernel::KernelConfig TestKernelConfig(bool clone_support) {
+kernel::KernelConfig TestKernelConfig(bool clone_support, hw::Cycles timeslice_cycles) {
   kernel::KernelConfig c;
   c.clone_support = clone_support;
-  c.timeslice_cycles = 200'000;
+  c.timeslice_cycles = timeslice_cycles;
   return c;
+}
+
+void InstallFlatContext(hw::Core& core, const FlatTranslationContext& ctx,
+                        bool kernel_global) {
+  core.SetUserContext(&ctx);
+  core.SetKernelContext(&ctx, kernel_global);
 }
 
 namespace {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the full paper-reproduction bench sweep through the parallel
+# experiment runner, recording machine-readable results.
+#
+# usage: tools/run_bench_sweep.sh [build-dir]
+#
+# Knobs (environment):
+#   TP_QUICK        non-empty/non-0: 8x fewer rounds (CI smoke scale)
+#   TP_THREADS      host threads per bench (default: all cores)
+#   TP_BENCH_JSON   output path (default: ./BENCH_results.json)
+#   TP_BENCH_LABEL  free-form run label stored in every record
+#   TP_SWEEP_MICRO  non-empty: include the Google-benchmark microbenches
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+: "${TP_BENCH_JSON:=$PWD/BENCH_results.json}"
+: "${TP_BENCH_LABEL:=sweep}"
+export TP_BENCH_JSON TP_BENCH_LABEL
+
+if ! ls "$BUILD_DIR"/bench/bench_* >/dev/null 2>&1; then
+  echo "no bench binaries under $BUILD_DIR/bench — build first" >&2
+  exit 1
+fi
+
+start=$(date +%s)
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  if [ "$name" = bench_microbench ] && [ -z "${TP_SWEEP_MICRO:-}" ]; then
+    continue
+  fi
+  echo "== $name"
+  "$b" > /dev/null
+done
+echo "sweep '${TP_BENCH_LABEL}' done in $(( $(date +%s) - start ))s -> $TP_BENCH_JSON"
