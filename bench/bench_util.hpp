@@ -6,12 +6,39 @@
 #define TP_BENCH_BENCH_UTIL_HPP_
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/time_protection.hpp"
+#include "hw/machine.hpp"
 #include "runner/quick.hpp"
+#include "runner/sweep.hpp"
 
 namespace tp::bench {
+
+// Maps a GridSpec platform-axis value back to its machine config; the axis
+// values double as the recorded cell-name prefix.
+inline hw::MachineConfig PlatformConfig(const std::string& name, std::size_t cores = 1) {
+  if (name == "Haswell (x86)") {
+    return hw::MachineConfig::Haswell(cores);
+  }
+  if (name == "Sabre (Arm)") {
+    return hw::MachineConfig::Sabre(cores);
+  }
+  throw std::invalid_argument("unknown platform axis value: " + name);
+}
+
+// Maps a GridSpec mode-axis value back to the scenario preset.
+inline core::Scenario ScenarioByName(const std::string& name) {
+  for (core::Scenario s : {core::Scenario::kRaw, core::Scenario::kColourReady,
+                           core::Scenario::kFullFlush, core::Scenario::kProtected}) {
+    if (name == core::ScenarioName(s)) {
+      return s;
+    }
+  }
+  throw std::invalid_argument("unknown mode axis value: " + name);
+}
 
 inline void Header(const char* experiment, const char* paper_summary) {
   std::printf("\n================================================================================\n");
@@ -65,6 +92,17 @@ inline std::string Fmt(const char* fmt, double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
+}
+
+// The channel-sweep drivers' shared per-cell results table.
+inline void PrintSweepResults(const std::vector<runner::SweepCellResult>& results) {
+  Table t({"cell", "M (mb)", "M0 (mb)", "n", "verdict"});
+  for (const runner::SweepCellResult& r : results) {
+    t.AddRow({r.cell.Name(), Fmt("%.1f", r.leakage.MilliBits()),
+              Fmt("%.1f", r.leakage.M0MilliBits()), std::to_string(r.leakage.samples),
+              r.leakage.leak ? "CHANNEL" : "no channel"});
+  }
+  t.Print();
 }
 
 }  // namespace tp::bench

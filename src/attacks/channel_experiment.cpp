@@ -50,11 +50,11 @@ Experiment MakeExperiment(const hw::MachineConfig& machine_config, core::Scenari
   exp.kernel = std::make_unique<kernel::Kernel>(*exp.machine, kc);
   exp.manager = std::make_unique<core::DomainManager>(*exp.kernel);
 
-  // 50% of colours per domain (the paper's default), only meaningful for
-  // clone-capable kernels.
+  // 50% of colours per domain (the paper's default) scaled by
+  // colour_fraction, only meaningful for clone-capable kernels.
   std::vector<std::set<std::size_t>> colours(2);
   if (kc.clone_support) {
-    colours = core::SplitColours(machine_config, 2);
+    colours = core::SplitColours(machine_config, 2, options.colour_fraction);
   }
   // Pad to the simulator's worst-case switch cost (a safe pad needs a WCET
   // analysis of *this* platform, §4.3; the paper's measured 58.8/62.5 µs

@@ -112,6 +112,10 @@ struct Experiment {
 struct ExperimentOptions {
   double timeslice_ms = 1.0;
   bool same_core = true;  // false: sender on core 0, receiver on core 1
+  // Each domain's share of an equal colour split (<1 models the
+  // reduced-allocation sweeps beyond the paper's 50% default; only
+  // meaningful for clone-capable kernels).
+  double colour_fraction = 1.0;
   // Extra kernel-config override applied after the scenario preset (e.g.
   // disabling padding for the Table 4 "no pad" row).
   bool disable_padding = false;

@@ -1,0 +1,163 @@
+#include "runner/sweep.hpp"
+
+#include <cstdio>
+
+namespace tp::runner {
+
+namespace {
+
+std::string FormatAxisValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string GridCell::CoordKey() const {
+  std::string key;
+  key += platform;
+  key += "|";
+  key += variant;
+  key += "|ts=";
+  key += FormatAxisValue(timeslice_ms);
+  key += "|cf=";
+  key += FormatAxisValue(colour_fraction);
+  key += "|";
+  key += mode;
+  return key;
+}
+
+std::string GridCell::Name() const {
+  std::string name;
+  auto append = [&name](const std::string& part) {
+    if (part.empty()) {
+      return;
+    }
+    if (!name.empty()) {
+      name += "/";
+    }
+    name += part;
+  };
+  append(platform);
+  append(variant);
+  if (timeslice_ms > 0.0) {
+    append("ts=" + FormatAxisValue(timeslice_ms) + "ms");
+  }
+  if (colour_fraction != 1.0) {
+    append("cf=" + FormatAxisValue(colour_fraction));
+  }
+  append(mode);
+  return name;
+}
+
+std::vector<GridCell> ExpandGrid(const GridSpec& spec) {
+  std::vector<GridCell> cells;
+  cells.reserve(spec.num_cells());
+  for (const std::string& platform : spec.platforms) {
+    for (const std::string& variant : spec.variants) {
+      for (double ts : spec.timeslices_ms) {
+        for (double cf : spec.colour_fractions) {
+          for (const std::string& mode : spec.modes) {
+            GridCell cell;
+            cell.index = cells.size();
+            cell.platform = platform;
+            cell.variant = variant;
+            cell.timeslice_ms = ts;
+            cell.colour_fraction = cf;
+            cell.mode = mode;
+            cell.seed = SplitMix64(spec.root_seed ^ SplitMix64(Fnv1a64(cell.CoordKey())));
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
+    const GridSpec& spec, const CellShardFn& fn, const mi::LeakageOptions& leak_options) const {
+  std::vector<GridCell> cells = ExpandGrid(spec);
+  std::vector<ShardPlan> plans;
+  plans.reserve(cells.size());
+  for (const GridCell& cell : cells) {
+    plans.push_back(
+        PlanShards(spec.rounds, cell.seed, spec.min_shard_rounds, spec.max_shards));
+  }
+
+  // Flatten every (cell, shard) into one pool so a grid of small cells
+  // still keeps all host threads busy.
+  struct ShardTask {
+    std::size_t cell = 0;
+    Shard shard;
+  };
+  std::vector<ShardTask> tasks;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t i = 0; i < plans[c].num_shards(); ++i) {
+      tasks.push_back({c, Shard{i, plans[c].SeedFor(i), plans[c].shard_rounds[i]}});
+    }
+  }
+  struct ShardOut {
+    mi::Observations obs;
+    std::uint64_t wall_ns = 0;
+  };
+  std::vector<ShardOut> outs = runner_.Map(tasks.size(), [&](std::size_t i) {
+    std::uint64_t t0 = bench::Recorder::NowNs();
+    ShardOut out;
+    out.obs = fn(cells[tasks[i].cell], tasks[i].shard);
+    out.wall_ns = bench::Recorder::NowNs() - t0;
+    return out;
+  });
+
+  std::vector<SweepCellResult> results(cells.size());
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    SweepCellResult& r = results[c];
+    r.cell = cells[c];
+    r.rounds = spec.rounds;
+    r.shards = plans[c].num_shards();
+    std::vector<mi::Observations> parts;
+    parts.reserve(r.shards);
+    for (std::size_t i = 0; i < r.shards; ++i, ++next) {
+      parts.push_back(std::move(outs[next].obs));
+      r.wall_ns += outs[next].wall_ns;
+    }
+    r.observations = MergeObservations(parts);
+  }
+
+  // The per-cell leakage tests are independent too; fan them out and fold
+  // their work time into the owning cell.
+  struct LeakOut {
+    mi::LeakageResult leakage;
+    std::uint64_t wall_ns = 0;
+  };
+  std::vector<LeakOut> leaks = runner_.Map(results.size(), [&](std::size_t c) {
+    std::uint64_t t0 = bench::Recorder::NowNs();
+    LeakOut out;
+    out.leakage = mi::TestLeakage(results[c].observations, leak_options);
+    out.wall_ns = bench::Recorder::NowNs() - t0;
+    return out;
+  });
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    results[c].leakage = leaks[c].leakage;
+    results[c].wall_ns += leaks[c].wall_ns;
+  }
+  return results;
+}
+
+void RecordSweep(bench::Recorder& recorder, const ExperimentRunner& runner,
+                 const std::vector<SweepCellResult>& results) {
+  for (const SweepCellResult& r : results) {
+    recorder.Add({.cell = r.cell.Name(),
+                  .rounds = r.rounds,
+                  .samples = r.leakage.samples,
+                  .mi_bits = r.leakage.mi_bits,
+                  .m0_bits = r.leakage.m0_bits,
+                  .wall_ns = r.wall_ns,
+                  .threads = runner.threads(),
+                  .shards = r.shards});
+  }
+}
+
+}  // namespace tp::runner

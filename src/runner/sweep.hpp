@@ -1,0 +1,119 @@
+// Parameter-grid sweeps over the experiment space.
+//
+// GridSpec names the paper's evaluation axes — platform x timeslice x
+// colour-fraction x protection mode, plus a driver-defined variant axis —
+// as plain values; ExpandGrid produces the cartesian cell list. Each cell's
+// seed stream is derived (splitmix64) from the cell's *coordinates*, never
+// from its enumeration index, so extending an axis adds cells without
+// reshuffling the seeds — and therefore the recorded observations and MI —
+// of pre-existing cells.
+//
+// SweepEngine fans every shard of every cell into one flat task pool on the
+// ExperimentRunner; as with RunShardedCells, the shard layout is a pure
+// function of the spec, so a grid's merged results are bit-identical at any
+// TP_THREADS.
+#ifndef TP_RUNNER_SWEEP_HPP_
+#define TP_RUNNER_SWEEP_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mi/leakage_test.hpp"
+#include "mi/observations.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
+
+namespace tp::runner {
+
+// FNV-1a, the stable coordinate-string hash feeding the per-cell seeds.
+constexpr std::uint64_t Fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ull;
+  }
+  return h;
+}
+
+// The sweep axes. An axis a driver does not sweep keeps its neutral
+// single-element default and is omitted from cell names.
+struct GridSpec {
+  std::uint64_t root_seed = 0;
+  std::size_t rounds = 0;  // per cell, sharded via PlanShards
+  std::size_t min_shard_rounds = 16;
+  std::size_t max_shards = 8;
+
+  std::vector<std::string> platforms = {""};
+  std::vector<double> timeslices_ms = {0.0};     // 0 = axis unused
+  std::vector<double> colour_fractions = {1.0};  // share of each domain's colour allocation
+  std::vector<std::string> modes = {""};         // protection mode (scenario name)
+  std::vector<std::string> variants = {""};      // driver-defined extra axis
+
+  std::size_t num_cells() const {
+    return platforms.size() * timeslices_ms.size() * colour_fractions.size() * modes.size() *
+           variants.size();
+  }
+};
+
+struct GridCell {
+  std::size_t index = 0;  // position in the expanded grid
+  std::string platform;
+  std::string variant;
+  double timeslice_ms = 0.0;
+  double colour_fraction = 1.0;
+  std::string mode;
+  std::uint64_t seed = 0;  // root of this cell's splitmix64 shard-seed stream
+
+  // Canonical coordinate key (every axis, spelled out) — the seed input.
+  std::string CoordKey() const;
+  // Display name, "platform/variant/ts=..ms/cf=../mode" with neutral axes
+  // (empty strings, ts 0, cf 1.0) omitted.
+  std::string Name() const;
+};
+
+std::vector<GridCell> ExpandGrid(const GridSpec& spec);
+
+// One cell's merged result: observations, the leakage verdict over them,
+// and summed per-shard host work time (comparable across runs of any
+// thread count, unlike elapsed wall-clock of concurrent cells).
+struct SweepCellResult {
+  GridCell cell;
+  mi::Observations observations;
+  mi::LeakageResult leakage;
+  std::size_t rounds = 0;
+  std::size_t shards = 0;
+  std::uint64_t wall_ns = 0;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(const ExperimentRunner& runner) : runner_(runner) {}
+
+  using CellShardFn = std::function<mi::Observations(const GridCell&, const Shard&)>;
+
+  // Channel sweeps: every shard of every cell joins one flat task pool;
+  // per-cell leakage tests then fan out over the same pool.
+  std::vector<SweepCellResult> RunChannelGrid(const GridSpec& spec, const CellShardFn& fn,
+                                              const mi::LeakageOptions& leak_options = {}) const;
+
+  // Cost sweeps: one task per cell, driver-defined result type.
+  template <typename Fn>
+  auto MapCells(const GridSpec& spec, Fn&& fn) const {
+    std::vector<GridCell> cells = ExpandGrid(spec);
+    return runner_.Map(cells.size(), [&](std::size_t i) { return fn(cells[i]); });
+  }
+
+  const ExperimentRunner& runner() const { return runner_; }
+
+ private:
+  const ExperimentRunner& runner_;
+};
+
+// Feeds one BenchRecord per cell result into the recorder.
+void RecordSweep(bench::Recorder& recorder, const ExperimentRunner& runner,
+                 const std::vector<SweepCellResult>& results);
+
+}  // namespace tp::runner
+
+#endif  // TP_RUNNER_SWEEP_HPP_

@@ -1,0 +1,242 @@
+#include "trajectory/diff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace tp::trajectory {
+
+namespace {
+
+std::string Key(const TrajectoryRecord& r) { return r.bench + "/" + r.cell; }
+
+// Last record per (bench, cell) for one label; duplicates noted (reruns
+// append, the latest run wins).
+std::map<std::string, const TrajectoryRecord*> IndexLabel(const Trajectory& t,
+                                                          std::string_view label,
+                                                          std::vector<std::string>* notes) {
+  std::map<std::string, const TrajectoryRecord*> index;
+  for (const TrajectoryRecord& r : t.records) {
+    if (r.label != label) {
+      continue;
+    }
+    std::string key = Key(r);
+    if (auto it = index.find(key); it != index.end()) {
+      notes->push_back("duplicate record for '" + key + "' in label '" + std::string(label) +
+                       "', using the last one");
+    }
+    index[key] = &r;
+  }
+  return index;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendStringArray(std::string& out, const char* name,
+                       const std::vector<std::string>& items) {
+  out += "  \"";
+  out += name;
+  out += "\": [";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(items[i]) + "\"";
+  }
+  out += items.empty() ? "]" : "\n  ]";
+}
+
+}  // namespace
+
+bool IsProtectedCell(std::string_view cell) {
+  while (!cell.empty()) {
+    std::size_t slash = cell.find('/');
+    std::string_view segment = cell.substr(0, slash);
+    if (segment == "protected") {
+      return true;
+    }
+    if (slash == std::string_view::npos) {
+      break;
+    }
+    cell.remove_prefix(slash + 1);
+  }
+  return false;
+}
+
+DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view baseline,
+                             std::string_view candidate, const DiffOptions& options) {
+  DiffOutcome outcome;
+  DiffResult& result = outcome.result;
+  result.baseline_label = baseline;
+  result.candidate_label = candidate;
+  result.options = options;
+
+  if (!trajectory.HasLabel(baseline)) {
+    outcome.error = "label '" + std::string(baseline) + "' not found in trajectory";
+    return outcome;
+  }
+  if (!trajectory.HasLabel(candidate)) {
+    outcome.error = "label '" + std::string(candidate) + "' not found in trajectory";
+    return outcome;
+  }
+
+  auto base = IndexLabel(trajectory, baseline, &result.notes);
+  auto cand = IndexLabel(trajectory, candidate, &result.notes);
+
+  for (const auto& [key, b] : base) {
+    if (cand.find(key) == cand.end()) {
+      result.missing_in_candidate.push_back(key);
+      // A protected cell that vanished takes its leakage gating with it —
+      // dropping or renaming one must refresh the baseline instead.
+      if (options.gate_missing_protected && IsProtectedCell(b->cell)) {
+        ++result.missing_protected;
+      }
+    }
+  }
+  for (const auto& [key, c] : cand) {
+    const TrajectoryRecord* b = nullptr;
+    if (auto it = base.find(key); it != base.end()) {
+      b = it->second;
+    } else {
+      result.missing_in_baseline.push_back(key);
+      // A *protected* cell new to the trajectory is still leak-gated: it
+      // must enter with zero MI, or the gate never sees it regress.
+      if (!(IsProtectedCell(c->cell) && c->has_mi())) {
+        continue;
+      }
+    }
+
+    CellDiff d;
+    d.bench = c->bench;
+    d.cell = c->cell;
+    d.protected_mode = IsProtectedCell(c->cell);
+    d.cand_mi = c->mi_bits;
+    d.cand_wall_ns = c->wall_ns;
+    double base_mi_floor = 0.0;
+    if (b != nullptr) {
+      if (b->quick != c->quick) {
+        result.notes.push_back("quick/full mismatch for '" + key + "', cell not compared");
+        continue;
+      }
+      d.base_mi = b->mi_bits;
+      d.base_wall_ns = b->wall_ns;
+      if (b->has_mi()) {
+        base_mi_floor = b->mi_bits;
+      }
+      if (b->has_mi() && c->has_mi()) {
+        d.mi_delta = c->mi_bits - b->mi_bits;
+        d.mi_delta_regression = std::abs(d.mi_delta) > options.max_abs_mi_delta;
+      } else if (b->has_mi() != c->has_mi()) {
+        // MI appearing or disappearing is as much a divergence as a delta.
+        d.mi_delta_regression = std::isfinite(options.max_abs_mi_delta);
+      }
+      if (d.base_wall_ns > 0) {
+        d.wall_ratio =
+            static_cast<double>(d.cand_wall_ns) / static_cast<double>(d.base_wall_ns);
+      } else if (d.cand_wall_ns > 0) {
+        d.wall_ratio = std::numeric_limits<double>::infinity();
+      }
+      bool wall_gated = std::max(d.base_wall_ns, d.cand_wall_ns) >= options.min_wall_ns;
+      d.wall_regression = wall_gated && d.wall_ratio > options.max_wall_ratio;
+    }
+    d.leak_regression = d.protected_mode && c->has_mi() &&
+                        c->mi_bits > base_mi_floor + options.mi_eps_bits;
+    result.leak_regressions += d.leak_regression ? 1 : 0;
+    result.wall_regressions += d.wall_regression ? 1 : 0;
+    result.mi_delta_regressions += d.mi_delta_regression ? 1 : 0;
+    result.cells.push_back(std::move(d));
+  }
+  if (result.cells.empty()) {
+    // Both labels exist but nothing was comparable (disjoint cell sets or
+    // quick/full mismatch everywhere): a PASS here would mean a gate that
+    // examined nothing, so refuse instead.
+    outcome.error = "no comparable cells between '" + std::string(baseline) + "' and '" +
+                    std::string(candidate) + "'";
+  }
+  return outcome;
+}
+
+std::string ReportJson(const DiffOutcome& outcome) {
+  const DiffResult& r = outcome.result;
+  std::string out = "{\n";
+  out += "  \"baseline\": \"" + JsonEscape(r.baseline_label) + "\",\n";
+  out += "  \"candidate\": \"" + JsonEscape(r.candidate_label) + "\",\n";
+  out += "  \"options\": {\"max_wall_ratio\": " + FormatDouble(r.options.max_wall_ratio) +
+         ", \"min_wall_ns\": " + std::to_string(r.options.min_wall_ns) +
+         ", \"mi_eps_bits\": " + FormatDouble(r.options.mi_eps_bits) + "},\n";
+  if (!outcome.error.empty()) {
+    out += "  \"error\": \"" + JsonEscape(outcome.error) + "\",\n";
+  }
+  out += "  \"ok\": " + std::string(outcome.ok() ? "true" : "false") + ",\n";
+  out += "  \"leak_regressions\": " + std::to_string(r.leak_regressions) + ",\n";
+  out += "  \"wall_regressions\": " + std::to_string(r.wall_regressions) + ",\n";
+  out += "  \"mi_delta_regressions\": " + std::to_string(r.mi_delta_regressions) + ",\n";
+  out += "  \"missing_protected\": " + std::to_string(r.missing_protected) + ",\n";
+  out += "  \"cells_compared\": " + std::to_string(r.cells.size()) + ",\n";
+  AppendStringArray(out, "missing_in_candidate", r.missing_in_candidate);
+  out += ",\n";
+  AppendStringArray(out, "missing_in_baseline", r.missing_in_baseline);
+  out += ",\n";
+  AppendStringArray(out, "notes", r.notes);
+  out += ",\n  \"cells\": [";
+  for (std::size_t i = 0; i < r.cells.size(); ++i) {
+    const CellDiff& d = r.cells[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"bench\": \"" + JsonEscape(d.bench) + "\", \"cell\": \"" +
+           JsonEscape(d.cell) + "\"";
+    out += ", \"protected\": " + std::string(d.protected_mode ? "true" : "false");
+    if (!std::isnan(d.base_mi)) {
+      out += ", \"base_mi_bits\": " + FormatDouble(d.base_mi);
+    }
+    if (!std::isnan(d.cand_mi)) {
+      out += ", \"cand_mi_bits\": " + FormatDouble(d.cand_mi);
+    }
+    out += ", \"mi_delta_bits\": " + FormatDouble(d.mi_delta);
+    out += ", \"base_wall_ns\": " + std::to_string(d.base_wall_ns);
+    out += ", \"cand_wall_ns\": " + std::to_string(d.cand_wall_ns);
+    out += ", \"wall_ratio\": " +
+           (std::isfinite(d.wall_ratio) ? FormatDouble(d.wall_ratio) : std::string("null"));
+    out += ", \"leak_regression\": " + std::string(d.leak_regression ? "true" : "false");
+    out += ", \"wall_regression\": " + std::string(d.wall_regression ? "true" : "false");
+    out += ", \"mi_delta_regression\": " +
+           std::string(d.mi_delta_regression ? "true" : "false");
+    out += "}";
+  }
+  out += r.cells.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace tp::trajectory

@@ -1,0 +1,106 @@
+// Trajectory diff: joins two labels of a recorded bench trajectory on
+// (bench, cell) and decides whether the candidate regressed.
+//
+// Two rules gate (everything else is reported, not gated):
+//
+//  * leakage — a protected-mode cell (a "/"-separated cell-name segment
+//    equal to "protected") whose candidate MI exceeds its baseline MI.
+//    Cells the baseline already shows as leaky (the paper's residual x86 L2
+//    channel, deliberately crippled ablation cells) pass as long as they do
+//    not get worse; a protected cell absent from the baseline is held to
+//    MI = 0.
+//  * wall-clock — candidate/baseline wall_ns beyond `max_wall_ratio` on
+//    cells expensive enough to time meaningfully (>= min_wall_ns).
+//
+// Cells present on only one side, quick/full-mode mismatches and duplicate
+// records are surfaced as notes.
+#ifndef TP_TRAJECTORY_DIFF_HPP_
+#define TP_TRAJECTORY_DIFF_HPP_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trajectory/trajectory.hpp"
+
+namespace tp::trajectory {
+
+struct DiffOptions {
+  // Fail when candidate wall_ns / baseline wall_ns exceeds this (1.25 =
+  // 25% slower, the quick-mode default; raise when baseline and candidate
+  // ran on different hardware).
+  double max_wall_ratio = 1.25;
+  // Cells whose baseline and candidate wall_ns both fall below this are
+  // never wall-gated (sub-50ms timings are host noise).
+  std::uint64_t min_wall_ns = 50'000'000;
+  // Slack when comparing MI estimates (bit-identical reruns give exactly
+  // equal values; any positive eps only guards float formatting).
+  double mi_eps_bits = 1e-9;
+  // When finite, ANY joined cell (protected or not) whose |MI delta|
+  // exceeds this fails — 0 demands bit-identical MI, the CI
+  // serial-vs-parallel sharding check. Disabled by default.
+  double max_abs_mi_delta = std::numeric_limits<double>::infinity();
+  // Fail when a protected-mode baseline cell has no candidate counterpart:
+  // renaming or dropping a protected cell must refresh the baseline in the
+  // same change, or leakage coverage would erode silently.
+  bool gate_missing_protected = true;
+};
+
+// True when one of the cell name's "/" segments is exactly "protected"
+// (e.g. "Haswell (x86)/ts=0.25ms/protected", "…/L2/protected"; not the
+// deliberately crippled "protected-nopad" ablation cells).
+bool IsProtectedCell(std::string_view cell);
+
+struct CellDiff {
+  std::string bench;
+  std::string cell;
+  bool protected_mode = false;
+  double base_mi = std::numeric_limits<double>::quiet_NaN();
+  double cand_mi = std::numeric_limits<double>::quiet_NaN();
+  double mi_delta = 0.0;  // cand - base, 0 when either side lacks MI
+  std::uint64_t base_wall_ns = 0;
+  std::uint64_t cand_wall_ns = 0;
+  // cand / base; infinity when only the candidate burned wall time.
+  double wall_ratio = 1.0;
+  bool leak_regression = false;
+  bool wall_regression = false;
+  bool mi_delta_regression = false;
+};
+
+struct DiffResult {
+  std::string baseline_label;
+  std::string candidate_label;
+  DiffOptions options;
+  std::vector<CellDiff> cells;  // joined (bench, cell) pairs, input order
+  std::vector<std::string> missing_in_candidate;  // "bench/cell" keys
+  std::vector<std::string> missing_in_baseline;
+  std::vector<std::string> notes;  // duplicates, quick mismatches, ...
+
+  std::size_t leak_regressions = 0;
+  std::size_t wall_regressions = 0;
+  std::size_t mi_delta_regressions = 0;
+  std::size_t missing_protected = 0;  // protected baseline cells gone from candidate
+  bool ok() const {
+    return leak_regressions == 0 && wall_regressions == 0 && mi_delta_regressions == 0 &&
+           missing_protected == 0;
+  }
+};
+
+// Joins `baseline` and `candidate` labels over the trajectory. Both labels
+// must exist and at least one cell must be comparable; otherwise the
+// outcome carries an `error` and nothing was gated.
+struct DiffOutcome {
+  DiffResult result;
+  std::string error;  // non-empty: a label was absent, nothing compared
+  bool ok() const { return error.empty() && result.ok(); }
+};
+
+DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view baseline,
+                             std::string_view candidate, const DiffOptions& options = {});
+
+// Machine-readable report of the diff (one self-contained JSON object).
+std::string ReportJson(const DiffOutcome& outcome);
+
+}  // namespace tp::trajectory
+
+#endif  // TP_TRAJECTORY_DIFF_HPP_

@@ -1,0 +1,294 @@
+#include "trajectory/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tp::trajectory {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string* error) {
+    JsonValue value;
+    if (!ParseValue(value, 0)) {
+      Fail("invalid value");
+    } else {
+      SkipWs();
+      if (!failed_ && pos_ != text_.size()) {
+        Fail("trailing characters after document");
+      }
+    }
+    if (failed_) {
+      if (error != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "offset %zu: ", error_pos_);
+        *error = buf + error_;
+      }
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void Fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = why;
+      error_pos_ = pos_;
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return false;
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return ParseString(out.string);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return ConsumeWord("true") || (Fail("expected 'true'"), false);
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return ConsumeWord("false") || (Fail("expected 'false'"), false);
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return ConsumeWord("null") || (Fail("expected 'null'"), false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(key)) {
+        Fail("expected object key string");
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        Fail("expected ':' after object key");
+        return false;
+      }
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) {
+        return false;
+      }
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      Fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) {
+        return false;
+      }
+      out.array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      Fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad hex digit in \\u escape");
+              return false;
+            }
+          }
+          // The recorder only ever emits control-character escapes; encode
+          // anything else as UTF-8 without surrogate handling.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape");
+          return false;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("invalid value");
+      return false;
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      Fail("malformed number");
+      return false;
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+  std::size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> ParseJson(std::string_view text, std::string* error) {
+  return Parser(text).Parse(error);
+}
+
+}  // namespace tp::trajectory

@@ -1,0 +1,38 @@
+// Minimal recursive-descent JSON reader for the trajectory tooling.
+//
+// The repo's own Recorder writes the files this parses, but tp_bench_diff
+// must also survive hand-edited input: parsing never throws, reports the
+// byte offset of the first error, and bounds recursion depth.
+#ifndef TP_TRAJECTORY_JSON_HPP_
+#define TP_TRAJECTORY_JSON_HPP_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tp::trajectory {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  bool is(Type t) const { return type == t; }
+  // First member named `key`, or nullptr.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses one JSON document (trailing whitespace allowed, nothing else).
+// Returns nullopt and fills `error` ("offset N: ...") on malformed input.
+std::optional<JsonValue> ParseJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace tp::trajectory
+
+#endif  // TP_TRAJECTORY_JSON_HPP_

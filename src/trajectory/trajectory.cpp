@@ -1,0 +1,197 @@
+#include "trajectory/trajectory.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trajectory/json.hpp"
+
+namespace tp::trajectory {
+
+namespace {
+
+std::string Where(const TrajectoryRecord& r, std::size_t index) {
+  std::string where = "record " + std::to_string(index);
+  if (!r.bench.empty() || !r.cell.empty()) {
+    where += " (" + r.bench + "/" + r.cell + ")";
+  }
+  return where;
+}
+
+// Reads `key` into `out` if present and numeric; false (with a warning
+// recorded by the caller) on a type mismatch.
+bool ReadNumber(const JsonValue& obj, std::string_view key, double* out, bool* type_error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return false;
+  }
+  if (!v->is(JsonValue::Type::kNumber)) {
+    *type_error = true;
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+bool ReadString(const JsonValue& obj, std::string_view key, std::string* out,
+                bool* type_error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return false;
+  }
+  if (!v->is(JsonValue::Type::kString)) {
+    *type_error = true;
+    return false;
+  }
+  *out = v->string;
+  return true;
+}
+
+// One array element -> record in `r`; false (with `why`) when it must be
+// skipped. The identity fields are read first, best-effort, so a skipped
+// record's warning can still name the bench/cell it came from.
+bool ParseRecord(const JsonValue& v, TrajectoryRecord& r, std::string* why) {
+  if (!v.is(JsonValue::Type::kObject)) {
+    *why = "not a JSON object";
+    return false;
+  }
+  bool type_error = false;
+  double num = 0.0;
+  bool has_bench = ReadString(v, "bench", &r.bench, &type_error) && !r.bench.empty();
+  bool has_cell = ReadString(v, "cell", &r.cell, &type_error) && !r.cell.empty();
+  bool has_label = ReadString(v, "label", &r.label, &type_error);
+
+  if (!ReadNumber(v, "schema_version", &num, &type_error)) {
+    *why = "missing schema_version";
+    return false;
+  }
+  r.schema_version = static_cast<int>(num);
+  if (r.schema_version != kSchemaVersion) {
+    *why = "unknown schema_version " + std::to_string(r.schema_version);
+    return false;
+  }
+  if (!has_bench) {
+    *why = "missing bench";
+    return false;
+  }
+  if (!has_cell) {
+    *why = "missing cell";
+    return false;
+  }
+  if (!has_label) {
+    *why = "missing label";
+    return false;
+  }
+
+  if (const JsonValue* q = v.Find("quick"); q != nullptr && q->is(JsonValue::Type::kBool)) {
+    r.quick = q->boolean;
+  }
+  auto read_size = [&](std::string_view key, std::size_t* out) {
+    if (ReadNumber(v, key, &num, &type_error) && num >= 0) {
+      *out = static_cast<std::size_t>(num);
+    }
+  };
+  read_size("host_cpus", &r.host_cpus);
+  read_size("threads", &r.threads);
+  read_size("shards", &r.shards);
+  read_size("rounds", &r.rounds);
+  read_size("samples", &r.samples);
+  ReadNumber(v, "mi_bits", &r.mi_bits, &type_error);
+  ReadNumber(v, "m0_bits", &r.m0_bits, &type_error);
+  if (ReadNumber(v, "wall_ns", &num, &type_error) && num >= 0) {
+    r.wall_ns = static_cast<std::uint64_t>(num);
+  }
+  if (ReadNumber(v, "unix_time", &num, &type_error)) {
+    r.unix_time = static_cast<std::int64_t>(num);
+  }
+  if (const JsonValue* m = v.Find("metrics"); m != nullptr) {
+    if (!m->is(JsonValue::Type::kObject)) {
+      type_error = true;
+    } else {
+      for (const auto& [key, value] : m->object) {
+        if (value.is(JsonValue::Type::kNumber)) {
+          r.metrics[key] = value.number;
+        } else {
+          type_error = true;
+        }
+      }
+    }
+  }
+  if (type_error) {
+    *why = "field with unexpected type";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> Trajectory::Labels() const {
+  std::vector<std::string> labels;
+  for (const TrajectoryRecord& r : records) {
+    bool seen = false;
+    for (const std::string& l : labels) {
+      seen = seen || l == r.label;
+    }
+    if (!seen) {
+      labels.push_back(r.label);
+    }
+  }
+  return labels;
+}
+
+bool Trajectory::HasLabel(std::string_view label) const {
+  for (const TrajectoryRecord& r : records) {
+    if (r.label == label) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Trajectory> ParseTrajectory(std::string_view json_text, std::string* error) {
+  std::string parse_error;
+  std::optional<JsonValue> doc = ParseJson(json_text, &parse_error);
+  if (!doc) {
+    if (error != nullptr) {
+      *error = "malformed JSON: " + parse_error;
+    }
+    return std::nullopt;
+  }
+  if (!doc->is(JsonValue::Type::kArray)) {
+    if (error != nullptr) {
+      *error = "top-level value is not a JSON array of records";
+    }
+    return std::nullopt;
+  }
+  Trajectory t;
+  for (std::size_t i = 0; i < doc->array.size(); ++i) {
+    std::string why;
+    TrajectoryRecord r;
+    if (!ParseRecord(doc->array[i], r, &why)) {
+      t.warnings.push_back("skipped " + Where(r, i) + ": " + why);
+      continue;
+    }
+    t.records.push_back(std::move(r));
+  }
+  return t;
+}
+
+std::optional<Trajectory> LoadTrajectory(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<Trajectory> t = ParseTrajectory(buf.str(), error);
+  if (!t && error != nullptr) {
+    *error = path + ": " + *error;
+  }
+  return t;
+}
+
+}  // namespace tp::trajectory

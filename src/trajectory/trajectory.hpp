@@ -1,0 +1,67 @@
+// The recorded bench trajectory: a typed view of BENCH_results.json.
+//
+// Loading is deliberately forgiving — the file is appended to by many
+// processes and sometimes hand-edited. A record that is not an object,
+// lacks the required identity fields (bench/label/cell), carries a wrong
+// field type, or declares an unknown schema_version is *skipped* with a
+// warning; only a file whose top level fails to parse at all is an error.
+#ifndef TP_TRAJECTORY_TRAJECTORY_HPP_
+#define TP_TRAJECTORY_TRAJECTORY_HPP_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tp::trajectory {
+
+// The schema this tooling understands (see BUILDING.md and
+// runner/recorder.hpp, which writes it).
+inline constexpr int kSchemaVersion = 1;
+
+struct TrajectoryRecord {
+  int schema_version = 0;
+  std::string bench;
+  std::string label;
+  std::string cell;
+  bool quick = false;
+  std::size_t host_cpus = 0;
+  std::size_t threads = 1;
+  std::size_t shards = 1;
+  std::size_t rounds = 0;
+  std::size_t samples = 0;
+  double mi_bits = std::numeric_limits<double>::quiet_NaN();
+  double m0_bits = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t wall_ns = 0;
+  std::int64_t unix_time = 0;
+  std::map<std::string, double> metrics;
+
+  bool has_mi() const { return !std::isnan(mi_bits); }
+};
+
+struct Trajectory {
+  std::vector<TrajectoryRecord> records;
+  std::vector<std::string> warnings;  // one per skipped/odd record
+
+  // Distinct labels in first-appearance order.
+  std::vector<std::string> Labels() const;
+  bool HasLabel(std::string_view label) const;
+};
+
+// Parses the JSON text of a results file. Never throws; unparseable
+// *records* become warnings. Returns nullopt with `error` only when the
+// document itself is not a JSON array.
+std::optional<Trajectory> ParseTrajectory(std::string_view json_text,
+                                          std::string* error = nullptr);
+
+// ParseTrajectory over a file's contents; missing/unreadable file is an
+// error.
+std::optional<Trajectory> LoadTrajectory(const std::string& path, std::string* error = nullptr);
+
+}  // namespace tp::trajectory
+
+#endif  // TP_TRAJECTORY_TRAJECTORY_HPP_

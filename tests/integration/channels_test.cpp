@@ -12,18 +12,15 @@
 #include "attacks/llc_side_channel.hpp"
 #include "attacks/prime_probe.hpp"
 #include "mi/leakage_test.hpp"
+#include "support/test_support.hpp"
 
 namespace tp::attacks {
 namespace {
 
+using test::Analyse;
+
 constexpr std::size_t kRounds = 300;
 constexpr std::uint64_t kSeed = 0xC0FFEE;
-
-mi::LeakageResult Analyse(const mi::Observations& obs) {
-  mi::LeakageOptions opt;
-  opt.shuffles = 40;
-  return mi::TestLeakage(obs, opt);
-}
 
 TEST(KernelChannel, RawSharedKernelLeaksOnX86) {
   Experiment exp = MakeExperiment(hw::MachineConfig::Haswell(1), core::Scenario::kRaw,

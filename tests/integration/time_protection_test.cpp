@@ -1,6 +1,7 @@
 // Integration tests of the time-protection suite itself: the §4.1
 // shared-data audit, nested partitioning, multicore destruction, and the
-// pre-IBC ablation.
+// pre-IBC ablation. Machine/kernel/domain setup comes from the
+// tests/support ScenarioSystem fixture.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -12,66 +13,51 @@
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
 #include "mi/leakage_test.hpp"
+#include "support/test_support.hpp"
 
 namespace tp {
 namespace {
 
-class BusyProgram final : public kernel::UserProgram {
- public:
-  void Step(kernel::UserApi& api) override {
-    api.Compute(150);
-    ++steps_;
-  }
-  std::uint64_t steps() const { return steps_; }
-
- private:
-  std::uint64_t steps_ = 0;
-};
-
 TEST(SharedDataAudit, SwitchPathTouchesDeterministicLineSet) {
   // Requirement 3: with the prefetch in place, every domain switch accesses
   // the same, complete set of shared-data lines, regardless of which domain
-  // is switched to or what userland did.
-  hw::Machine machine(hw::MachineConfig::Haswell(1));
-  kernel::KernelConfig kc = core::MakeKernelConfig(core::Scenario::kProtected, machine, 0.2);
-  kc.pad_switches = false;  // the audit is about the access set, not timing
-  kernel::Kernel kernel(machine, kc);
-  core::DomainManager mgr(kernel);
-  auto colours = core::SplitColours(machine.config(), 2);
-  core::Domain& d1 = mgr.CreateDomain({.id = 1, .colours = colours[0]});
-  core::Domain& d2 = mgr.CreateDomain({.id = 2, .colours = colours[1]});
-  BusyProgram p1;
-  BusyProgram p2;
-  mgr.StartThread(d1, &p1, 100, 0);
-  mgr.StartThread(d2, &p2, 100, 0);
-  kernel.SetDomainSchedule(0, {1, 2});
-  kernel.KickSchedule(0);
+  // is switched to or what userland did. The audit is about the access set,
+  // not timing, so padding is off.
+  test::ScenarioSystem sys(core::Scenario::kProtected, {.pad_switches = false});
+  core::Domain& d1 = sys.manager.CreateDomain({.id = 1, .colours = sys.colours[0]});
+  core::Domain& d2 = sys.manager.CreateDomain({.id = 2, .colours = sys.colours[1]});
+  test::BusyProgram p1;
+  test::BusyProgram p2;
+  sys.manager.StartThread(d1, &p1, 100, 0);
+  sys.manager.StartThread(d2, &p2, 100, 0);
+  sys.kernel.SetDomainSchedule(0, {1, 2});
+  sys.kernel.KickSchedule(0);
 
   std::vector<std::set<hw::PAddr>> per_switch_lines;
   std::set<hw::PAddr>* current = nullptr;
-  std::uint64_t last_switches = kernel.domain_switches();
-  kernel.SetSharedTouchProbe([&](hw::PAddr pa, bool) {
+  std::uint64_t last_switches = sys.kernel.domain_switches();
+  sys.kernel.SetSharedTouchProbe([&](hw::PAddr pa, bool) {
     if (current != nullptr) {
       current->insert(pa);
     }
   });
 
-  hw::Cycles slice = machine.MicrosToCycles(200.0);
+  hw::Cycles slice = sys.machine.MicrosToCycles(200.0);
   for (int i = 0; i < 12; ++i) {
     per_switch_lines.emplace_back();
     current = &per_switch_lines.back();
-    kernel.RunFor(slice);
-    if (kernel.domain_switches() == last_switches) {
+    sys.kernel.RunFor(slice);
+    if (sys.kernel.domain_switches() == last_switches) {
       per_switch_lines.pop_back();  // no switch in this window
     }
-    last_switches = kernel.domain_switches();
+    last_switches = sys.kernel.domain_switches();
   }
   current = nullptr;
   ASSERT_GE(per_switch_lines.size(), 4u);
 
   // Every switch window must cover the full shared region (the prefetch)
   // and thus be identical to every other.
-  std::size_t line = machine.config().llc.line_size;
+  std::size_t line = sys.machine.config().llc.line_size;
   std::size_t expect_lines = kernel::SharedDataLayout::kTotal / line;
   for (std::size_t i = 1; i < per_switch_lines.size(); ++i) {
     EXPECT_EQ(per_switch_lines[i], per_switch_lines[0])
@@ -82,13 +68,8 @@ TEST(SharedDataAudit, SwitchPathTouchesDeterministicLineSet) {
 }
 
 TEST(NestedPartitioning, SubdivideCreatesWorkingChildDomain) {
-  hw::Machine machine(hw::MachineConfig::Haswell(1));
-  kernel::KernelConfig kc = core::MakeKernelConfig(core::Scenario::kProtected, machine, 0.2);
-  kc.pad_switches = false;
-  kernel::Kernel kernel(machine, kc);
-  core::DomainManager mgr(kernel);
-  auto colours = core::SplitColours(machine.config(), 2);
-  core::Domain& parent = mgr.CreateDomain({.id = 1, .colours = colours[0]});
+  test::ScenarioSystem sys(core::Scenario::kProtected, {.pad_switches = false});
+  core::Domain& parent = sys.manager.CreateDomain({.id = 1, .colours = sys.colours[0]});
 
   // Split the parent's colours between parent and child.
   std::set<std::size_t> child_colours;
@@ -99,62 +80,53 @@ TEST(NestedPartitioning, SubdivideCreatesWorkingChildDomain) {
       child_colours.insert(c);
     }
   }
-  core::Domain& child = mgr.Subdivide(parent, 3, child_colours);
+  core::Domain& child = sys.manager.Subdivide(parent, 3, child_colours);
 
-  BusyProgram p;
-  mgr.StartThread(child, &p, 100, 0);
-  kernel.SetDomainSchedule(0, {3});
-  kernel.KickSchedule(0);
-  kernel.RunFor(500'000);
+  test::BusyProgram p;
+  sys.manager.StartThread(child, &p, 100, 0);
+  sys.kernel.SetDomainSchedule(0, {3});
+  sys.kernel.KickSchedule(0);
+  sys.kernel.RunFor(500'000);
   EXPECT_GT(p.steps(), 10u) << "sub-domain threads must run on the grandchild kernel";
 
   // The child's kernel was cloned from the parent's image.
-  const kernel::Capability& ccap = mgr.cspace().At(child.kernel_image);
-  const kernel::Capability& pcap = mgr.cspace().At(parent.kernel_image);
-  EXPECT_EQ(kernel.objects().As<kernel::KernelImageObj>(ccap.obj).parent, pcap.obj);
+  const kernel::Capability& ccap = sys.manager.cspace().At(child.kernel_image);
+  const kernel::Capability& pcap = sys.manager.cspace().At(parent.kernel_image);
+  EXPECT_EQ(sys.kernel.objects().As<kernel::KernelImageObj>(ccap.obj).parent, pcap.obj);
 }
 
 TEST(NestedPartitioning, SubdivisionColoursMustNest) {
-  hw::Machine machine(hw::MachineConfig::Haswell(1));
-  kernel::KernelConfig kc = core::MakeKernelConfig(core::Scenario::kProtected, machine, 0.2);
-  kernel::Kernel kernel(machine, kc);
-  core::DomainManager mgr(kernel);
-  auto colours = core::SplitColours(machine.config(), 2);
-  core::Domain& parent = mgr.CreateDomain({.id = 1, .colours = colours[0]});
-  EXPECT_THROW(mgr.Subdivide(parent, 3, colours[1]), std::runtime_error)
+  test::ScenarioSystem sys(core::Scenario::kProtected);
+  core::Domain& parent = sys.manager.CreateDomain({.id = 1, .colours = sys.colours[0]});
+  EXPECT_THROW(sys.manager.Subdivide(parent, 3, sys.colours[1]), std::runtime_error)
       << "a sub-domain cannot take colours outside its parent's pool";
 }
 
 TEST(NestedPartitioning, DestroyingParentRevokesChildKernel) {
-  hw::Machine machine(hw::MachineConfig::Haswell(1));
-  kernel::KernelConfig kc = core::MakeKernelConfig(core::Scenario::kProtected, machine, 0.2);
-  kernel::Kernel kernel(machine, kc);
-  core::DomainManager mgr(kernel);
-  auto colours = core::SplitColours(machine.config(), 2);
-  core::Domain& parent = mgr.CreateDomain({.id = 1, .colours = colours[0]});
+  test::ScenarioSystem sys(core::Scenario::kProtected);
+  core::Domain& parent = sys.manager.CreateDomain({.id = 1, .colours = sys.colours[0]});
   std::set<std::size_t> child_colours{*parent.colours.begin()};
-  core::Domain& child = mgr.Subdivide(parent, 3, child_colours);
+  core::Domain& child = sys.manager.Subdivide(parent, 3, child_colours);
 
-  const kernel::Capability child_cap = mgr.cspace().At(child.kernel_image);
-  ASSERT_TRUE(kernel.objects().Validate(child_cap));
-  ASSERT_TRUE(mgr.DestroyDomainKernel(parent).ok());
-  EXPECT_FALSE(kernel.objects().Validate(child_cap))
+  const kernel::Capability child_cap = sys.manager.cspace().At(child.kernel_image);
+  ASSERT_TRUE(sys.kernel.objects().Validate(child_cap));
+  ASSERT_TRUE(sys.manager.DestroyDomainKernel(parent).ok());
+  EXPECT_FALSE(sys.kernel.objects().Validate(child_cap))
       << "revoking a Kernel_Image destroys all kernels cloned from it (§4.1)";
 }
 
 TEST(MulticoreDestroy, StallsEveryCoreRunningTheZombie) {
   // §4.4: destroying a kernel that is active on other cores sends
   // system_stall IPIs; those cores fall back to the boot kernel's idle
-  // thread.
+  // thread. Clone-capable kernel without the full protected preset — the
+  // BootedSystem config with a long timeslice.
   hw::Machine machine(hw::MachineConfig::Haswell(2));
-  kernel::KernelConfig kc;
-  kc.clone_support = true;
-  kc.timeslice_cycles = 500'000;
-  kernel::Kernel kernel(machine, kc);
+  kernel::Kernel kernel(machine, test::TestKernelConfig(/*clone_support=*/true,
+                                                        /*timeslice_cycles=*/500'000));
   core::DomainManager mgr(kernel);
   core::Domain& d = mgr.CreateDomain({.id = 1});
-  BusyProgram p0;
-  BusyProgram p1;
+  test::BusyProgram p0;
+  test::BusyProgram p1;
   mgr.StartThread(d, &p0, 100, 0);
   mgr.StartThread(d, &p1, 100, 1);
   kernel.SetDomainSchedule(0, {1});
@@ -186,20 +158,19 @@ TEST(IbcAblation, WithoutBpFlushTheBtbChannelReopens) {
   // §6.1: before Intel's IBC microcode there was no way to scrub the BP on
   // x86 — under full time protection the BTB channel stays open.
   std::size_t rounds = 250;
-  mi::LeakageOptions opt;
-  opt.shuffles = 40;
+  std::uint64_t seed = test::StableSeed("IbcAblation.BtbChannel");
 
   mi::Observations with_ibc = attacks::RunIntraCoreChannel(
       hw::MachineConfig::Haswell(1), core::Scenario::kProtected,
-      attacks::IntraCoreResource::kBtb, rounds, 0x1BC);
-  mi::LeakageResult protected_result = mi::TestLeakage(with_ibc, opt);
+      attacks::IntraCoreResource::kBtb, rounds, seed);
+  mi::LeakageResult protected_result = test::Analyse(with_ibc);
   EXPECT_FALSE(protected_result.leak);
 
   mi::Observations without_ibc = attacks::RunIntraCoreChannel(
       hw::MachineConfig::Haswell(1), core::Scenario::kProtected,
-      attacks::IntraCoreResource::kBtb, rounds, 0x1BC,
+      attacks::IntraCoreResource::kBtb, rounds, seed,
       [](kernel::KernelConfig& kc) { kc.has_bp_flush = false; });
-  mi::LeakageResult pre_ibc = mi::TestLeakage(without_ibc, opt);
+  mi::LeakageResult pre_ibc = test::Analyse(without_ibc);
   EXPECT_TRUE(pre_ibc.leak) << "M=" << pre_ibc.MilliBits()
                             << "mb M0=" << pre_ibc.M0MilliBits() << "mb";
 }
@@ -207,22 +178,18 @@ TEST(IbcAblation, WithoutBpFlushTheBtbChannelReopens) {
 TEST(ColourBallooning, DomainsCanExchangeWholeColours) {
   // §6.1: re-allocating memory between domains is possible at colour
   // granularity; frames of a released colour serve the other domain.
-  hw::Machine machine(hw::MachineConfig::Haswell(1));
-  kernel::KernelConfig kc = core::MakeKernelConfig(core::Scenario::kProtected, machine, 0.2);
-  kernel::Kernel kernel(machine, kc);
-  core::DomainManager mgr(kernel);
-  auto colours = core::SplitColours(machine.config(), 2);
-  core::Domain& d1 = mgr.CreateDomain({.id = 1, .colours = colours[0]});
-  core::Domain& d2 = mgr.CreateDomain({.id = 2, .colours = colours[1]});
+  test::ScenarioSystem sys(core::Scenario::kProtected);
+  core::Domain& d1 = sys.manager.CreateDomain({.id = 1, .colours = sys.colours[0]});
+  core::Domain& d2 = sys.manager.CreateDomain({.id = 2, .colours = sys.colours[1]});
 
   // Move one colour from d1 to d2 and allocate with it.
   std::size_t moved = *d1.colours.begin();
   d1.colours.erase(moved);
   d2.colours.insert(moved);
-  core::MappedBuffer buf = mgr.AllocBuffer(d2, 16 * hw::kPageSize);
+  core::MappedBuffer buf = sys.manager.AllocBuffer(d2, 16 * hw::kPageSize);
   bool saw_moved_colour = false;
   for (const auto& [va, pa] : buf.pages) {
-    std::size_t c = core::ColourOf(machine.config(), pa);
+    std::size_t c = core::ColourOf(sys.machine.config(), pa);
     EXPECT_TRUE(d2.colours.count(c));
     saw_moved_colour = saw_moved_colour || c == moved;
   }

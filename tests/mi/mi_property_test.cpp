@@ -1,57 +1,42 @@
 // Numerical properties of the MI estimator and leakage test beyond point
-// examples: monotonicity in separation, sample-size behaviour, bounds.
+// examples: monotonicity in separation, sample-size behaviour, bounds. On
+// the shared tests/support observation builders.
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <random>
 
 #include "mi/kde.hpp"
 #include "mi/leakage_test.hpp"
 #include "mi/mutual_information.hpp"
+#include "support/test_support.hpp"
 
 namespace tp::mi {
 namespace {
 
-Observations TwoModeChannel(double separation, double sd, int n, std::uint64_t seed) {
-  Observations obs;
-  std::mt19937_64 rng(seed);
-  std::normal_distribution<double> a(0.0, sd);
-  std::normal_distribution<double> b(separation, sd);
-  for (int i = 0; i < n; ++i) {
-    obs.Add(0, a(rng));
-    obs.Add(1, b(rng));
-  }
-  return obs;
-}
+class MiProperties : public test::DeterministicTest {};
+class KdeProperties : public test::DeterministicTest {};
 
-TEST(MiProperties, MonotoneInSeparation) {
+TEST_F(MiProperties, MonotoneInSeparation) {
   double prev = -1.0;
   for (double sep : {0.5, 1.5, 3.0, 8.0}) {
-    double m = EstimateMi(TwoModeChannel(sep, 1.0, 1500, 11));
+    double m = EstimateMi(test::GaussianChannel(2, sep, 1.0, 1500, seed()));
     EXPECT_GE(m, prev - 0.02) << "MI must not decrease as modes separate (sep=" << sep << ")";
     prev = m;
   }
 }
 
-TEST(MiProperties, BoundedByLogOfAlphabet) {
+TEST_F(MiProperties, BoundedByLogOfAlphabet) {
   // M <= log2(|I|), with a small tolerance for estimation error.
   for (int k : {2, 4, 8}) {
-    Observations obs;
-    std::mt19937_64 rng(13);
-    for (int sym = 0; sym < k; ++sym) {
-      std::normal_distribution<double> d(sym * 1000.0, 1.0);
-      for (int i = 0; i < 800; ++i) {
-        obs.Add(sym, d(rng));
-      }
-    }
+    Observations obs = test::GaussianChannel(k, 1000.0, 1.0, 800, seed());
     double m = EstimateMi(obs);
     EXPECT_LE(m, std::log2(k) + 0.05);
     EXPECT_GE(m, std::log2(k) - 0.15) << "fully separated channel reaches capacity";
   }
 }
 
-TEST(MiProperties, InvariantUnderAffineOutputTransform) {
-  Observations base = TwoModeChannel(4.0, 1.0, 1500, 17);
+TEST_F(MiProperties, InvariantUnderAffineOutputTransform) {
+  Observations base = test::GaussianChannel(2, 4.0, 1.0, 1500, seed());
   Observations scaled;
   for (std::size_t i = 0; i < base.size(); ++i) {
     scaled.Add(base.inputs()[i], base.outputs()[i] * 37.0 + 1e6);
@@ -60,26 +45,18 @@ TEST(MiProperties, InvariantUnderAffineOutputTransform) {
       << "MI is invariant under units/offset of the timing observable";
 }
 
-TEST(MiProperties, ShuffleBoundShrinksWithSampleSize) {
-  LeakageOptions opt;
-  opt.shuffles = 30;
+TEST_F(MiProperties, ShuffleBoundShrinksWithSampleSize) {
   // Independent channel: M0 tracks estimator noise, which falls with n.
-  auto noise_m0 = [&](int n, std::uint64_t seed) {
-    Observations obs;
-    std::mt19937_64 rng(seed);
-    std::normal_distribution<double> d(0.0, 1.0);
-    for (int i = 0; i < n; ++i) {
-      obs.Add(static_cast<int>(rng() % 4), d(rng));
-    }
-    return TestLeakage(obs, opt).m0_bits;
+  auto noise_m0 = [&](int n) {
+    return test::Analyse(test::IndependentChannel(4, 1.0, n, seed()), 30).m0_bits;
   };
-  double small = noise_m0(400, 19);
-  double large = noise_m0(6400, 19);
+  double small = noise_m0(400);
+  double large = noise_m0(6400);
   EXPECT_LT(large, small) << "more samples -> tighter zero-leakage bound";
 }
 
-TEST(MiProperties, LeakVerdictIsDeterministicForFixedSeed) {
-  Observations obs = TwoModeChannel(1.0, 1.0, 800, 23);
+TEST_F(MiProperties, LeakVerdictIsDeterministicForFixedSeed) {
+  Observations obs = test::GaussianChannel(2, 1.0, 1.0, 800, seed());
   LeakageOptions opt;
   opt.shuffles = 25;
   opt.seed = 99;
@@ -89,49 +66,34 @@ TEST(MiProperties, LeakVerdictIsDeterministicForFixedSeed) {
   EXPECT_DOUBLE_EQ(a.m0_bits, b.m0_bits);
 }
 
-TEST(MiProperties, SubResolutionEstimatesNeverFlagLeak) {
+TEST_F(MiProperties, SubResolutionEstimatesNeverFlagLeak) {
   // Even if M > M0, estimates below the 1 mb tool resolution are negligible
   // (paper §5.1).
   Observations obs;
   for (int i = 0; i < 1000; ++i) {
     obs.Add(i % 2, static_cast<double>(i % 2) * 1e-12 + 5.0);
   }
-  LeakageOptions opt;
-  opt.shuffles = 20;
-  LeakageResult r = TestLeakage(obs, opt);
+  LeakageResult r = test::Analyse(obs, 20);
   if (r.mi_bits <= kResolutionBits) {
     EXPECT_FALSE(r.leak);
   }
 }
 
-TEST(KdeProperties, BandwidthShrinksWithSampleCount) {
-  std::mt19937_64 rng(29);
-  std::normal_distribution<double> d(0.0, 1.0);
-  std::vector<double> small;
-  std::vector<double> large;
-  for (int i = 0; i < 100; ++i) {
-    small.push_back(d(rng));
-  }
-  for (int i = 0; i < 10000; ++i) {
-    large.push_back(d(rng));
-  }
+TEST_F(KdeProperties, BandwidthShrinksWithSampleCount) {
+  std::vector<double> small = test::GaussianSamples(100, 0.0, 1.0, seed());
+  std::vector<double> large = test::GaussianSamples(10000, 0.0, 1.0, seed() + 1);
   EXPECT_GT(SilvermanBandwidth(small), SilvermanBandwidth(large));
 }
 
-TEST(KdeProperties, DensityNonNegativeEverywhere) {
-  std::mt19937_64 rng(31);
-  std::normal_distribution<double> d(0.0, 1.0);
-  std::vector<double> samples;
-  for (int i = 0; i < 500; ++i) {
-    samples.push_back(d(rng));
-  }
+TEST_F(KdeProperties, DensityNonNegativeEverywhere) {
+  std::vector<double> samples = test::GaussianSamples(500, 0.0, 1.0, seed());
   std::vector<double> grid = MakeGrid(-10, 10, 256);
   for (double v : KdeOnGrid(samples, grid, SilvermanBandwidth(samples))) {
     EXPECT_GE(v, 0.0);
   }
 }
 
-TEST(KdeProperties, CoarseGridStillIntegratesToOne) {
+TEST_F(KdeProperties, CoarseGridStillIntegratesToOne) {
   // The regression behind the Fig. 3 estimator fix: h << grid step.
   std::vector<double> samples(200, 50.0);
   for (int i = 0; i < 200; ++i) {

@@ -1,35 +1,36 @@
+// Point examples for the MI estimator, KDE, leakage test and channel
+// matrix, on the shared tests/support observation builders.
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <random>
 
 #include "mi/channel_matrix.hpp"
 #include "mi/kde.hpp"
 #include "mi/leakage_test.hpp"
 #include "mi/mutual_information.hpp"
+#include "support/test_support.hpp"
 
 namespace tp::mi {
 namespace {
 
-TEST(Kde, SilvermanBandwidthScalesWithSpread) {
+class Kde : public test::DeterministicTest {};
+class Mi : public test::DeterministicTest {};
+class LeakageTest : public test::DeterministicTest {};
+
+TEST_F(Kde, SilvermanBandwidthScalesWithSpread) {
   std::vector<double> tight{1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02};
   std::vector<double> wide{1.0, 11.0, -9.0, 10.5, -9.5, 1.0, 10.2};
   EXPECT_GT(SilvermanBandwidth(wide), SilvermanBandwidth(tight));
 }
 
-TEST(Kde, DegenerateDataHasZeroBandwidth) {
+TEST_F(Kde, DegenerateDataHasZeroBandwidth) {
   std::vector<double> constant(50, 3.0);
   EXPECT_EQ(SilvermanBandwidth(constant), 0.0);
   EXPECT_EQ(SilvermanBandwidth({1.0}), 0.0);
 }
 
-TEST(Kde, DensityIntegratesToOne) {
-  std::mt19937_64 rng(7);
-  std::normal_distribution<double> dist(0.0, 1.0);
-  std::vector<double> samples;
-  for (int i = 0; i < 2000; ++i) {
-    samples.push_back(dist(rng));
-  }
+TEST_F(Kde, DensityIntegratesToOne) {
+  std::vector<double> samples = test::GaussianSamples(2000, 0.0, 1.0, seed());
   std::vector<double> grid = MakeGrid(-6.0, 6.0, 512);
   std::vector<double> density = KdeOnGrid(samples, grid, SilvermanBandwidth(samples));
   double integral = 0.0;
@@ -40,13 +41,8 @@ TEST(Kde, DensityIntegratesToOne) {
   EXPECT_NEAR(integral, 1.0, 0.02);
 }
 
-TEST(Kde, DensityPeaksAtMean) {
-  std::mt19937_64 rng(11);
-  std::normal_distribution<double> dist(2.0, 0.5);
-  std::vector<double> samples;
-  for (int i = 0; i < 2000; ++i) {
-    samples.push_back(dist(rng));
-  }
+TEST_F(Kde, DensityPeaksAtMean) {
+  std::vector<double> samples = test::GaussianSamples(2000, 2.0, 0.5, seed());
   std::vector<double> grid = MakeGrid(-1.0, 5.0, 256);
   std::vector<double> density = KdeOnGrid(samples, grid, SilvermanBandwidth(samples));
   std::size_t peak = 0;
@@ -58,57 +54,30 @@ TEST(Kde, DensityPeaksAtMean) {
   EXPECT_NEAR(grid[peak], 2.0, 0.3);
 }
 
-TEST(Mi, PerfectBinaryChannelIsOneBit) {
+TEST_F(Mi, PerfectBinaryChannelIsOneBit) {
   // Two inputs with fully separated outputs: M = log2(2) = 1 bit.
-  Observations obs;
-  std::mt19937_64 rng(3);
-  std::normal_distribution<double> a(0.0, 0.5);
-  std::normal_distribution<double> b(100.0, 0.5);
-  for (int i = 0; i < 2000; ++i) {
-    obs.Add(0, a(rng));
-    obs.Add(1, b(rng));
-  }
+  Observations obs = test::GaussianChannel(2, 100.0, 0.5, 2000, seed());
   EXPECT_NEAR(EstimateMi(obs), 1.0, 0.05);
 }
 
-TEST(Mi, PerfectFourSymbolChannelIsTwoBits) {
-  Observations obs;
-  std::mt19937_64 rng(5);
-  for (int sym = 0; sym < 4; ++sym) {
-    std::normal_distribution<double> d(sym * 100.0, 0.5);
-    for (int i = 0; i < 1500; ++i) {
-      obs.Add(sym, d(rng));
-    }
-  }
+TEST_F(Mi, PerfectFourSymbolChannelIsTwoBits) {
+  Observations obs = test::GaussianChannel(4, 100.0, 0.5, 1500, seed());
   EXPECT_NEAR(EstimateMi(obs), 2.0, 0.08);
 }
 
-TEST(Mi, IndependentOutputsCarryNoInformation) {
-  Observations obs;
-  std::mt19937_64 rng(9);
-  std::normal_distribution<double> d(50.0, 10.0);
-  std::uniform_int_distribution<int> in(0, 3);
-  for (int i = 0; i < 6000; ++i) {
-    obs.Add(in(rng), d(rng));
-  }
+TEST_F(Mi, IndependentOutputsCarryNoInformation) {
+  Observations obs = test::IndependentChannel(4, 10.0, 6000, seed());
   EXPECT_LT(EstimateMi(obs), 0.02);
 }
 
-TEST(Mi, PartialOverlapGivesIntermediateMi) {
-  Observations obs;
-  std::mt19937_64 rng(13);
-  std::normal_distribution<double> a(0.0, 2.0);
-  std::normal_distribution<double> b(2.0, 2.0);  // heavy overlap
-  for (int i = 0; i < 3000; ++i) {
-    obs.Add(0, a(rng));
-    obs.Add(1, b(rng));
-  }
+TEST_F(Mi, PartialOverlapGivesIntermediateMi) {
+  Observations obs = test::GaussianChannel(2, 2.0, 2.0, 3000, seed());  // heavy overlap
   double m = EstimateMi(obs);
   EXPECT_GT(m, 0.05);
   EXPECT_LT(m, 0.6);
 }
 
-TEST(Mi, ConstantOutputsGiveZero) {
+TEST_F(Mi, ConstantOutputsGiveZero) {
   Observations obs;
   for (int i = 0; i < 100; ++i) {
     obs.Add(i % 2, 42.0);
@@ -116,46 +85,22 @@ TEST(Mi, ConstantOutputsGiveZero) {
   EXPECT_EQ(EstimateMi(obs), 0.0);
 }
 
-TEST(LeakageTest, DetectsRealLeak) {
-  Observations obs;
-  std::mt19937_64 rng(17);
-  std::normal_distribution<double> a(0.0, 1.0);
-  std::normal_distribution<double> b(6.0, 1.0);
-  for (int i = 0; i < 1200; ++i) {
-    obs.Add(0, a(rng));
-    obs.Add(1, b(rng));
-  }
-  LeakageOptions opt;
-  opt.shuffles = 40;
-  LeakageResult r = TestLeakage(obs, opt);
+TEST_F(LeakageTest, DetectsRealLeak) {
+  Observations obs = test::GaussianChannel(2, 6.0, 1.0, 1200, seed());
+  LeakageResult r = test::Analyse(obs);
   EXPECT_TRUE(r.leak);
   EXPECT_GT(r.mi_bits, r.m0_bits);
 }
 
-TEST(LeakageTest, NoFalsePositiveOnNoise) {
-  Observations obs;
-  std::mt19937_64 rng(19);
-  std::normal_distribution<double> d(0.0, 1.0);
-  std::uniform_int_distribution<int> in(0, 3);
-  for (int i = 0; i < 4000; ++i) {
-    obs.Add(in(rng), d(rng));
-  }
-  LeakageOptions opt;
-  opt.shuffles = 40;
-  LeakageResult r = TestLeakage(obs, opt);
+TEST_F(LeakageTest, NoFalsePositiveOnNoise) {
+  Observations obs = test::IndependentChannel(4, 1.0, 4000, seed());
+  LeakageResult r = test::Analyse(obs);
   EXPECT_FALSE(r.leak) << "M=" << r.mi_bits << " M0=" << r.m0_bits;
 }
 
-TEST(LeakageTest, M0TracksShuffleDistribution) {
-  Observations obs;
-  std::mt19937_64 rng(23);
-  std::normal_distribution<double> d(0.0, 1.0);
-  for (int i = 0; i < 2000; ++i) {
-    obs.Add(i % 2, d(rng));
-  }
-  LeakageOptions opt;
-  opt.shuffles = 30;
-  LeakageResult r = TestLeakage(obs, opt);
+TEST_F(LeakageTest, M0TracksShuffleDistribution) {
+  Observations obs = test::GaussianChannel(2, 0.0, 1.0, 1000, seed());
+  LeakageResult r = test::Analyse(obs, 30);
   EXPECT_GE(r.m0_bits, r.shuffle_mean);
   EXPECT_NEAR(r.m0_bits, r.shuffle_mean + 1.96 * r.shuffle_sd, 1e-12);
 }

@@ -1,0 +1,210 @@
+// The grid sweep engine: cartesian expansion, coordinate-keyed seed
+// streams, thread-count invariance of whole-grid results, and recording.
+#include "runner/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/kernel_channel.hpp"
+#include "mi/leakage_test.hpp"
+
+namespace tp::runner {
+namespace {
+
+TEST(GridSpec, ExpandsCartesianProductInOrder) {
+  GridSpec spec;
+  spec.platforms = {"p0", "p1"};
+  spec.timeslices_ms = {0.25, 1.0};
+  spec.colour_fractions = {1.0, 0.5};
+  spec.modes = {"raw", "protected"};
+  std::vector<GridCell> cells = ExpandGrid(spec);
+  ASSERT_EQ(cells.size(), spec.num_cells());
+  ASSERT_EQ(cells.size(), 16u);
+  EXPECT_EQ(cells.front().platform, "p0");
+  EXPECT_EQ(cells.front().mode, "raw");
+  EXPECT_EQ(cells.back().platform, "p1");
+  EXPECT_EQ(cells.back().mode, "protected");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+  // All names and seeds distinct.
+  std::set<std::string> names;
+  std::set<std::uint64_t> seeds;
+  for (const GridCell& c : cells) {
+    names.insert(c.Name());
+    seeds.insert(c.seed);
+  }
+  EXPECT_EQ(names.size(), cells.size());
+  EXPECT_EQ(seeds.size(), cells.size());
+}
+
+TEST(GridSpec, NeutralAxesAreOmittedFromNames) {
+  GridSpec spec;
+  spec.platforms = {"Haswell (x86)"};
+  spec.modes = {"raw"};
+  std::vector<GridCell> cells = ExpandGrid(spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].Name(), "Haswell (x86)/raw");
+
+  spec.timeslices_ms = {0.25};
+  spec.colour_fractions = {0.5};
+  spec.variants = {"ocean"};
+  cells = ExpandGrid(spec);
+  EXPECT_EQ(cells[0].Name(), "Haswell (x86)/ocean/ts=0.25ms/cf=0.5/raw");
+}
+
+TEST(GridSpec, SeedsAreKeyedOnCoordinatesNotIndex) {
+  GridSpec spec;
+  spec.root_seed = 42;
+  spec.platforms = {"p0"};
+  spec.timeslices_ms = {1.0};
+  spec.modes = {"raw", "protected"};
+  std::vector<GridCell> before = ExpandGrid(spec);
+
+  // Extending an axis must not reshuffle pre-existing cells' seeds.
+  spec.timeslices_ms = {0.25, 1.0};
+  spec.platforms = {"p0", "p1"};
+  std::vector<GridCell> after = ExpandGrid(spec);
+  for (const GridCell& b : before) {
+    bool found = false;
+    for (const GridCell& a : after) {
+      if (a.CoordKey() == b.CoordKey()) {
+        EXPECT_EQ(a.seed, b.seed) << b.CoordKey();
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << b.CoordKey();
+  }
+
+  // A different root seed moves every stream.
+  spec.root_seed = 43;
+  std::vector<GridCell> reseeded = ExpandGrid(spec);
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_NE(after[i].seed, reseeded[i].seed);
+  }
+}
+
+// Synthetic deterministic experiment: observations derived purely from the
+// shard seed, so any cross-thread nondeterminism in the engine shows up as
+// a result mismatch.
+mi::Observations SyntheticShard(const GridCell& cell, const Shard& shard) {
+  mi::Observations obs;
+  std::mt19937_64 rng(shard.seed);
+  std::normal_distribution<double> noise(0.0, 0.3);
+  for (std::size_t i = 0; i < shard.rounds; ++i) {
+    int symbol = static_cast<int>(rng() % 4);
+    double separation = cell.mode == "leaky" ? 5.0 : 0.0;
+    obs.Add(symbol, separation * symbol + noise(rng));
+  }
+  return obs;
+}
+
+TEST(SweepEngine, GridResultsAreThreadCountInvariant) {
+  GridSpec spec;
+  spec.root_seed = 0x5EED;
+  spec.rounds = 96;
+  spec.platforms = {"p0", "p1"};
+  spec.modes = {"leaky", "quiet"};
+  mi::LeakageOptions lopt;
+  lopt.shuffles = 20;
+
+  ExperimentRunner pool1(1);
+  ExperimentRunner pool4(4);
+  std::vector<SweepCellResult> a =
+      SweepEngine(pool1).RunChannelGrid(spec, SyntheticShard, lopt);
+  std::vector<SweepCellResult> b =
+      SweepEngine(pool4).RunChannelGrid(spec, SyntheticShard, lopt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cell.Name(), b[i].cell.Name());
+    ASSERT_EQ(a[i].observations.size(), b[i].observations.size());
+    EXPECT_EQ(a[i].observations.inputs(), b[i].observations.inputs());
+    EXPECT_EQ(a[i].observations.outputs(), b[i].observations.outputs());
+    EXPECT_EQ(a[i].leakage.mi_bits, b[i].leakage.mi_bits) << a[i].cell.Name();
+    EXPECT_EQ(a[i].leakage.m0_bits, b[i].leakage.m0_bits);
+  }
+  // And the synthetic channel behaves as designed.
+  EXPECT_TRUE(a[0].leakage.leak);
+  EXPECT_FALSE(a[1].leakage.leak);
+}
+
+TEST(SweepEngine, RealKernelChannelGridIsThreadCountInvariant) {
+  // One tiny real-simulator cell: the acceptance check behind
+  // TP_THREADS=1 vs nproc bit-identical recorded MI.
+  GridSpec spec;
+  spec.root_seed = 0xF16'3;
+  spec.rounds = 48;
+  spec.platforms = {"Haswell (x86)"};
+  spec.timeslices_ms = {0.25};
+  spec.modes = {"raw"};
+  auto shard_fn = [](const GridCell& cell, const Shard& shard) {
+    attacks::Experiment exp =
+        attacks::MakeExperiment(hw::MachineConfig::Haswell(1), core::Scenario::kRaw,
+                                {.timeslice_ms = cell.timeslice_ms,
+                                 .colour_fraction = cell.colour_fraction});
+    return attacks::RunKernelChannel(exp, shard.rounds, shard.seed);
+  };
+  mi::LeakageOptions lopt;
+  lopt.shuffles = 10;
+  ExperimentRunner pool1(1);
+  ExperimentRunner pool4(4);
+  std::vector<SweepCellResult> a = SweepEngine(pool1).RunChannelGrid(spec, shard_fn, lopt);
+  std::vector<SweepCellResult> b = SweepEngine(pool4).RunChannelGrid(spec, shard_fn, lopt);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].observations.inputs(), b[0].observations.inputs());
+  EXPECT_EQ(a[0].observations.outputs(), b[0].observations.outputs());
+  EXPECT_EQ(a[0].leakage.mi_bits, b[0].leakage.mi_bits);
+}
+
+TEST(SweepEngine, MapCellsDeliversCellsInGridOrder) {
+  GridSpec spec;
+  spec.platforms = {"p0", "p1"};
+  spec.variants = {"a", "b", "c"};
+  ExperimentRunner pool(4);
+  std::vector<std::string> names =
+      SweepEngine(pool).MapCells(spec, [](const GridCell& cell) { return cell.Name(); });
+  std::vector<GridCell> cells = ExpandGrid(spec);
+  ASSERT_EQ(names.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(names[i], cells[i].Name());
+  }
+}
+
+TEST(RecordSweep, WritesOneRecordPerCell) {
+  std::string path = ::testing::TempDir() + "sweep_record_test.json";
+  std::remove(path.c_str());
+  setenv("TP_BENCH_JSON", path.c_str(), 1);
+  setenv("TP_BENCH_LABEL", "sweep-test", 1);
+  {
+    GridSpec spec;
+    spec.rounds = 64;
+    spec.platforms = {"p0"};
+    spec.modes = {"leaky", "quiet"};
+    ExperimentRunner pool(2);
+    std::vector<SweepCellResult> results =
+        SweepEngine(pool).RunChannelGrid(spec, SyntheticShard);
+    bench::Recorder recorder("sweep_test");
+    RecordSweep(recorder, pool, results);
+  }
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  EXPECT_NE(text.find("\"cell\": \"p0/leaky\""), std::string::npos);
+  EXPECT_NE(text.find("\"cell\": \"p0/quiet\""), std::string::npos);
+  EXPECT_NE(text.find("\"mi_bits\""), std::string::npos);
+  unsetenv("TP_BENCH_JSON");
+  unsetenv("TP_BENCH_LABEL");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tp::runner

@@ -8,10 +8,16 @@
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "core/domain.hpp"
+#include "core/time_protection.hpp"
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
+#include "mi/leakage_test.hpp"
+#include "mi/observations.hpp"
 
 namespace tp::test {
 
@@ -82,6 +88,56 @@ struct BootedSystem {
   hw::Machine machine;
   kernel::Kernel kernel;
 };
+
+// A machine + kernel + domain manager booted under a scenario preset with
+// the platform's colours pre-split — the common preamble of the
+// integration suites.
+struct ScenarioSystem {
+  struct Options {
+    double timeslice_ms = 0.2;
+    bool pad_switches = true;      // preset value; audits of the access set disable it
+    std::size_t colour_parts = 2;  // SplitColours split held in `colours`
+    hw::MachineConfig config = hw::MachineConfig::Haswell(1);
+  };
+
+  explicit ScenarioSystem(core::Scenario scenario) : ScenarioSystem(scenario, Options()) {}
+  ScenarioSystem(core::Scenario scenario, Options options);
+
+  hw::Machine machine;
+  kernel::Kernel kernel;
+  core::DomainManager manager;
+  std::vector<std::set<std::size_t>> colours;
+};
+
+// A thread that just burns compute and counts its steps.
+class BusyProgram final : public kernel::UserProgram {
+ public:
+  void Step(kernel::UserApi& api) override {
+    api.Compute(150);
+    ++steps_;
+  }
+  std::uint64_t steps() const { return steps_; }
+
+ private:
+  std::uint64_t steps_ = 0;
+};
+
+// --- paired-observation builders for the MI suites ---
+
+// `n_per_symbol` draws per symbol, symbol s centred at s * separation.
+mi::Observations GaussianChannel(int num_symbols, double separation, double sd,
+                                 int n_per_symbol, std::uint64_t seed);
+
+// `n` draws with uniformly random inputs and input-independent outputs —
+// a channel that carries nothing.
+mi::Observations IndependentChannel(int num_symbols, double sd, int n, std::uint64_t seed);
+
+// `n` N(mean, sd) draws, for the KDE suites.
+std::vector<double> GaussianSamples(int n, double mean, double sd, std::uint64_t seed);
+
+// The suites' canonical quick leakage test (fewer shuffles than the
+// benches for runtime).
+mi::LeakageResult Analyse(const mi::Observations& obs, std::size_t shuffles = 40);
 
 }  // namespace tp::test
 

@@ -1,0 +1,387 @@
+// The trajectory toolchain behind tp_bench_diff: JSON reader robustness,
+// forgiving record parsing, and the leak/wall regression gate. The
+// overriding property: hand-edited BENCH_results.json input must never
+// crash the differ — it degrades to warnings or a load error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "trajectory/diff.hpp"
+#include "trajectory/json.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace tp::trajectory {
+namespace {
+
+// ---- JSON reader ----
+
+TEST(Json, ParsesScalarsAndNesting) {
+  std::optional<JsonValue> v = ParseJson(R"({"a": [1, -2.5e3, "x\n", true, null], "b": {}})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 5u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].number, -2500.0);
+  EXPECT_EQ(a->array[2].string, "x\n");
+  EXPECT_TRUE(a->array[3].boolean);
+  EXPECT_TRUE(a->array[4].is(JsonValue::Type::kNull));
+  EXPECT_NE(v->Find("b"), nullptr);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInputWithOffset) {
+  std::string error;
+  EXPECT_FALSE(ParseJson("[1, 2", &error).has_value());
+  EXPECT_NE(error.find("offset"), std::string::npos);
+  EXPECT_FALSE(ParseJson("{\"a\" 1}", &error).has_value());
+  EXPECT_FALSE(ParseJson("[1] trailing", &error).has_value());
+  EXPECT_FALSE(ParseJson("", &error).has_value());
+  EXPECT_FALSE(ParseJson("nul", &error).has_value());
+  EXPECT_FALSE(ParseJson("[1, ]", &error).has_value());
+}
+
+TEST(Json, BoundsRecursionDepth) {
+  std::string bomb(5000, '[');
+  std::string error;
+  EXPECT_FALSE(ParseJson(bomb, &error).has_value());
+  EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  std::optional<JsonValue> v = ParseJson("\"a\\u0041\\u00e9\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, "aA\xc3\xa9");
+}
+
+// ---- record parsing ----
+
+std::string Rec(const std::string& body) {
+  return R"({"schema_version": 1, "bench": "b", "label": "l", "cell": "c")" +
+         (body.empty() ? "" : ", " + body) + "}";
+}
+
+TEST(Trajectory, ParsesFullRecord) {
+  std::optional<Trajectory> t = ParseTrajectory(
+      "[" +
+      Rec(R"("quick": true, "threads": 4, "shards": 8, "rounds": 100, "samples": 96,
+           "mi_bits": 0.5, "m0_bits": 0.01, "wall_ns": 1234,
+           "metrics": {"x": 2.0})") +
+      "]");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->records.size(), 1u);
+  const TrajectoryRecord& r = t->records[0];
+  EXPECT_EQ(r.bench, "b");
+  EXPECT_EQ(r.label, "l");
+  EXPECT_EQ(r.cell, "c");
+  EXPECT_TRUE(r.quick);
+  EXPECT_EQ(r.threads, 4u);
+  EXPECT_EQ(r.shards, 8u);
+  EXPECT_EQ(r.samples, 96u);
+  EXPECT_TRUE(r.has_mi());
+  EXPECT_EQ(r.mi_bits, 0.5);
+  EXPECT_EQ(r.wall_ns, 1234u);
+  EXPECT_EQ(r.metrics.at("x"), 2.0);
+  EXPECT_TRUE(t->warnings.empty());
+}
+
+TEST(Trajectory, MiAbsentMeansNaN) {
+  std::optional<Trajectory> t = ParseTrajectory("[" + Rec("") + "]");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->records[0].has_mi());
+}
+
+TEST(Trajectory, SkipsMalformedRecordsWithWarnings) {
+  std::optional<Trajectory> t = ParseTrajectory(
+      "[" + Rec("") + ", 17, \"record\"," +
+      R"({"schema_version": 1, "bench": "b", "cell": "c"},)" +       // missing label
+      R"({"schema_version": 99, "bench": "b", "label": "l", "cell": "c"},)" +  // unknown schema
+      R"({"bench": "b", "label": "l", "cell": "c"},)" +              // no schema_version
+      R"({"schema_version": 1, "bench": "b", "label": "l", "cell": "c", "mi_bits": "NaN"})" +
+      "]");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->records.size(), 1u);  // only the first record survives
+  EXPECT_EQ(t->warnings.size(), 6u);
+  bool unknown_schema = false;
+  for (const std::string& w : t->warnings) {
+    unknown_schema = unknown_schema || w.find("unknown schema_version 99") != std::string::npos;
+  }
+  EXPECT_TRUE(unknown_schema);
+}
+
+TEST(Trajectory, WholeFileGarbageIsAnErrorNotACrash) {
+  std::string error;
+  EXPECT_FALSE(ParseTrajectory("not json at all", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseTrajectory(R"({"an": "object, not an array"})", &error).has_value());
+  EXPECT_NE(error.find("array"), std::string::npos);
+}
+
+TEST(Trajectory, LoadMissingFileIsAnError) {
+  std::string error;
+  EXPECT_FALSE(LoadTrajectory("/nonexistent/path.json", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(Trajectory, LabelsInFirstAppearanceOrder) {
+  std::optional<Trajectory> t = ParseTrajectory(
+      R"([{"schema_version": 1, "bench": "b", "label": "one", "cell": "c"},
+          {"schema_version": 1, "bench": "b", "label": "two", "cell": "c"},
+          {"schema_version": 1, "bench": "b", "label": "one", "cell": "d"}])");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->Labels(), (std::vector<std::string>{"one", "two"}));
+  EXPECT_TRUE(t->HasLabel("two"));
+  EXPECT_FALSE(t->HasLabel("three"));
+}
+
+// ---- diff gate ----
+
+TrajectoryRecord MakeRecord(const std::string& label, const std::string& cell, double mi,
+                            std::uint64_t wall_ns) {
+  TrajectoryRecord r;
+  r.schema_version = kSchemaVersion;
+  r.bench = "bench";
+  r.label = label;
+  r.cell = cell;
+  if (mi >= 0) {
+    r.mi_bits = mi;
+  }
+  r.wall_ns = wall_ns;
+  return r;
+}
+
+TEST(IsProtectedCellTest, MatchesExactSegmentOnly) {
+  EXPECT_TRUE(IsProtectedCell("Haswell (x86)/protected"));
+  EXPECT_TRUE(IsProtectedCell("Haswell (x86)/ts=0.25ms/cf=0.5/protected"));
+  EXPECT_TRUE(IsProtectedCell("Haswell (x86)/L2/protected"));
+  EXPECT_TRUE(IsProtectedCell("protected/extra"));
+  EXPECT_FALSE(IsProtectedCell("Sabre (Arm)/protected-nopad"));
+  EXPECT_FALSE(IsProtectedCell("Haswell (x86)/raw"));
+  EXPECT_FALSE(IsProtectedCell("total"));
+  EXPECT_FALSE(IsProtectedCell(""));
+}
+
+TEST(Diff, MissingLabelIsAnError) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("a", "cell/raw", 1.0, 100));
+  EXPECT_FALSE(DiffTrajectories(t, "a", "nope").error.empty());
+  EXPECT_FALSE(DiffTrajectories(t, "nope", "a").error.empty());
+  EXPECT_FALSE(DiffTrajectories(t, "nope", "a").ok());
+}
+
+TEST(Diff, IdenticalLabelsPass) {
+  Trajectory t;
+  for (const char* label : {"base", "cand"}) {
+    t.records.push_back(MakeRecord(label, "x/protected", 0.0, 1e8));
+    t.records.push_back(MakeRecord(label, "x/L2/protected", 0.8, 1e8));  // known residual leak
+    t.records.push_back(MakeRecord(label, "x/raw", 2.0, 1e8));
+    t.records.push_back(MakeRecord(label, "total", -1, 5e8));
+  }
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok()) << ReportJson(o);
+  EXPECT_EQ(o.result.cells.size(), 4u);
+  EXPECT_EQ(o.result.leak_regressions, 0u);
+  EXPECT_EQ(o.result.wall_regressions, 0u);
+}
+
+TEST(Diff, NewLeakInProtectedCellFails) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", 0.01, 1e8));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.leak_regressions, 1u);
+  ASSERT_EQ(o.result.cells.size(), 1u);
+  EXPECT_TRUE(o.result.cells[0].leak_regression);
+}
+
+TEST(Diff, GrowingAKnownResidualLeakFails) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/L2/protected", 0.8, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/L2/protected", 0.9, 1e8));
+  EXPECT_FALSE(DiffTrajectories(t, "base", "cand").ok());
+  // ... while an unchanged or shrinking residual passes.
+  t.records[1].mi_bits = 0.8;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
+  t.records[1].mi_bits = 0.5;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
+}
+
+TEST(Diff, LeakInUnprotectedCellIsReportedNotGated) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/raw", 1.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/raw", 2.0, 1e8));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok());
+  ASSERT_EQ(o.result.cells.size(), 1u);
+  EXPECT_NEAR(o.result.cells[0].mi_delta, 1.0, 1e-12);
+}
+
+TEST(Diff, NewProtectedCellMustEnterClean) {
+  // A protected cell with no baseline counterpart is held to MI = 0 (the
+  // gate would otherwise never see a leaky new grid cell).
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/raw", 1.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/raw", 1.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "y/protected", 0.2, 1e8));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.leak_regressions, 1u);
+  // Clean new protected cells (and new unprotected cells) are fine.
+  t.records[2].mi_bits = 0.0;
+  o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok());
+  EXPECT_EQ(o.result.missing_in_baseline.size(), 1u);
+}
+
+TEST(Diff, WallRegressionBeyondThresholdFails) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "total", -1, 1'000'000'000));
+  t.records.push_back(MakeRecord("cand", "total", -1, 1'300'000'000));
+  DiffOptions opt;
+  opt.max_wall_ratio = 1.25;
+  DiffOutcome o = DiffTrajectories(t, "base", "cand", opt);
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.wall_regressions, 1u);
+
+  // Boundary: exactly at the threshold passes (strictly-beyond fails).
+  t.records[1].wall_ns = 1'250'000'000;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
+  t.records[1].wall_ns = 1'250'000'001;
+  EXPECT_FALSE(DiffTrajectories(t, "base", "cand", opt).ok());
+}
+
+TEST(Diff, TinyCellsAreNeverWallGated) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/raw", -1, 1'000'000));  // 1 ms
+  t.records.push_back(MakeRecord("cand", "x/raw", -1, 40'000'000));  // 40x slower but tiny
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok());
+  // Crossing min_wall_ns on either side arms the gate.
+  t.records[1].wall_ns = 60'000'000;
+  EXPECT_FALSE(DiffTrajectories(t, "base", "cand").ok());
+}
+
+TEST(Diff, DisjointCellSetsAreReportedNotGated) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "gone/raw", 1.0, 1e8));
+  t.records.push_back(MakeRecord("base", "stays/raw", 1.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "stays/raw", 1.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "new/raw", 1.0, 1e8));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok());
+  EXPECT_EQ(o.result.cells.size(), 1u);
+  ASSERT_EQ(o.result.missing_in_candidate.size(), 1u);
+  EXPECT_EQ(o.result.missing_in_candidate[0], "bench/gone/raw");
+  ASSERT_EQ(o.result.missing_in_baseline.size(), 1u);
+  EXPECT_EQ(o.result.missing_in_baseline[0], "bench/new/raw");
+}
+
+TEST(Diff, QuickModeMismatchSkipsCellWithNote) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.back().quick = true;
+  t.records.push_back(MakeRecord("cand", "x/protected", 0.5, 1e8));  // full-mode run
+  t.records.push_back(MakeRecord("base", "y/raw", 1.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "y/raw", 1.0, 1e8));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok()) << "incomparable cells must not false-positive";
+  EXPECT_EQ(o.result.cells.size(), 1u);
+  ASSERT_EQ(o.result.notes.size(), 1u);
+  EXPECT_NE(o.result.notes[0].find("quick/full mismatch"), std::string::npos);
+}
+
+TEST(Diff, NothingComparableIsAnErrorNotAPass) {
+  // A gate that examined zero cells must refuse, not report success —
+  // e.g. a quick baseline diffed against a full-mode run.
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.back().quick = true;
+  t.records.push_back(MakeRecord("cand", "x/protected", 0.5, 1e8));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_NE(o.error.find("no comparable cells"), std::string::npos);
+}
+
+TEST(Diff, MissingProtectedCellFailsUnlessAllowed) {
+  // Dropping or renaming a protected cell would silently remove its
+  // leakage gating; the baseline must be refreshed instead.
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.push_back(MakeRecord("base", "y/raw", 1.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "y/raw", 1.0, 1e8));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.missing_protected, 1u);
+
+  DiffOptions opt;
+  opt.gate_missing_protected = false;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
+}
+
+TEST(Diff, ZeroBaselineWallStillGatesExpensiveCandidate) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/raw", -1, 0));
+  t.records.push_back(MakeRecord("cand", "x/raw", -1, 10'000'000'000));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.wall_regressions, 1u);
+  EXPECT_TRUE(std::isinf(o.result.cells[0].wall_ratio));
+  // ... and the report stays valid JSON despite the infinite ratio.
+  std::string error;
+  EXPECT_TRUE(ParseJson(ReportJson(o), &error).has_value()) << error;
+}
+
+TEST(Diff, MaxMiDeltaGatesEveryCell) {
+  // The CI serial-vs-parallel sharding check: identical grids must record
+  // bit-identical MI in every cell, protected or not.
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/raw", 2.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/raw", 1.9, 1e8));  // MI *decrease*
+  DiffOptions opt;
+  opt.max_abs_mi_delta = 0.0;
+  DiffOutcome o = DiffTrajectories(t, "base", "cand", opt);
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.mi_delta_regressions, 1u);
+
+  t.records[1].mi_bits = 2.0;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
+  // Without the knob, MI drift in unprotected cells is report-only.
+  t.records[1].mi_bits = 1.9;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
+}
+
+TEST(Diff, DuplicateRecordsUseTheLastAndNote) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.5, 1e8));
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));  // rerun, clean
+  t.records.push_back(MakeRecord("cand", "x/protected", 0.0, 1e8));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok());
+  bool noted = false;
+  for (const std::string& n : o.result.notes) {
+    noted = noted || n.find("duplicate record") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Diff, ReportJsonRoundTripsThroughTheParser) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 2e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", 0.7, 5e8));
+  t.records.push_back(MakeRecord("base", "gone/raw", 1.0, 1e8));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  std::string report = ReportJson(o);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(report, &error);
+  ASSERT_TRUE(parsed.has_value()) << error << "\n" << report;
+  ASSERT_NE(parsed->Find("ok"), nullptr);
+  EXPECT_FALSE(parsed->Find("ok")->boolean);
+  EXPECT_EQ(parsed->Find("leak_regressions")->number, 1.0);
+  EXPECT_EQ(parsed->Find("cells")->array.size(), 1u);
+  EXPECT_EQ(parsed->Find("missing_in_candidate")->array.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tp::trajectory

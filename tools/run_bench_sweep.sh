@@ -8,20 +8,40 @@
 #   TP_QUICK        non-empty/non-0: 8x fewer rounds (CI smoke scale)
 #   TP_THREADS      host threads per bench (default: all cores)
 #   TP_BENCH_JSON   output path (default: ./BENCH_results.json)
-#   TP_BENCH_LABEL  free-form run label stored in every record
+#   TP_BENCH_LABEL  run label stored in every record (required, must not
+#                   already exist in the output file)
 #   TP_SWEEP_MICRO  non-empty: include the Google-benchmark microbenches
+#
+# Every driver runs even if an earlier one fails; the script prints a
+# per-bench pass/fail summary and exits non-zero if any driver failed.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 : "${TP_BENCH_JSON:=$PWD/BENCH_results.json}"
-: "${TP_BENCH_LABEL:=sweep}"
-export TP_BENCH_JSON TP_BENCH_LABEL
+export TP_BENCH_JSON
+
+if [ -z "${TP_BENCH_LABEL:-}" ]; then
+  echo "error: TP_BENCH_LABEL must be set — it names this run inside $TP_BENCH_JSON" >&2
+  exit 2
+fi
+export TP_BENCH_LABEL
+
+# Refuse to append a rerun under an existing label: the trajectory differ
+# would see duplicate (bench, cell) records and silently prefer the rerun.
+if [ -f "$TP_BENCH_JSON" ] && grep -qF "\"label\": \"$TP_BENCH_LABEL\"" "$TP_BENCH_JSON"; then
+  echo "error: label '$TP_BENCH_LABEL' already present in $TP_BENCH_JSON" \
+       "— pick a fresh label or remove the old records" >&2
+  exit 2
+fi
 
 if ! ls "$BUILD_DIR"/bench/bench_* >/dev/null 2>&1; then
   echo "no bench binaries under $BUILD_DIR/bench — build first" >&2
   exit 1
 fi
 
+names=()
+verdicts=()
+failed=0
 start=$(date +%s)
 for b in "$BUILD_DIR"/bench/bench_*; do
   [ -x "$b" ] || continue
@@ -30,6 +50,22 @@ for b in "$BUILD_DIR"/bench/bench_*; do
     continue
   fi
   echo "== $name"
-  "$b" > /dev/null
+  bench_start=$(date +%s)
+  if "$b" > /dev/null; then
+    verdicts+=("pass  $(( $(date +%s) - bench_start ))s")
+  else
+    verdicts+=("FAIL (exit $?)")
+    failed=1
+  fi
+  names+=("$name")
 done
-echo "sweep '${TP_BENCH_LABEL}' done in $(( $(date +%s) - start ))s -> $TP_BENCH_JSON"
+
+echo
+echo "sweep '${TP_BENCH_LABEL}' finished in $(( $(date +%s) - start ))s -> $TP_BENCH_JSON"
+for i in "${!names[@]}"; do
+  printf '  %-32s %s\n' "${names[$i]}" "${verdicts[$i]}"
+done
+if [ "$failed" -ne 0 ]; then
+  echo "error: at least one bench driver failed" >&2
+  exit 1
+fi

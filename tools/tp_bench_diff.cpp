@@ -1,0 +1,204 @@
+// tp_bench_diff — the bench-trajectory regression gate.
+//
+// Joins two run labels of a BENCH_results.json on (bench, cell) and fails
+// (exit 1) on protected-cell leakage or wall-clock regressions; exit 2 for
+// unusable input. See src/trajectory/diff.hpp for the gate rules and
+// BUILDING.md for the CI wiring.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "trajectory/diff.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: tp_bench_diff [options] <baseline-label> <candidate-label>\n"
+    "\n"
+    "Compares two recorded sweep labels and reports per-cell MI deltas and\n"
+    "wall-clock ratios. Exit 0: no regression; 1: regression; 2: bad input.\n"
+    "\n"
+    "options:\n"
+    "  --json PATH      results file to read (default: BENCH_results.json)\n"
+    "  --report PATH    also write a machine-readable JSON report\n"
+    "  --wall-ratio X   max candidate/baseline wall-clock ratio before a\n"
+    "                   cell counts as regressed (default 1.25)\n"
+    "  --min-wall-ms N  only wall-gate cells at least this expensive on one\n"
+    "                   side (default 50)\n"
+    "  --mi-eps X       slack in bits for MI comparisons (default 1e-9)\n"
+    "  --max-mi-delta X fail ANY joined cell whose |MI delta| exceeds X\n"
+    "                   (0 demands bit-identical MI; off by default)\n"
+    "  --allow-missing-protected\n"
+    "                   do not fail when a protected baseline cell is\n"
+    "                   missing from the candidate\n"
+    "  --list-labels    print the labels present in the file and exit\n"
+    "  --quiet          suppress the per-cell table, print the verdict only\n";
+
+struct Args {
+  std::string json_path = "BENCH_results.json";
+  std::string report_path;
+  std::string baseline;
+  std::string candidate;
+  tp::trajectory::DiffOptions options;
+  bool list_labels = false;
+  bool quiet = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tp_bench_diff: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) {
+        return false;
+      }
+      args->json_path = v;
+    } else if (arg == "--report") {
+      const char* v = value();
+      if (v == nullptr) {
+        return false;
+      }
+      args->report_path = v;
+    } else if (arg == "--wall-ratio") {
+      const char* v = value();
+      if (v == nullptr) {
+        return false;
+      }
+      args->options.max_wall_ratio = std::atof(v);
+      if (args->options.max_wall_ratio <= 0.0) {
+        std::fprintf(stderr, "tp_bench_diff: --wall-ratio must be positive\n");
+        return false;
+      }
+    } else if (arg == "--min-wall-ms") {
+      const char* v = value();
+      if (v == nullptr) {
+        return false;
+      }
+      args->options.min_wall_ns = static_cast<std::uint64_t>(std::atof(v) * 1e6);
+    } else if (arg == "--mi-eps") {
+      const char* v = value();
+      if (v == nullptr) {
+        return false;
+      }
+      args->options.mi_eps_bits = std::atof(v);
+    } else if (arg == "--max-mi-delta") {
+      const char* v = value();
+      if (v == nullptr) {
+        return false;
+      }
+      args->options.max_abs_mi_delta = std::atof(v);
+    } else if (arg == "--allow-missing-protected") {
+      args->options.gate_missing_protected = false;
+    } else if (arg == "--list-labels") {
+      args->list_labels = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+      args->quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "tp_bench_diff: unknown option %s\n%s", arg.c_str(), kUsage);
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (args->list_labels) {
+    return positional.empty();
+  }
+  if (positional.size() != 2) {
+    std::fputs(kUsage, stderr);
+    return false;
+  }
+  args->baseline = positional[0];
+  args->candidate = positional[1];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return 2;
+  }
+
+  std::string error;
+  std::optional<tp::trajectory::Trajectory> trajectory =
+      tp::trajectory::LoadTrajectory(args.json_path, &error);
+  if (!trajectory) {
+    std::fprintf(stderr, "tp_bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+  for (const std::string& w : trajectory->warnings) {
+    std::fprintf(stderr, "tp_bench_diff: warning: %s\n", w.c_str());
+  }
+
+  if (args.list_labels) {
+    for (const std::string& label : trajectory->Labels()) {
+      std::printf("%s\n", label.c_str());
+    }
+    return 0;
+  }
+
+  tp::trajectory::DiffOutcome outcome = tp::trajectory::DiffTrajectories(
+      *trajectory, args.baseline, args.candidate, args.options);
+
+  if (!args.report_path.empty()) {
+    std::ofstream out(args.report_path);
+    out << tp::trajectory::ReportJson(outcome);
+    if (!out) {
+      std::fprintf(stderr, "tp_bench_diff: cannot write %s\n", args.report_path.c_str());
+      return 2;
+    }
+  }
+
+  if (!outcome.error.empty()) {
+    std::fprintf(stderr, "tp_bench_diff: %s\n", outcome.error.c_str());
+    return 2;
+  }
+
+  const tp::trajectory::DiffResult& r = outcome.result;
+  if (!args.quiet) {
+    std::printf("%-58s  %10s  %10s  %6s  %s\n", "bench/cell", "mi_delta_b", "wall_ratio",
+                "prot", "verdict");
+    for (const tp::trajectory::CellDiff& d : r.cells) {
+      std::string key = d.bench + "/" + d.cell;
+      const char* verdict = d.leak_regression       ? "LEAK"
+                            : d.wall_regression     ? "SLOW"
+                            : d.mi_delta_regression ? "MI-DRIFT"
+                                                    : "ok";
+      std::printf("%-58s  %+10.4g  %10.3f  %6s  %s\n", key.c_str(), d.mi_delta, d.wall_ratio,
+                  d.protected_mode ? "yes" : "-", verdict);
+    }
+    for (const std::string& key : r.missing_in_candidate) {
+      std::printf("%-58s  %10s  %10s  %6s  missing in %s\n", key.c_str(), "-", "-", "-",
+                  r.candidate_label.c_str());
+    }
+    for (const std::string& key : r.missing_in_baseline) {
+      std::printf("%-58s  %10s  %10s  %6s  new (not in %s)\n", key.c_str(), "-", "-", "-",
+                  r.baseline_label.c_str());
+    }
+    for (const std::string& note : r.notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+  }
+  std::printf(
+      "tp_bench_diff: %s vs %s — %zu cells compared, %zu leak regression(s), "
+      "%zu wall regression(s), %zu MI drift(s), %zu missing protected cell(s) -> %s\n",
+      r.baseline_label.c_str(), r.candidate_label.c_str(), r.cells.size(),
+      r.leak_regressions, r.wall_regressions, r.mi_delta_regressions, r.missing_protected,
+      outcome.ok() ? "PASS" : "FAIL");
+  return outcome.ok() ? 0 : 1;
+}
