@@ -1,0 +1,131 @@
+// tp_bench — the unified paper-reproduction bench driver.
+//
+// Every experiment is a registered scenario (src/scenarios/); this CLI
+// enumerates, filters and runs them through the shared parallel runner and
+// recorder. The sweep script and CI iterate `tp_bench --list`, so a
+// registered channel can never be silently skipped by the leakage gate.
+//
+//   tp_bench --list                 # registered channel names, one per line
+//   tp_bench --list-md              # README markdown channel table
+//   tp_bench                        # run every channel
+//   tp_bench --only fig5_flush_channel [--only ...]   # subset
+//   tp_bench --grid quick|full      # force TP_QUICK on/off for this run
+//   tp_bench --label L              # TP_BENCH_LABEL for recorded results
+//   tp_bench --json PATH            # TP_BENCH_JSON results file
+//   tp_bench --quiet                # suppress tables (recording unaffected)
+//
+// Exit codes: 0 all selected channels ran; 1 a channel body threw; 2 bad
+// usage / unknown channel name.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "scenarios/driver.hpp"
+#include "scenarios/scenario.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: tp_bench [--list | --list-md] [--only NAME]... [--grid quick|full]\n"
+    "                [--label LABEL] [--json PATH] [--quiet]\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool list_md = false;
+  bool quiet = false;
+  std::vector<std::string> only;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tp_bench: %s needs a value\n%s", arg.c_str(), kUsage);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--list-md") {
+      list_md = true;
+    } else if (arg == "--only") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      only.emplace_back(v);
+    } else if (arg == "--grid") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      if (std::strcmp(v, "quick") == 0) {
+        setenv("TP_QUICK", "1", 1);
+      } else if (std::strcmp(v, "full") == 0) {
+        setenv("TP_QUICK", "0", 1);
+      } else {
+        std::fprintf(stderr, "tp_bench: --grid must be 'quick' or 'full'\n%s", kUsage);
+        return 2;
+      }
+    } else if (arg == "--label") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      setenv("TP_BENCH_LABEL", v, 1);
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) {
+        return 2;
+      }
+      setenv("TP_BENCH_JSON", v, 1);
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "tp_bench: unknown argument '%s'\n%s", arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+
+  const tp::scenarios::ChannelRegistry& registry = tp::scenarios::ChannelRegistry::Global();
+  if (list) {
+    std::fputs(tp::scenarios::ListNames(registry).c_str(), stdout);
+    return 0;
+  }
+  if (list_md) {
+    std::fputs(tp::scenarios::MarkdownTable(registry).c_str(), stdout);
+    return 0;
+  }
+
+  std::string error;
+  std::vector<const tp::scenarios::ChannelSpec*> selected =
+      tp::scenarios::SelectSpecs(registry, only, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "tp_bench: %s\n", error.c_str());
+    return 2;
+  }
+
+  // One pool shared across scenarios; each scenario gets its own recorder
+  // named after it, exactly like the old per-figure binaries.
+  tp::runner::ExperimentRunner pool;
+  int failed = 0;
+  for (const tp::scenarios::ChannelSpec* spec : selected) {
+    try {
+      tp::scenarios::RunSpec(*spec, pool, !quiet);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tp_bench: channel '%s' failed: %s\n", spec->name.c_str(),
+                   e.what());
+      failed = 1;
+    }
+  }
+  return failed;
+}

@@ -40,4 +40,19 @@ void FlushTimingReceiver::IdleStep(kernel::UserApi& api) {
   online_end_ = api.Now();
 }
 
+mi::Observations RunFlushChannel(Experiment& exp, const FlushChannelParams& params,
+                                 std::size_t rounds, std::uint64_t seed) {
+  const hw::MachineConfig& mc = exp.machine_config;
+  std::size_t lines =
+      params.lines_per_symbol != 0 ? params.lines_per_symbol : mc.l1d.TotalLines() / 4;
+  hw::Cycles gap = exp.SliceGapThreshold();
+  core::MappedBuffer sbuf =
+      exp.manager->AllocBuffer(*exp.sender_domain, 2 * mc.l1d.size_bytes);
+  DirtyLineSender sender(sbuf, lines, mc.l1d.line_size, params.num_symbols, seed, gap);
+  FlushTimingReceiver receiver(params.observable, gap);
+  exp.manager->StartThread(*exp.sender_domain, &sender, 120, 0);
+  exp.manager->StartThread(*exp.receiver_domain, &receiver, 120, 0);
+  return CollectObservations(exp, sender, receiver, rounds);
+}
+
 }  // namespace tp::attacks

@@ -60,6 +60,20 @@ class FlushTimingReceiver final : public SliceReceiver {
   hw::Cycles online_end_ = 0;
 };
 
+// Everything a flush-channel grid cell varies beyond the Experiment itself
+// (scenario, timeslice, padding come in through MakeExperiment).
+struct FlushChannelParams {
+  std::size_t lines_per_symbol = 0;  // dirty-footprint step; 0 = L1-D lines / 4
+  int num_symbols = 4;
+  TimingObservable observable = TimingObservable::kOffline;
+};
+
+// One shard of the flush channel (Fig. 5, Table 4, ablation): allocates a
+// sender buffer of twice the L1-D, wires DirtyLineSender +
+// FlushTimingReceiver into `exp` and collects the paired observations.
+mi::Observations RunFlushChannel(Experiment& exp, const FlushChannelParams& params,
+                                 std::size_t rounds, std::uint64_t seed);
+
 }  // namespace tp::attacks
 
 #endif  // TP_ATTACKS_FLUSH_CHANNEL_HPP_

@@ -32,4 +32,20 @@ void InterruptSpy::IdleStep(kernel::UserApi& api) {
   prev_end_ = api.Now();
 }
 
+mi::Observations RunInterruptChannel(Experiment& exp, const InterruptChannelParams& params,
+                                     std::size_t rounds, std::uint64_t seed) {
+  hw::Machine& m = *exp.machine;
+  hw::Cycles gap = exp.SliceGapThreshold();
+  double tick_us = exp.timeslice_ms * 1000.0;
+  kernel::CapIdx timer = exp.manager->GrantCap(
+      *exp.sender_domain, exp.kernel->boot_info().device_timers[params.device_timer]);
+  TimerTrojan trojan(timer, m.MicrosToCycles(params.base_delay_ticks * tick_us),
+                     m.MicrosToCycles(params.step_delay_ticks * tick_us),
+                     params.num_symbols, seed, gap);
+  InterruptSpy spy(params.irq_gap, gap);
+  exp.manager->StartThread(*exp.sender_domain, &trojan, 120, 0);
+  exp.manager->StartThread(*exp.receiver_domain, &spy, 120, 0);
+  return CollectObservations(exp, trojan, spy, rounds, /*sample_lag=*/1);
+}
+
 }  // namespace tp::attacks

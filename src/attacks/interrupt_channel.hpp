@@ -55,6 +55,25 @@ class InterruptSpy final : public SliceReceiver {
   double first_interrupt_offset_ = -1.0;
 };
 
+// Timer offsets are expressed in units of the timeslice so one parameter
+// set scales with the tick axis of a grid (the paper's 13–17 ms at a 10 ms
+// tick is 1.3–1.7 ticks).
+struct InterruptChannelParams {
+  double base_delay_ticks = 1.3;
+  double step_delay_ticks = 0.1;
+  int num_symbols = 5;
+  hw::Cycles irq_gap = 300;
+  std::size_t device_timer = 0;  // index into boot_info().device_timers
+};
+
+// One shard of the interrupt channel (Fig. 6, ablation): grants the
+// Trojan's timer cap, wires TimerTrojan + InterruptSpy into `exp` and
+// collects the paired observations (sample lag 1 — the spy reports slice i
+// at the start of slice i+1). The experiment must have been built with
+// `sender_device_timers` covering `device_timer`.
+mi::Observations RunInterruptChannel(Experiment& exp, const InterruptChannelParams& params,
+                                     std::size_t rounds, std::uint64_t seed);
+
 }  // namespace tp::attacks
 
 #endif  // TP_ATTACKS_INTERRUPT_CHANNEL_HPP_

@@ -1,0 +1,144 @@
+// Ablation study: remove one time-protection mechanism at a time from the
+// fully protected configuration and show which channel reopens, as a
+// mechanism x {ablated, protected} grid. This is the design-choice
+// validation for the paper's requirement list (§3.2): every mechanism is
+// load-bearing against a specific channel class.
+//
+//   mechanism removed          channel that reopens            paper req.
+//   kernel clone               shared-kernel-image (Fig. 3)    Req. 2
+//   on-core flush              L1-D prime&probe (Table 3)      Req. 1
+//   switch padding             cache-flush latency (Fig. 5)    Req. 4
+//   IRQ partitioning           interrupt channel (Fig. 6)      Req. 5
+//   BP flush (pre-IBC x86)     BTB channel (Table 3 / §6.1)    Req. 1
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/flush_channel.hpp"
+#include "attacks/interrupt_channel.hpp"
+#include "attacks/intra_core.hpp"
+#include "attacks/kernel_channel.hpp"
+#include "runner/quick.hpp"
+#include "scenarios/scenario.hpp"
+#include "scenarios/scenario_util.hpp"
+#include "scenarios/summary.hpp"
+
+namespace tp::scenarios {
+namespace {
+
+const std::map<std::string, std::pair<const char*, const char*>>& Studies() {
+  // variant -> (mechanism label, channel probed)
+  static const std::map<std::string, std::pair<const char*, const char*>> studies = {
+      {"kernel-clone", {"kernel clone (Req 2)", "kernel image (Fig 3)"}},
+      {"on-core-flush", {"on-core flush (Req 1)", "L1-D prime&probe"}},
+      {"switch-padding", {"switch padding (Req 4)", "flush latency (Fig 5)"}},
+      {"irq-partitioning", {"IRQ partitioning (Req 5)", "interrupt (Fig 6)"}},
+      {"bp-flush", {"BP flush / IBC (§6.1)", "BTB channel"}},
+  };
+  return studies;
+}
+
+mi::Observations CellShard(const runner::GridCell& cell, const runner::Shard& shard) {
+  const bool on = cell.mode == "protected";  // mechanism present?
+  if (cell.variant == "kernel-clone") {
+    attacks::ExperimentOptions opt;
+    opt.timeslice_ms = 0.25;
+    if (!on) {
+      opt.config_hook = [](kernel::KernelConfig& kc) { kc.clone_support = false; };
+    }
+    attacks::Experiment exp =
+        attacks::MakeExperiment(hw::MachineConfig::Haswell(1), core::Scenario::kProtected, opt);
+    return attacks::RunKernelChannel(exp, shard.rounds, shard.seed);
+  }
+  if (cell.variant == "on-core-flush") {
+    std::function<void(kernel::KernelConfig&)> hook;
+    if (!on) {
+      hook = [](kernel::KernelConfig& kc) { kc.flush_mode = kernel::FlushMode::kNone; };
+    }
+    return attacks::RunIntraCoreChannel(hw::MachineConfig::Haswell(1),
+                                        core::Scenario::kProtected,
+                                        attacks::IntraCoreResource::kL1D, shard.rounds,
+                                        shard.seed, hook);
+  }
+  if (cell.variant == "switch-padding") {
+    attacks::ExperimentOptions opt;
+    opt.timeslice_ms = 0.5;
+    opt.disable_padding = !on;
+    attacks::Experiment exp =
+        attacks::MakeExperiment(hw::MachineConfig::Sabre(1), core::Scenario::kProtected, opt);
+    return attacks::RunFlushChannel(exp, {}, shard.rounds, shard.seed);
+  }
+  if (cell.variant == "irq-partitioning") {
+    attacks::ExperimentOptions opt;
+    opt.timeslice_ms = 2.0;
+    opt.sender_device_timers = {0};
+    opt.config_hook = [on](kernel::KernelConfig& kc) { kc.partition_irqs = on; };
+    attacks::Experiment exp =
+        attacks::MakeExperiment(hw::MachineConfig::Haswell(1), core::Scenario::kProtected, opt);
+    return attacks::RunInterruptChannel(exp, {}, shard.rounds, shard.seed);
+  }
+  if (cell.variant == "bp-flush") {
+    std::function<void(kernel::KernelConfig&)> hook;
+    if (!on) {
+      hook = [](kernel::KernelConfig& kc) { kc.has_bp_flush = false; };
+    }
+    return attacks::RunIntraCoreChannel(hw::MachineConfig::Haswell(1),
+                                        core::Scenario::kProtected,
+                                        attacks::IntraCoreResource::kBtb, shard.rounds,
+                                        shard.seed, hook);
+  }
+  throw std::invalid_argument("unknown ablation variant: " + cell.variant);
+}
+
+std::vector<runner::GridSpec> Grids() {
+  runner::GridSpec grid;
+  grid.root_seed = 0xAB1A7;
+  grid.rounds = bench::Scaled(700, 128);
+  grid.variants = {"kernel-clone", "on-core-flush", "switch-padding", "irq-partitioning",
+                   "bp-flush"};
+  grid.modes = {"ablated", "protected"};
+  return {grid};
+}
+
+void Report(RunContext&, const std::vector<runner::SweepCellResult>& results) {
+  Table t({"mechanism removed", "channel probed", "M ablated (mb)", "M protected (mb)",
+           "verdict"});
+  // Modes are the innermost axis: (ablated, protected) pairs are consecutive.
+  for (std::size_t c = 0; c + 2 <= results.size(); c += 2) {
+    const mi::LeakageResult& without = results[c].leakage;
+    const mi::LeakageResult& with = results[c + 1].leakage;
+    auto it = Studies().find(results[c].cell.variant);
+    const char* mechanism = it != Studies().end() ? it->second.first : "?";
+    const char* channel = it != Studies().end() ? it->second.second : "?";
+    std::string verdict = without.leak && !with.leak
+                              ? "mechanism is load-bearing"
+                              : (without.leak ? "STILL LEAKS with mechanism"
+                                              : "channel did not reopen");
+    t.AddRow({mechanism, channel, Fmt("%.1f", without.MilliBits()) + (without.leak ? "*" : ""),
+              Fmt("%.1f", with.MilliBits()) + (with.leak ? "*" : ""), verdict});
+  }
+  std::printf("\n");
+  t.Print();
+  std::printf("(* = definite channel: M > M0)\n");
+  std::printf(
+      "\nShape check: every removed mechanism reopens exactly its channel —\n"
+      "time protection is a suite, not a single knob. The pre-IBC row shows\n"
+      "why the paper argues for a security-aware hardware contract.\n");
+}
+
+const RegisterChannel registrar{{
+    .name = "ablation_mechanisms",
+    .title = "Ablation: protected configuration minus one mechanism at a time",
+    .paper = "each §3.2 requirement defeats a specific channel class; removing "
+             "any one of them reopens its channel",
+    .kind = "channel",
+    .grids = Grids,
+    .cell_shard = CellShard,
+    .leak_options = {.shuffles = 50},
+    .report = Report,
+}};
+
+}  // namespace
+}  // namespace tp::scenarios

@@ -1,0 +1,40 @@
+// Registry-driven scenario execution: the tp_bench CLI, the sweep script
+// and the tests all run scenarios through these entry points, so every
+// registered channel behaves identically — header, grid expansion (channel
+// specs) or custom body (cost specs), uniform summary, recording.
+#ifndef TP_SCENARIOS_DRIVER_HPP_
+#define TP_SCENARIOS_DRIVER_HPP_
+
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "scenarios/scenario.hpp"
+
+namespace tp::scenarios {
+
+// Resolves `only` names against the registry. Empty `only` selects every
+// spec (name order). An unknown name sets `*error` (listing the valid
+// names) and returns an empty selection.
+std::vector<const ChannelSpec*> SelectSpecs(const ChannelRegistry& registry,
+                                            const std::vector<std::string>& only,
+                                            std::string* error);
+
+// Runs one spec end to end on the shared pool. Channel specs expand each of
+// their grids through SweepEngine::RunChannelGrid, print the uniform sweep
+// table, record every cell and then invoke the spec's extra report; cost
+// specs run their custom body. Returns the channel-grid cell results (empty
+// for cost specs).
+std::vector<runner::SweepCellResult> RunSpec(const ChannelSpec& spec,
+                                             const runner::ExperimentRunner& pool,
+                                             bool verbose = true);
+
+// One registered channel name per line, name order (script/CI-friendly).
+std::string ListNames(const ChannelRegistry& registry);
+
+// The README channel table: markdown generated from the registry.
+std::string MarkdownTable(const ChannelRegistry& registry);
+
+}  // namespace tp::scenarios
+
+#endif  // TP_SCENARIOS_DRIVER_HPP_

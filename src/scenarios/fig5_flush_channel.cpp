@@ -1,0 +1,86 @@
+// Figure 5: the cache-flush channel on Arm — receiver-observed offline time
+// as a function of the sender's dirty cache footprint.
+//
+// Gridded beyond the paper's single (unpadded) point: the `nopad` cell is
+// the paper's open channel (protection minus Requirement 4, a clear
+// staircase); the `protected` cell adds switch padding and must be closed,
+// making the flush channel visible to the leakage gate.
+#include <cstdio>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/flush_channel.hpp"
+#include "mi/channel_matrix.hpp"
+#include "runner/quick.hpp"
+#include "scenarios/scenario.hpp"
+#include "scenarios/scenario_util.hpp"
+#include "scenarios/summary.hpp"
+
+namespace tp::scenarios {
+namespace {
+
+attacks::FlushChannelParams Params(const hw::MachineConfig& mc) {
+  attacks::FlushChannelParams params;
+  params.lines_per_symbol = mc.l1d.TotalLines() / 8;
+  params.num_symbols = 8;
+  params.observable = attacks::TimingObservable::kOffline;
+  return params;
+}
+
+mi::Observations CellShard(const runner::GridCell& cell, const runner::Shard& shard) {
+  hw::MachineConfig mc = PlatformConfig(cell.platform);
+  attacks::ExperimentOptions opt = CellOptions(cell);
+  opt.disable_padding = cell.mode == "nopad";
+  attacks::Experiment exp = attacks::MakeExperiment(mc, core::Scenario::kProtected, opt);
+  return attacks::RunFlushChannel(exp, Params(mc), shard.rounds, shard.seed);
+}
+
+std::vector<runner::GridSpec> Grids() {
+  runner::GridSpec grid;
+  grid.root_seed = 0xF165;
+  grid.rounds = bench::Scaled(1800, 256);
+  grid.platforms = {kSabre};
+  grid.timeslices_ms = {0.5};
+  grid.modes = {"nopad", "protected"};
+  return {grid};
+}
+
+void Report(RunContext&, const std::vector<runner::SweepCellResult>& results) {
+  for (const runner::SweepCellResult& r : results) {
+    if (r.cell.mode != "nopad") {
+      continue;
+    }
+    hw::MachineConfig mc = PlatformConfig(r.cell.platform);
+    hw::Machine probe(mc);
+    std::size_t lines_per_symbol = Params(mc).lines_per_symbol;
+    std::printf("\nscatter at %s:\n", r.cell.Name().c_str());
+    PrintPerSymbolMeans(
+        r.observations, "dirty cache sets (symbol)", "mean offline (us)",
+        [&](int sym) {
+          return std::to_string(static_cast<std::size_t>(sym) *
+                                (lines_per_symbol / mc.l1d.associativity));
+        },
+        [&](double mean) {
+          return Fmt("%.2f", probe.CyclesToMicros(static_cast<hw::Cycles>(mean)));
+        });
+    std::printf("\nchannel matrix (offline time vs dirty footprint):\n%s",
+                mi::ChannelMatrix(r.observations, 24).ToAscii(16).c_str());
+  }
+  std::printf(
+      "\nShape check: offline time increases monotonically with the dirty\n"
+      "footprint; the channel is large without padding and closed with it.\n");
+}
+
+const RegisterChannel registrar{{
+    .name = "fig5_flush_channel",
+    .title = "Figure 5: cache-flush channel (Arm), unpadded vs padded",
+    .paper = "receiver offline time vs sender dirty footprint; unmitigated "
+             "M = 1.4 b at n = 1828; padding closes it",
+    .kind = "channel",
+    .grids = Grids,
+    .cell_shard = CellShard,
+    .leak_options = {.shuffles = 60},
+    .report = Report,
+}};
+
+}  // namespace
+}  // namespace tp::scenarios

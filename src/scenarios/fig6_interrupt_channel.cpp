@@ -1,0 +1,64 @@
+// Figure 6: the interrupt covert channel — the Trojan programs a one-shot
+// timer that fires mid-way through the spy's next timeslice; the spy's
+// online time before the interrupt encodes the timer value.
+//
+// Swept beyond the paper's point: tick {2.0, 1.0} ms (scaled stand-ins for
+// the paper's 10 ms; the Trojan's timer offsets scale with the tick).
+#include <cstdio>
+
+#include "attacks/channel_experiment.hpp"
+#include "attacks/interrupt_channel.hpp"
+#include "mi/channel_matrix.hpp"
+#include "runner/quick.hpp"
+#include "scenarios/scenario.hpp"
+#include "scenarios/scenario_util.hpp"
+
+namespace tp::scenarios {
+namespace {
+
+mi::Observations CellShard(const runner::GridCell& cell, const runner::Shard& shard) {
+  attacks::ExperimentOptions opt = CellOptions(cell);
+  opt.sender_device_timers = {0};
+  attacks::Experiment exp = attacks::MakeExperiment(PlatformConfig(cell.platform),
+                                                    ScenarioByName(cell.mode), opt);
+  return attacks::RunInterruptChannel(exp, {}, shard.rounds, shard.seed);
+}
+
+std::vector<runner::GridSpec> Grids() {
+  runner::GridSpec grid;
+  grid.root_seed = 0xF166;
+  grid.rounds = bench::Scaled(700, 128);
+  grid.platforms = {kHaswell};
+  grid.timeslices_ms = {2.0, 1.0};
+  grid.modes = {"raw", "protected"};
+  return {grid};
+}
+
+void Report(RunContext&, const std::vector<runner::SweepCellResult>& results) {
+  for (const runner::SweepCellResult& r : results) {
+    if (r.cell.mode == "raw" && r.cell.timeslice_ms == 2.0) {
+      std::printf(
+          "\nmatrix at %s (spy online-time-before-interrupt vs Trojan timer symbol):\n%s",
+          r.cell.Name().c_str(), mi::ChannelMatrix(r.observations, 20).ToAscii(14).c_str());
+    }
+  }
+  std::printf(
+      "\nShape check: the raw spy sees its online time split at a point that\n"
+      "tracks the Trojan's timer at every tick; partitioning leaves the slice\n"
+      "uninterrupted across the grid.\n");
+}
+
+const RegisterChannel registrar{{
+    .name = "fig6_interrupt_channel",
+    .title = "Figure 6: interrupt covert channel",
+    .paper = "raw: M = 902 mb (timer 13-17ms, 10ms tick); partitioned: closed "
+             "(M = 0.5 mb, M0 = 0.7 mb)",
+    .kind = "channel",
+    .grids = Grids,
+    .cell_shard = CellShard,
+    .leak_options = {.shuffles = 50},
+    .report = Report,
+}};
+
+}  // namespace
+}  // namespace tp::scenarios

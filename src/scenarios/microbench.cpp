@@ -1,0 +1,188 @@
+// Host-throughput microbenchmarks of the simulator's hot paths and the
+// kernel's primitive operations. These measure how fast the *model* runs on
+// the host (ns/op), complementing the paper-reproduction scenarios which
+// report *simulated* cycles. Hand-rolled timing loops — no external
+// benchmark library — so the scenario registers unconditionally and its
+// cells are wall-gated like every other channel.
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/domain.hpp"
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+#include "runner/quick.hpp"
+#include "scenarios/scenario.hpp"
+#include "scenarios/summary.hpp"
+
+namespace tp::scenarios {
+namespace {
+
+class FlatContext final : public hw::TranslationContext {
+ public:
+  explicit FlatContext(hw::Asid asid) : asid_(asid) {}
+  std::optional<hw::Translation> Translate(hw::VAddr vaddr) const override {
+    if (hw::IsKernelAddress(vaddr)) {
+      return hw::Translation{hw::PageAlignDown(hw::PaddrOfKernelVaddr(vaddr)), false};
+    }
+    return hw::Translation{hw::PageAlignDown(vaddr) + 0x100000, false};
+  }
+  void WalkPath(hw::VAddr vaddr, std::vector<hw::PAddr>& out) const override {
+    out.push_back(0x7000000 + (hw::PageNumber(vaddr) % 512) * 8);
+    out.push_back(0x7001000 + (hw::PageNumber(vaddr) % 512) * 8);
+  }
+  hw::Asid asid() const override { return asid_; }
+
+ private:
+  hw::Asid asid_;
+};
+
+struct Micro {
+  const char* name;
+  std::size_t iterations;                       // full-mode count
+  std::function<void(std::size_t)> run;         // run exactly n operations
+};
+
+std::vector<Micro> Benches() {
+  std::vector<Micro> benches;
+
+  benches.push_back({"cache_access_hit", 1'000'000, [](std::size_t n) {
+                       hw::Machine m(hw::MachineConfig::Haswell(1));
+                       FlatContext ctx(1);
+                       m.core(0).SetUserContext(&ctx);
+                       m.core(0).SetKernelContext(&ctx, true);
+                       m.core(0).Access(0x1000, hw::AccessKind::kRead);
+                       for (std::size_t i = 0; i < n; ++i) {
+                         m.core(0).Access(0x1000, hw::AccessKind::kRead);
+                       }
+                     }});
+
+  benches.push_back({"cache_access_miss_stream", 400'000, [](std::size_t n) {
+                       hw::Machine m(hw::MachineConfig::Haswell(1));
+                       FlatContext ctx(1);
+                       m.core(0).SetUserContext(&ctx);
+                       m.core(0).SetKernelContext(&ctx, true);
+                       hw::VAddr va = 0;
+                       for (std::size_t i = 0; i < n; ++i) {
+                         m.core(0).Access(va, hw::AccessKind::kRead);
+                         va += 64;
+                       }
+                     }});
+
+  benches.push_back({"branch_predicted", 1'000'000, [](std::size_t n) {
+                       hw::Machine m(hw::MachineConfig::Haswell(1));
+                       for (int i = 0; i < 64; ++i) {
+                         m.core(0).Branch(0x1000, 0x2000, true, true);
+                       }
+                       for (std::size_t i = 0; i < n; ++i) {
+                         m.core(0).Branch(0x1000, 0x2000, true, true);
+                       }
+                     }});
+
+  // The address-decode fast path (shift/mask set indexing) exercised alone:
+  // every probe hits a different set of the sliced LLC.
+  benches.push_back({"llc_decode_sweep", 1'000'000, [](std::size_t n) {
+                       hw::SetAssociativeCache llc("LLC", hw::MachineConfig::Haswell(1).llc,
+                                                   hw::Indexing::kPhysical);
+                       hw::PAddr pa = 0;
+                       for (std::size_t i = 0; i < n; ++i) {
+                         llc.Access(pa, pa, false);
+                         pa += 64;
+                       }
+                     }});
+
+  benches.push_back({"tlb_lookup_hit", 2'000'000, [](std::size_t n) {
+                       hw::Tlb tlb("D-TLB", hw::MachineConfig::Haswell(1).dtlb);
+                       tlb.Insert(0x42, 1, false);
+                       for (std::size_t i = 0; i < n; ++i) {
+                         tlb.Lookup(0x42, 1);
+                       }
+                     }});
+
+  benches.push_back({"tlb_flush", 200'000, [](std::size_t n) {
+                       hw::Machine m(hw::MachineConfig::Haswell(1));
+                       FlatContext ctx(1);
+                       m.core(0).SetUserContext(&ctx);
+                       m.core(0).SetKernelContext(&ctx, true);
+                       for (std::size_t i = 0; i < n; ++i) {
+                         m.core(0).Access(0x5000, hw::AccessKind::kRead);
+                         m.core(0).FlushTlbAll();
+                       }
+                     }});
+
+  benches.push_back({"kernel_syscall_signal", 150'000, [](std::size_t n) {
+                       hw::Machine machine(hw::MachineConfig::Haswell(1));
+                       kernel::KernelConfig kc;
+                       kc.timeslice_cycles = machine.MicrosToCycles(1e9);
+                       kernel::Kernel k(machine, kc);
+                       core::DomainManager mgr(k);
+                       core::Domain& d = mgr.CreateDomain({.id = 1});
+                       kernel::CapIdx cap = mgr.GrantCap(d, mgr.CreateNotification(d));
+
+                       struct Sig final : kernel::UserProgram {
+                         kernel::CapIdx n = 0;
+                         void Step(kernel::UserApi& api) override { api.Signal(n); }
+                       } prog;
+                       prog.n = cap;
+                       mgr.StartThread(d, &prog, 100, 0);
+                       k.SetDomainSchedule(0, {1});
+                       for (std::size_t i = 0; i < n; ++i) {
+                         k.StepCore(0);
+                       }
+                     }});
+
+  benches.push_back({"kernel_tick_domain_switch", 2'000, [](std::size_t n) {
+                       hw::Machine machine(hw::MachineConfig::Haswell(1));
+                       kernel::KernelConfig kc;
+                       kc.clone_support = true;
+                       kc.flush_mode = kernel::FlushMode::kOnCore;
+                       kc.prefetch_shared_data = true;
+                       kc.timeslice_cycles = 50'000;
+                       kernel::Kernel k(machine, kc);
+                       core::DomainManager mgr(k);
+                       mgr.CreateDomain({.id = 1});
+                       mgr.CreateDomain({.id = 2});
+                       k.SetDomainSchedule(0, {1, 2});
+                       for (std::size_t i = 0; i < n; ++i) {
+                         k.RunFor(100'000);  // two protected domain switches
+                       }
+                     }});
+
+  return benches;
+}
+
+void Run(RunContext& ctx) {
+  Table t({"microbench", "ops", "ns/op"});
+  // ns/op is a host-speed measurement: run the benches serially so they do
+  // not contend with each other for cores.
+  for (const Micro& bench : Benches()) {
+    std::size_t n = bench::Scaled(bench.iterations, bench.iterations / 64);
+    std::uint64_t t0 = bench::Recorder::NowNs();
+    bench.run(n);
+    std::uint64_t wall = bench::Recorder::NowNs() - t0;
+    double ns_per_op = static_cast<double>(wall) / static_cast<double>(n);
+    t.AddRow({bench.name, std::to_string(n), Fmt("%.1f", ns_per_op)});
+    ctx.recorder.Add({.cell = bench.name,
+                      .rounds = n,
+                      .wall_ns = wall,
+                      .metrics = {{"ns_per_op", ns_per_op}}});
+  }
+  if (ctx.verbose) {
+    std::printf("\n");
+    t.Print();
+    std::printf("\n(host simulation throughput, not simulated time)\n");
+  }
+}
+
+const RegisterChannel registrar{{
+    .name = "microbench",
+    .title = "Microbenchmarks: host throughput of the simulator's hot paths",
+    .paper = "n/a (simulator implementation metric, not a paper figure)",
+    .kind = "cost",
+    .run = Run,
+}};
+
+}  // namespace
+}  // namespace tp::scenarios

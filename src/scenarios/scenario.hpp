@@ -1,0 +1,92 @@
+// The channel registry: every paper experiment is a named, enumerable,
+// sweepable scenario.
+//
+// A ChannelSpec describes one figure/table reproduction: its name (the
+// recorder's bench key), the GridSpec(s) spanning its evaluation axes, and
+// the body that produces results. Channel-style scenarios supply a
+// per-(cell, shard) experiment closure and are expanded uniformly through
+// SweepEngine::RunChannelGrid — summary table, leakage tests and recording
+// are shared driver code, not per-driver boilerplate. Cost-style scenarios
+// (switch latency, IPC cycles, Splash slowdowns, ...) supply a custom body
+// that still runs on the shared pool and recorder.
+//
+// Specs self-register into the global registry from static initialisers
+// (`RegisterChannel` at namespace scope in each scenario file), so the
+// tp_bench CLI, the sweep script and CI can enumerate every channel —
+// nothing has to be added to a hand-maintained driver list, and a channel
+// that exists cannot be silently skipped by the leakage gate.
+#ifndef TP_SCENARIOS_SCENARIO_HPP_
+#define TP_SCENARIOS_SCENARIO_HPP_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mi/leakage_test.hpp"
+#include "runner/recorder.hpp"
+#include "runner/runner.hpp"
+#include "runner/sweep.hpp"
+
+namespace tp::scenarios {
+
+// Everything a scenario body needs: the shared host-thread pool, a sweep
+// engine over it, and this scenario's recorder (bench name = spec name).
+struct RunContext {
+  const runner::ExperimentRunner& pool;
+  runner::SweepEngine& engine;
+  bench::Recorder& recorder;
+  bool verbose = true;  // print tables/matrices; recording always happens
+};
+
+struct ChannelSpec {
+  std::string name;   // registry key and recorder bench name
+  std::string title;  // one-line heading ("Figure 3: ...")
+  std::string paper;  // the paper's numbers for this experiment
+  std::string kind;   // "channel" (MI cells, leak-gated) or "cost" (metrics)
+
+  // Builds the scenario's grid(s). Called at run time, so TP_QUICK scaling
+  // (runner/quick.hpp) applies to the invocation, not to process start-up.
+  std::function<std::vector<runner::GridSpec>()> grids;
+
+  // Channel scenarios: the experiment closure consumed by
+  // SweepEngine::RunChannelGrid for every (cell, shard).
+  runner::SweepEngine::CellShardFn cell_shard;
+  mi::LeakageOptions leak_options;
+
+  // Optional extra reporting after the uniform sweep summary (channel
+  // matrices, per-symbol scatter tables, shape checks).
+  std::function<void(RunContext&, const std::vector<runner::SweepCellResult>&)> report;
+
+  // Cost scenarios: fully custom body (set instead of cell_shard).
+  std::function<void(RunContext&)> run;
+
+  bool is_channel() const { return static_cast<bool>(cell_shard); }
+};
+
+class ChannelRegistry {
+ public:
+  // Validates and adds a spec. Throws std::invalid_argument on an empty or
+  // duplicate name, a missing body, or a body/kind mismatch.
+  void Register(ChannelSpec spec);
+
+  const ChannelSpec* Find(std::string_view name) const;  // nullptr when unknown
+  std::vector<const ChannelSpec*> All() const;           // sorted by name
+  std::size_t size() const { return specs_.size(); }
+
+  // The process-wide registry all built-in scenarios self-register into.
+  static ChannelRegistry& Global();
+
+ private:
+  std::vector<ChannelSpec> specs_;
+};
+
+// Registers into ChannelRegistry::Global() from a static initialiser:
+//   const RegisterChannel registrar{{.name = "fig3_kernel_channel", ...}};
+struct RegisterChannel {
+  explicit RegisterChannel(ChannelSpec spec);
+};
+
+}  // namespace tp::scenarios
+
+#endif  // TP_SCENARIOS_SCENARIO_HPP_

@@ -1,0 +1,68 @@
+// Glue between the sweep grid axes and the simulator's factories: axis
+// values map back to machine configs, scenario presets, splash kinds and
+// factory-ready ExperimentOptions.
+#ifndef TP_SCENARIOS_SCENARIO_UTIL_HPP_
+#define TP_SCENARIOS_SCENARIO_UTIL_HPP_
+
+#include <stdexcept>
+#include <string>
+
+#include "attacks/channel_experiment.hpp"
+#include "core/time_protection.hpp"
+#include "hw/machine.hpp"
+#include "runner/quick.hpp"
+#include "runner/sweep.hpp"
+#include "workloads/splash.hpp"
+
+namespace tp::scenarios {
+
+// Canonical platform-axis values (double as the recorded cell-name prefix).
+inline constexpr const char* kHaswell = "Haswell (x86)";
+inline constexpr const char* kSabre = "Sabre (Arm)";
+
+// Maps a GridSpec platform-axis value back to its machine config.
+inline hw::MachineConfig PlatformConfig(const std::string& name, std::size_t cores = 1) {
+  if (name == kHaswell) {
+    return hw::MachineConfig::Haswell(cores);
+  }
+  if (name == kSabre) {
+    return hw::MachineConfig::Sabre(cores);
+  }
+  throw std::invalid_argument("unknown platform axis value: " + name);
+}
+
+// Maps a GridSpec mode-axis value back to the scenario preset.
+inline core::Scenario ScenarioByName(const std::string& name) {
+  for (core::Scenario s : {core::Scenario::kRaw, core::Scenario::kColourReady,
+                           core::Scenario::kFullFlush, core::Scenario::kProtected}) {
+    if (name == core::ScenarioName(s)) {
+      return s;
+    }
+  }
+  throw std::invalid_argument("unknown mode axis value: " + name);
+}
+
+// Maps a GridSpec variant-axis value back to the Splash-2 benchmark.
+inline workloads::SplashKind SplashKindByName(const std::string& name) {
+  for (workloads::SplashKind kind : workloads::AllSplashKinds()) {
+    if (name == workloads::SplashName(kind)) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("unknown splash variant: " + name);
+}
+
+// ExperimentOptions pre-filled from a grid cell's axes; neutral axis values
+// (timeslice 0) keep the factory defaults.
+inline attacks::ExperimentOptions CellOptions(const runner::GridCell& cell) {
+  attacks::ExperimentOptions opt;
+  if (cell.timeslice_ms > 0.0) {
+    opt.timeslice_ms = cell.timeslice_ms;
+  }
+  opt.colour_fraction = cell.colour_fraction;
+  return opt;
+}
+
+}  // namespace tp::scenarios
+
+#endif  // TP_SCENARIOS_SCENARIO_UTIL_HPP_

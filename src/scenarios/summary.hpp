@@ -1,0 +1,47 @@
+// Shared result-summary helpers for scenarios: aligned tables, the uniform
+// per-cell sweep summary and the per-symbol mean scatter table that the
+// bench drivers used to hand-roll one copy each of.
+#ifndef TP_SCENARIOS_SUMMARY_HPP_
+#define TP_SCENARIOS_SUMMARY_HPP_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mi/observations.hpp"
+#include "runner/sweep.hpp"
+
+namespace tp::scenarios {
+
+void Header(const std::string& experiment, const std::string& paper_summary);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string Fmt(const char* fmt, double v);
+
+// The uniform channel-sweep results table: one row per grid cell with M,
+// M0, sample count and the shuffle-test verdict.
+void PrintSweepResults(const std::vector<runner::SweepCellResult>& results);
+
+// Per-symbol mean summary (the fig5-style scatter table): groups paired
+// observations by input symbol and prints the mean output per symbol.
+// `symbol_label` and `value_format` translate raw symbol/mean into display
+// units (dirty sets, microseconds, ...); identity defaults when null.
+void PrintPerSymbolMeans(const mi::Observations& obs, const std::string& symbol_header,
+                         const std::string& value_header,
+                         const std::function<std::string(int)>& symbol_label = nullptr,
+                         const std::function<std::string(double)>& value_format = nullptr);
+
+}  // namespace tp::scenarios
+
+#endif  // TP_SCENARIOS_SUMMARY_HPP_

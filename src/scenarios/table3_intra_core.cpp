@@ -1,0 +1,120 @@
+// Table 3: mutual information (mb) of the intra-core timing channels —
+// L1-D, L1-I, TLB, BTB, BHB and (x86) L2 — unmitigated, with a full cache
+// flush, and with time protection, as a platform x resource x mode grid.
+//
+// Paper shapes: raw channels are large everywhere (except the weak Arm
+// BTB); full flush and time protection close everything except a residual
+// x86 L2 channel of ~50 mb caused by prefetcher state that no architected
+// mechanism can scrub.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "attacks/intra_core.hpp"
+#include "runner/quick.hpp"
+#include "scenarios/scenario.hpp"
+#include "scenarios/scenario_util.hpp"
+#include "scenarios/summary.hpp"
+
+namespace tp::scenarios {
+namespace {
+
+attacks::IntraCoreResource ResourceByName(const std::string& name) {
+  for (attacks::IntraCoreResource r :
+       {attacks::IntraCoreResource::kL1D, attacks::IntraCoreResource::kL1I,
+        attacks::IntraCoreResource::kTlb, attacks::IntraCoreResource::kBtb,
+        attacks::IntraCoreResource::kBhb, attacks::IntraCoreResource::kL2}) {
+    if (name == attacks::ResourceName(r)) {
+      return r;
+    }
+  }
+  throw std::invalid_argument("unknown intra-core resource: " + name);
+}
+
+mi::Observations CellShard(const runner::GridCell& cell, const runner::Shard& shard) {
+  return attacks::RunIntraCoreChannel(PlatformConfig(cell.platform),
+                                      ScenarioByName(cell.mode), ResourceByName(cell.variant),
+                                      shard.rounds, shard.seed);
+}
+
+std::vector<runner::GridSpec> Grids() {
+  runner::GridSpec x86;
+  x86.root_seed = 0x7AB13;
+  x86.rounds = bench::Scaled(900);
+  x86.platforms = {kHaswell};
+  x86.variants = {"L1-D", "L1-I", "TLB", "BTB", "BHB", "L2"};
+  x86.modes = {"raw", "full flush", "protected"};
+
+  runner::GridSpec arm = x86;
+  arm.platforms = {kSabre};
+  arm.variants = {"L1-D", "L1-I", "TLB", "BTB", "BHB"};  // the Sabre has no private L2
+  return {x86, arm};
+}
+
+void Report(RunContext&, const std::vector<runner::SweepCellResult>& results) {
+  // Paper numbers (mb), raw / full flush / protected, keyed platform|cache.
+  const std::map<std::string, std::string> paper = {
+      {std::string(kHaswell) + "|L1-D", "4000 / 0.5 / 0.6"},
+      {std::string(kHaswell) + "|L1-I", "300 / 0.7 / 0.8"},
+      {std::string(kHaswell) + "|TLB", "2300 / 0.5 / 16.8"},
+      {std::string(kHaswell) + "|BTB", "1500 / 0.8 / 0.4"},
+      {std::string(kHaswell) + "|BHB", "1000 / 0.5 / 0.0"},
+      {std::string(kHaswell) + "|L2", "2700 / 2.3 / 50.5*"},
+      {std::string(kSabre) + "|L1-D", "2000 / 1 / 30.2"},
+      {std::string(kSabre) + "|L1-I", "2500 / 1.3 / 4.9"},
+      {std::string(kSabre) + "|TLB", "600 / 0.5 / 1.9"},
+      {std::string(kSabre) + "|BTB", "7.5 / 4.1 / 62.2"},
+      {std::string(kSabre) + "|BHB", "1000 / 0 / 0.2"},
+  };
+
+  // Modes are the innermost grid axis, so each resource's raw / full-flush
+  // / protected cells are consecutive.
+  Table t({"platform", "cache", "raw M", "full-flush M (M0)", "protected M (M0)", "verdict",
+           "paper raw/full/prot (mb)"});
+  for (std::size_t c = 0; c + 3 <= results.size(); c += 3) {
+    const mi::LeakageResult& raw = results[c].leakage;
+    const mi::LeakageResult& full = results[c + 1].leakage;
+    const mi::LeakageResult& prot = results[c + 2].leakage;
+    std::string verdict;
+    if (raw.leak && !full.leak && !prot.leak) {
+      verdict = "closed by both";
+    } else if (raw.leak && !full.leak && prot.leak) {
+      verdict = "RESIDUAL under protection";
+    } else if (!raw.leak) {
+      verdict = "no raw channel";
+    } else {
+      verdict = "see M values";
+    }
+    const runner::GridCell& cell = results[c].cell;
+    auto it = paper.find(cell.platform + "|" + cell.variant);
+    t.AddRow({cell.platform, cell.variant,
+              Fmt("%.1f", raw.MilliBits()) + (raw.leak ? "*" : ""),
+              Fmt("%.1f", full.MilliBits()) + " (" + Fmt("%.1f", full.M0MilliBits()) + ")" +
+                  (full.leak ? "*" : ""),
+              Fmt("%.1f", prot.MilliBits()) + " (" + Fmt("%.1f", prot.M0MilliBits()) + ")" +
+                  (prot.leak ? "*" : ""),
+              verdict, it != paper.end() ? it->second : "-"});
+  }
+  std::printf("\n");
+  t.Print();
+  std::printf("(* = definite channel: M > M0 per the shuffle test)\n");
+  std::printf(
+      "\nShape check: every raw channel is large; full flush and time protection\n"
+      "close them, except the x86 L2 where hidden prefetcher state leaks past\n"
+      "time protection (the paper's central hardware-contract finding).\n");
+}
+
+const RegisterChannel registrar{{
+    .name = "table3_intra_core",
+    .title = "Table 3: intra-core timing channels (mb), raw / full flush / protected",
+    .paper = "all closed on both platforms except x86 L2: 50.5mb residual from "
+             "the prefetcher state machine (6.4mb with the data prefetcher off)",
+    .kind = "channel",
+    .grids = Grids,
+    .cell_shard = CellShard,
+    .leak_options = {.shuffles = 50},
+    .report = Report,
+}};
+
+}  // namespace
+}  // namespace tp::scenarios

@@ -1,25 +1,28 @@
 // Table 5: cross-address-space IPC microbenchmark under the four kernel
 // versions — original, colour-ready (clone-capable but unused), intra-colour
 // (cloned kernel, IPC within the domain) and inter-colour (IPC across
-// kernels, no padding: an artificial case, as the paper notes).
+// kernels, no padding: an artificial case, as the paper notes) — as a
+// platform x version grid.
 //
 // Paper: x86 381 cycles original, within ±1% for all versions; Arm 344
 // cycles original but 13-15% slower for all clone-capable versions, because
 // non-global kernel mappings double kernel TLB pressure and the Cortex A9's
 // L2 TLB is only 2-way associative.
 #include <cstdio>
+#include <map>
 #include <optional>
-#include <vector>
+#include <string>
 
-#include "bench/bench_util.hpp"
 #include "core/domain.hpp"
 #include "core/time_protection.hpp"
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
-#include "runner/recorder.hpp"
-#include "runner/runner.hpp"
+#include "runner/quick.hpp"
+#include "scenarios/scenario.hpp"
+#include "scenarios/scenario_util.hpp"
+#include "scenarios/summary.hpp"
 
-namespace tp {
+namespace tp::scenarios {
 namespace {
 
 struct PingClient final : kernel::UserProgram {
@@ -61,27 +64,12 @@ struct PongServer final : kernel::UserProgram {
   }
 };
 
-enum class IpcVersion { kOriginal, kColourReady, kIntraColour, kInterColour };
-
-const char* VersionName(IpcVersion v) {
-  switch (v) {
-    case IpcVersion::kOriginal:
-      return "original";
-    case IpcVersion::kColourReady:
-      return "colour-ready";
-    case IpcVersion::kIntraColour:
-      return "intra-colour";
-    case IpcVersion::kInterColour:
-      return "inter-colour";
-  }
-  return "?";
-}
-
-// One-way IPC cost in cycles (round trip / 2).
-double MeasureIpc(const hw::MachineConfig& mc, IpcVersion version, std::size_t rounds) {
+// One-way IPC cost in cycles (round trip / 2) for a version-axis value.
+double MeasureIpc(const hw::MachineConfig& mc, const std::string& version,
+                  std::size_t rounds) {
   hw::Machine machine(mc);
   kernel::KernelConfig kc;
-  kc.clone_support = version != IpcVersion::kOriginal;
+  kc.clone_support = version != "original";
   kc.timeslice_cycles = machine.MicrosToCycles(1e6);  // no preemption
   kernel::Kernel kernel(machine, kc);
   core::DomainManager mgr(kernel);
@@ -89,7 +77,7 @@ double MeasureIpc(const hw::MachineConfig& mc, IpcVersion version, std::size_t r
   PingClient client;
   PongServer server;
 
-  if (version == IpcVersion::kInterColour) {
+  if (version == "inter-colour") {
     // The artificial inter-colour case (paper §5.4.1): the IPC partners use
     // *different cloned kernels* in differently coloured memory, and the
     // kernel image switches on the IPC path with no time slice or padding.
@@ -118,11 +106,11 @@ double MeasureIpc(const hw::MachineConfig& mc, IpcVersion version, std::size_t r
     kernel.ConfigureTcb(0, mgr.cspace(), tcb, settings);
     kernel.ResumeTcb(0, mgr.cspace(), tcb);
     kernel.SetDomainSchedule(0, {1});
-  kernel.KickSchedule(0);
+    kernel.KickSchedule(0);
   } else {
     core::DomainOptions opts;
     opts.id = 1;
-    if (version == IpcVersion::kIntraColour) {
+    if (version == "intra-colour") {
       opts.colours = core::SplitColours(mc, 2)[0];
     }
     core::Domain& d = mgr.CreateDomain(opts);
@@ -135,7 +123,7 @@ double MeasureIpc(const hw::MachineConfig& mc, IpcVersion version, std::size_t r
     mgr.StartThread(d, &server, 150, 0, server_vspace);
     mgr.StartThread(d, &client, 100, 0);
     kernel.SetDomainSchedule(0, {1});
-  kernel.KickSchedule(0);
+    kernel.KickSchedule(0);
   }
 
   while (client.measured < rounds) {
@@ -146,52 +134,63 @@ double MeasureIpc(const hw::MachineConfig& mc, IpcVersion version, std::size_t r
   return round_trip / 2.0;
 }
 
-void RunPlatform(const char* name, const hw::MachineConfig& mc, const char* paper,
-                 std::size_t rounds, const runner::ExperimentRunner& pool,
-                 bench::Recorder& recorder) {
-  std::printf("\n--- %s (paper: %s) ---\n", name, paper);
-  const std::vector<IpcVersion> versions = {IpcVersion::kOriginal, IpcVersion::kColourReady,
-                                            IpcVersion::kIntraColour,
-                                            IpcVersion::kInterColour};
+void Run(RunContext& ctx) {
+  std::size_t rounds = bench::Scaled(4000, 512);
+  const std::map<std::string, const char*> paper = {
+      {kHaswell, "381 cyc; colour-ready +1%, intra 0%, inter -1%"},
+      {kSabre, "344 cyc; colour-ready +14%, intra +15%, inter +13%"},
+  };
+
+  runner::GridSpec grid;
+  grid.platforms = {kHaswell, kSabre};
+  grid.variants = {"original", "colour-ready", "intra-colour", "inter-colour"};
+  std::vector<runner::GridCell> cells = runner::ExpandGrid(grid);
+
   std::uint64_t t0 = bench::Recorder::NowNs();
-  std::vector<double> cycles = pool.Map(versions.size(), [&](std::size_t i) {
-    return MeasureIpc(mc, versions[i], rounds);
+  std::vector<double> cycles = ctx.engine.MapCells(grid, [&](const runner::GridCell& cell) {
+    return MeasureIpc(PlatformConfig(cell.platform), cell.variant, rounds);
   });
   std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
 
-  bench::Table t({"version", "cycles", "slowdown"});
-  double base = cycles[0];
-  for (std::size_t i = 0; i < versions.size(); ++i) {
-    double slowdown = (cycles[i] / base - 1.0) * 100.0;
-    t.AddRow({VersionName(versions[i]), bench::Fmt("%.0f", cycles[i]),
-              bench::Fmt("%+.1f%%", slowdown)});
-    recorder.Add({.cell = std::string(name) + "/" + VersionName(versions[i]),
-                  .rounds = rounds,
-                  .wall_ns = grid_ns / versions.size(),
-                  .threads = pool.threads(),
-                  .metrics = {{"ipc_cycles", cycles[i]},
-                              {"slowdown_pct", slowdown}}});
+  // Versions are the inner axis: each platform's four cells are
+  // consecutive, "original" first.
+  for (std::size_t p = 0; p < cells.size(); p += grid.variants.size()) {
+    const std::string& platform = cells[p].platform;
+    if (ctx.verbose) {
+      auto it = paper.find(platform);
+      std::printf("\n--- %s (paper: %s) ---\n", platform.c_str(),
+                  it != paper.end() ? it->second : "-");
+    }
+    Table t({"version", "cycles", "slowdown"});
+    double base = cycles[p];
+    for (std::size_t i = p; i < p + grid.variants.size(); ++i) {
+      double slowdown = (cycles[i] / base - 1.0) * 100.0;
+      t.AddRow({cells[i].variant, Fmt("%.0f", cycles[i]), Fmt("%+.1f%%", slowdown)});
+      ctx.recorder.Add({.cell = cells[i].Name(),
+                        .rounds = rounds,
+                        .wall_ns = grid_ns / cells.size(),
+                        .threads = ctx.pool.threads(),
+                        .metrics = {{"ipc_cycles", cycles[i]}, {"slowdown_pct", slowdown}}});
+    }
+    if (ctx.verbose) {
+      t.Print();
+    }
   }
-  t.Print();
+  if (ctx.verbose) {
+    std::printf(
+        "\nShape check: clone support is (nearly) free on x86; on Arm the\n"
+        "non-global kernel mappings cost >10%% through L2-TLB conflict misses.\n");
+  }
 }
+
+const RegisterChannel registrar{{
+    .name = "table5_ipc",
+    .title = "Table 5: IPC microbenchmark performance and slowdown",
+    .paper = "x86: 381 cycles, ~0-1% slowdown for all versions. Arm: 344 cycles, "
+             "13-15% for clone-capable versions (2-way L2 TLB conflicts)",
+    .kind = "cost",
+    .run = Run,
+}};
 
 }  // namespace
-}  // namespace tp
-
-int main() {
-  tp::bench::Header("Table 5: IPC microbenchmark performance and slowdown",
-                    "x86: 381 cycles, ~0-1% slowdown for all versions. Arm: 344 cycles, "
-                    "13-15% for clone-capable versions (2-way L2 TLB conflicts)");
-  tp::runner::ExperimentRunner pool;
-  tp::bench::Recorder recorder("table5_ipc");
-  std::size_t rounds = tp::bench::Scaled(4000, 512);
-  tp::RunPlatform("Haswell (x86)", tp::hw::MachineConfig::Haswell(1),
-                  "381 cyc; colour-ready +1%, intra 0%, inter -1%", rounds, pool,
-                  recorder);
-  tp::RunPlatform("Sabre (Arm)", tp::hw::MachineConfig::Sabre(1),
-                  "344 cyc; colour-ready +14%, intra +15%, inter +13%", rounds, pool,
-                  recorder);
-  std::printf("\nShape check: clone support is (nearly) free on x86; on Arm the\n"
-              "non-global kernel mappings cost >10%% through L2-TLB conflict misses.\n");
-  return 0;
-}
+}  // namespace tp::scenarios

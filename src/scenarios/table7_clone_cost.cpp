@@ -1,21 +1,24 @@
 // Table 7: cost of kernel clone and destroy (µs) vs monolithic process
 // creation (the paper compares against Linux fork+exec on the same
-// hardware).
+// hardware), per platform.
 //
 // Paper: x86 clone 79 µs, destroy 0.6 µs, fork+exec 257 µs; Arm clone
 // 608 µs, destroy 67 µs, fork+exec 4300 µs. Shapes: clone is a fraction of
 // process creation; destroy is 1-2 orders of magnitude cheaper still.
 #include <cstdio>
+#include <map>
+#include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
 #include "core/domain.hpp"
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
-#include "runner/recorder.hpp"
-#include "runner/runner.hpp"
+#include "runner/quick.hpp"
+#include "scenarios/scenario.hpp"
+#include "scenarios/scenario_util.hpp"
+#include "scenarios/summary.hpp"
 
-namespace tp {
+namespace tp::scenarios {
 namespace {
 
 struct CloneCosts {
@@ -37,9 +40,8 @@ CloneCosts Measure(const hw::MachineConfig& mc, std::size_t reps) {
   kernel::CapIdx untyped = kernel.boot_info().untyped;
   hw::Core& cpu = machine.core(0);
 
-  std::size_t kmem_bytes =
-      kc.text_bytes + kc.data_bytes + kc.stack_bytes + kc.pt_bytes +
-      machine.num_cores() * 1024 + hw::kPageSize;
+  std::size_t kmem_bytes = kc.text_bytes + kc.data_bytes + kc.stack_bytes + kc.pt_bytes +
+                           machine.num_cores() * 1024 + hw::kPageSize;
 
   for (std::size_t i = 0; i < reps; ++i) {
     kernel::CapIdx dest = 0;
@@ -61,8 +63,7 @@ CloneCosts Measure(const hw::MachineConfig& mc, std::size_t reps) {
   for (std::size_t i = 0; i < reps; ++i) {
     hw::Cycles t0 = cpu.now();
     kernel::CapIdx vspace = 0;
-    kernel.SpawnProcessEager(0, cs, untyped, /*image_pages=*/64, /*map_pages=*/96,
-                             &vspace);
+    kernel.SpawnProcessEager(0, cs, untyped, /*image_pages=*/64, /*map_pages=*/96, &vspace);
     costs.spawn_us += machine.CyclesToMicros(cpu.now() - t0);
   }
 
@@ -73,7 +74,8 @@ CloneCosts Measure(const hw::MachineConfig& mc, std::size_t reps) {
 // averages over the total.
 CloneCosts MeasureSharded(const hw::MachineConfig& mc, std::size_t reps,
                           const runner::ExperimentRunner& pool, std::size_t* shards_out) {
-  runner::ShardPlan plan = runner::PlanShards(reps, /*root_seed=*/0, /*min_shard_rounds=*/2);
+  runner::ShardPlan plan =
+      runner::PlanShards(reps, /*root_seed=*/0, /*min_shard_rounds=*/2);
   if (shards_out != nullptr) {
     *shards_out = plan.num_shards();
   }
@@ -92,44 +94,50 @@ CloneCosts MeasureSharded(const hw::MachineConfig& mc, std::size_t reps,
   return total;
 }
 
-}  // namespace
-}  // namespace tp
-
-int main() {
-  tp::bench::Header("Table 7: kernel clone/destroy vs monolithic process creation (us)",
-                    "x86: clone 79, destroy 0.6, fork+exec 257. "
-                    "Arm: clone 608, destroy 67, fork+exec 4300");
-  tp::runner::ExperimentRunner pool;
-  tp::bench::Recorder recorder("table7_clone_cost");
-  std::size_t reps = tp::bench::Scaled(24, 6);
-  tp::bench::Table t(
-      {"arch", "clone", "destroy", "process-create", "paper clone/destroy/fork+exec"});
-  struct Spec {
-    const char* arch;
-    tp::hw::MachineConfig mc;
-    const char* paper;
+void Run(RunContext& ctx) {
+  std::size_t reps = bench::Scaled(24, 6);
+  const std::map<std::string, const char*> paper = {
+      {kHaswell, "79 / 0.6 / 257"},
+      {kSabre, "608 / 67 / 4300"},
   };
-  const Spec specs[2] = {{"x86", tp::hw::MachineConfig::Haswell(4), "79 / 0.6 / 257"},
-                         {"Arm", tp::hw::MachineConfig::Sabre(4), "608 / 67 / 4300"}};
-  for (const Spec& spec : specs) {
-    std::uint64_t t0 = tp::bench::Recorder::NowNs();
+  Table t({"platform", "clone", "destroy", "process-create",
+           "paper clone/destroy/fork+exec"});
+  // Platforms run one after the other: each platform's reps shard across
+  // the whole pool already.
+  for (const std::string& platform : {std::string(kHaswell), std::string(kSabre)}) {
+    std::uint64_t t0 = bench::Recorder::NowNs();
     std::size_t shards = 1;
-    tp::CloneCosts c = tp::MeasureSharded(spec.mc, reps, pool, &shards);
-    t.AddRow({spec.arch, tp::bench::Fmt("%.1f", c.clone_us),
-              tp::bench::Fmt("%.2f", c.destroy_us), tp::bench::Fmt("%.1f", c.spawn_us),
-              spec.paper});
-    recorder.Add({.cell = spec.arch,
-                  .rounds = reps,
-                  .wall_ns = tp::bench::Recorder::NowNs() - t0,
-                  .threads = pool.threads(),
-                  .shards = shards,
-                  .metrics = {{"clone_us", c.clone_us},
-                              {"destroy_us", c.destroy_us},
-                              {"spawn_us", c.spawn_us}}});
+    CloneCosts c = MeasureSharded(PlatformConfig(platform, 4), reps, ctx.pool, &shards);
+    auto it = paper.find(platform);
+    t.AddRow({platform, Fmt("%.1f", c.clone_us), Fmt("%.2f", c.destroy_us),
+              Fmt("%.1f", c.spawn_us), it != paper.end() ? it->second : "-"});
+    ctx.recorder.Add({.cell = platform,
+                      .rounds = reps,
+                      .wall_ns = bench::Recorder::NowNs() - t0,
+                      .threads = ctx.pool.threads(),
+                      .shards = shards,
+                      .metrics = {{"clone_us", c.clone_us},
+                                  {"destroy_us", c.destroy_us},
+                                  {"spawn_us", c.spawn_us}}});
   }
-  t.Print();
-  std::printf("\nShape checks: clone << process creation; destroy << clone.\n"
-              "(The process-creation comparator performs the eager map + image copy +\n"
-              "zeroing work of fork+exec on the same simulated hardware.)\n");
-  return 0;
+  if (ctx.verbose) {
+    std::printf("\n");
+    t.Print();
+    std::printf(
+        "\nShape checks: clone << process creation; destroy << clone.\n"
+        "(The process-creation comparator performs the eager map + image copy +\n"
+        "zeroing work of fork+exec on the same simulated hardware.)\n");
+  }
 }
+
+const RegisterChannel registrar{{
+    .name = "table7_clone_cost",
+    .title = "Table 7: kernel clone/destroy vs monolithic process creation (us)",
+    .paper = "x86: clone 79, destroy 0.6, fork+exec 257. Arm: clone 608, "
+             "destroy 67, fork+exec 4300",
+    .kind = "cost",
+    .run = Run,
+}};
+
+}  // namespace
+}  // namespace tp::scenarios

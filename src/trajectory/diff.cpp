@@ -10,6 +10,15 @@ namespace {
 
 std::string Key(const TrajectoryRecord& r) { return r.bench + "/" + r.cell; }
 
+bool HasLeakMetric(const TrajectoryRecord& r, const DiffOptions& options) {
+  for (const std::string& key : options.leak_metric_keys) {
+    if (r.metrics.find(key) != r.metrics.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // Last record per (bench, cell) for one label; duplicates noted (reruns
 // append, the latest run wins).
 std::map<std::string, const TrajectoryRecord*> IndexLabel(const Trajectory& t,
@@ -132,8 +141,9 @@ DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view base
     } else {
       result.missing_in_baseline.push_back(key);
       // A *protected* cell new to the trajectory is still leak-gated: it
-      // must enter with zero MI, or the gate never sees it regress.
-      if (!(IsProtectedCell(c->cell) && c->has_mi())) {
+      // must enter with zero MI (or zero on every leak-metric key), or the
+      // gate never sees it regress.
+      if (!(IsProtectedCell(c->cell) && (c->has_mi() || HasLeakMetric(*c, options)))) {
         continue;
       }
     }
@@ -173,6 +183,43 @@ DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view base
     }
     d.leak_regression = d.protected_mode && c->has_mi() &&
                         c->mi_bits > base_mi_floor + options.mi_eps_bits;
+    if (d.protected_mode && !d.leak_regression && b != nullptr && b->has_mi() &&
+        !c->has_mi()) {
+      // The MI observable itself vanished from a protected cell: same rule
+      // as a vanished leak-metric key — losing the observable would
+      // silently disarm the gate.
+      result.notes.push_back("mi_bits vanished from protected cell '" + key + "'");
+      d.leak_regression = true;
+    }
+    if (d.protected_mode && !d.leak_regression) {
+      // Non-MI leak observables: gate the configured metric keys the same
+      // way (baseline value, or 0 when the cell/key is new, is the floor).
+      // A key the baseline records but the candidate dropped fails too —
+      // removing the observable would silently disarm the gate.
+      for (const std::string& metric : options.leak_metric_keys) {
+        auto cm = c->metrics.find(metric);
+        const double* base_value = nullptr;
+        if (b != nullptr) {
+          if (auto bm = b->metrics.find(metric); bm != b->metrics.end()) {
+            base_value = &bm->second;
+          }
+        }
+        if (cm == c->metrics.end()) {
+          if (base_value != nullptr) {
+            result.notes.push_back("leak metric '" + metric +
+                                   "' vanished from protected cell '" + key + "'");
+            d.leak_regression = true;
+            break;
+          }
+          continue;
+        }
+        double floor = base_value != nullptr ? *base_value : 0.0;
+        if (cm->second > floor + options.leak_metric_eps) {
+          d.leak_regression = true;
+          break;
+        }
+      }
+    }
     result.leak_regressions += d.leak_regression ? 1 : 0;
     result.wall_regressions += d.wall_regression ? 1 : 0;
     result.mi_delta_regressions += d.mi_delta_regression ? 1 : 0;

@@ -44,6 +44,16 @@ struct DiffOptions {
   // renaming or dropping a protected cell must refresh the baseline in the
   // same change, or leakage coverage would erode silently.
   bool gate_missing_protected = true;
+  // Metric keys that gate protected cells like MI does: a candidate value
+  // above the baseline's (or above 0 when the baseline lacks the key) is a
+  // leak regression, and a key the baseline records but the candidate
+  // dropped fails too (removing the observable would disarm the gate).
+  // Covers channels whose observable is not an MI estimate — e.g. the fig4
+  // LLC spy's activity_fraction.
+  std::vector<std::string> leak_metric_keys = {"activity_fraction"};
+  // Slack for leak-metric comparisons (fractions/counts, not bits — kept
+  // separate from mi_eps_bits so the two gates tune independently).
+  double leak_metric_eps = 1e-9;
 };
 
 // True when one of the cell name's "/" segments is exactly "protected"

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "trajectory/diff.hpp"
@@ -233,6 +234,81 @@ TEST(Diff, NewProtectedCellMustEnterClean) {
   o = DiffTrajectories(t, "base", "cand");
   EXPECT_TRUE(o.ok());
   EXPECT_EQ(o.result.missing_in_baseline.size(), 1u);
+}
+
+TEST(Diff, LeakMetricRegressionInProtectedCellFails) {
+  // Channels whose observable is not an MI estimate (the fig4 LLC spy)
+  // leak-gate on the configured metric keys instead.
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", -1, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", -1, 1e8));
+  t.records[0].metrics["activity_fraction"] = 0.0;
+  t.records[1].metrics["activity_fraction"] = 0.05;
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.leak_regressions, 1u);
+
+  // Equal or shrinking activity passes; unprotected cells are never gated.
+  t.records[1].metrics["activity_fraction"] = 0.0;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
+  t.records[0].cell = t.records[1].cell = "x/raw";
+  t.records[1].metrics["activity_fraction"] = 0.9;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
+}
+
+TEST(Diff, NewProtectedCellLeakMetricHeldToZero) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/raw", 1.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/raw", 1.0, 1e8));
+  TrajectoryRecord fresh = MakeRecord("cand", "y/protected", -1, 1e8);
+  fresh.metrics["activity_fraction"] = 0.3;
+  t.records.push_back(fresh);
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.leak_regressions, 1u);
+  t.records[2].metrics["activity_fraction"] = 0.0;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
+}
+
+TEST(Diff, VanishedMiInProtectedCellFails) {
+  // Same disarm rule for the MI observable itself: a protected cell whose
+  // baseline records MI must keep recording it.
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", -1, 1e8));  // MI gone
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.leak_regressions, 1u);
+  // A cell that never had MI on either side (metric-only channels) is not
+  // hit by this rule.
+  t.records[0].mi_bits = std::numeric_limits<double>::quiet_NaN();
+  t.records[0].metrics["activity_fraction"] = 0.0;
+  t.records[1].metrics["activity_fraction"] = 0.0;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
+}
+
+TEST(Diff, VanishedLeakMetricKeyInProtectedCellFails) {
+  // Dropping the observable would disarm the gate: a leak-metric key the
+  // baseline records but the candidate lacks is a leak regression.
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", -1, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", -1, 1e8));
+  t.records[0].metrics["activity_fraction"] = 0.0;
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.leak_regressions, 1u);
+  ASSERT_EQ(o.result.notes.size(), 1u);
+  EXPECT_NE(o.result.notes[0].find("vanished"), std::string::npos);
+}
+
+TEST(Diff, LeakMetricKeysAreConfigurable) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", -1, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", -1, 1e8));
+  t.records[1].metrics["activity_fraction"] = 0.5;
+  DiffOptions opt;
+  opt.leak_metric_keys = {};  // gating disabled
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
 }
 
 TEST(Diff, WallRegressionBeyondThresholdFails) {

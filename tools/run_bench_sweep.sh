@@ -1,22 +1,25 @@
 #!/usr/bin/env bash
-# Runs the full paper-reproduction bench sweep through the parallel
-# experiment runner, recording machine-readable results.
+# Runs the full paper-reproduction bench sweep through the unified tp_bench
+# driver, recording machine-readable results.
 #
 # usage: tools/run_bench_sweep.sh [build-dir]
 #
+# The channel list is taken from `tp_bench --list` (the scenario registry),
+# so a newly registered channel can never be silently skipped: every
+# registered scenario runs, one process per channel, even if an earlier one
+# fails. The script prints a per-channel pass/fail summary and exits
+# non-zero if any channel failed.
+#
 # Knobs (environment):
 #   TP_QUICK        non-empty/non-0: 8x fewer rounds (CI smoke scale)
-#   TP_THREADS      host threads per bench (default: all cores)
+#   TP_THREADS      host threads per channel (default: all cores)
 #   TP_BENCH_JSON   output path (default: ./BENCH_results.json)
 #   TP_BENCH_LABEL  run label stored in every record (required, must not
 #                   already exist in the output file)
-#   TP_SWEEP_MICRO  non-empty: include the Google-benchmark microbenches
-#
-# Every driver runs even if an earlier one fails; the script prints a
-# per-bench pass/fail summary and exits non-zero if any driver failed.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
+TP_BENCH="$BUILD_DIR/bench/tp_bench"
 : "${TP_BENCH_JSON:=$PWD/BENCH_results.json}"
 export TP_BENCH_JSON
 
@@ -34,8 +37,14 @@ if [ -f "$TP_BENCH_JSON" ] && grep -qF "\"label\": \"$TP_BENCH_LABEL\"" "$TP_BEN
   exit 2
 fi
 
-if ! ls "$BUILD_DIR"/bench/bench_* >/dev/null 2>&1; then
-  echo "no bench binaries under $BUILD_DIR/bench — build first" >&2
+if [ ! -x "$TP_BENCH" ]; then
+  echo "no $TP_BENCH — build first" >&2
+  exit 1
+fi
+
+mapfile -t channels < <("$TP_BENCH" --list)
+if [ "${#channels[@]}" -eq 0 ]; then
+  echo "error: $TP_BENCH --list returned no channels" >&2
   exit 1
 fi
 
@@ -43,15 +52,10 @@ names=()
 verdicts=()
 failed=0
 start=$(date +%s)
-for b in "$BUILD_DIR"/bench/bench_*; do
-  [ -x "$b" ] || continue
-  name=$(basename "$b")
-  if [ "$name" = bench_microbench ] && [ -z "${TP_SWEEP_MICRO:-}" ]; then
-    continue
-  fi
+for name in "${channels[@]}"; do
   echo "== $name"
   bench_start=$(date +%s)
-  if "$b" > /dev/null; then
+  if "$TP_BENCH" --only "$name" > /dev/null; then
     verdicts+=("pass  $(( $(date +%s) - bench_start ))s")
   else
     verdicts+=("FAIL (exit $?)")
@@ -61,11 +65,12 @@ for b in "$BUILD_DIR"/bench/bench_*; do
 done
 
 echo
-echo "sweep '${TP_BENCH_LABEL}' finished in $(( $(date +%s) - start ))s -> $TP_BENCH_JSON"
+echo "sweep '${TP_BENCH_LABEL}' finished in $(( $(date +%s) - start ))s" \
+     "(${#channels[@]} channels) -> $TP_BENCH_JSON"
 for i in "${!names[@]}"; do
   printf '  %-32s %s\n' "${names[$i]}" "${verdicts[$i]}"
 done
 if [ "$failed" -ne 0 ]; then
-  echo "error: at least one bench driver failed" >&2
+  echo "error: at least one channel failed" >&2
   exit 1
 fi
