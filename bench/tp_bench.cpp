@@ -13,6 +13,8 @@
 //   tp_bench --label L              # TP_BENCH_LABEL for recorded results
 //   tp_bench --json PATH            # TP_BENCH_JSON results file
 //   tp_bench --quiet                # suppress tables (recording unaffected)
+//   tp_bench --profile              # per-channel host throughput report
+//                                   # (simulated accesses/second) at exit
 //
 // Exit codes: 0 all selected channels ran; 1 a channel body threw; 2 bad
 // usage / unknown channel name.
@@ -23,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "hw/core.hpp"
+#include "runner/recorder.hpp"
 #include "runner/runner.hpp"
 #include "scenarios/driver.hpp"
 #include "scenarios/scenario.hpp"
@@ -31,7 +35,37 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: tp_bench [--list | --list-md] [--only NAME]... [--grid quick|full]\n"
-    "                [--label LABEL] [--json PATH] [--quiet]\n";
+    "                [--label LABEL] [--json PATH] [--quiet] [--profile]\n";
+
+struct ProfileRow {
+  std::string channel;
+  std::uint64_t accesses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t wall_ns = 0;
+};
+
+void PrintProfile(const std::vector<ProfileRow>& rows, std::size_t threads) {
+  std::uint64_t total_accesses = 0;
+  std::uint64_t total_wall = 0;
+  std::printf("\n--- tp_bench --profile: host simulation throughput (%zu thread%s) ---\n",
+              threads, threads == 1 ? "" : "s");
+  std::printf("%-28s %16s %14s %12s %14s\n", "channel", "sim accesses", "sim branches",
+              "wall s", "accesses/s");
+  for (const ProfileRow& row : rows) {
+    double secs = static_cast<double>(row.wall_ns) / 1e9;
+    double rate = secs > 0.0 ? static_cast<double>(row.accesses) / secs : 0.0;
+    std::printf("%-28s %16llu %14llu %12.3f %14.3g\n", row.channel.c_str(),
+                static_cast<unsigned long long>(row.accesses),
+                static_cast<unsigned long long>(row.branches), secs, rate);
+    total_accesses += row.accesses;
+    total_wall += row.wall_ns;
+  }
+  double total_secs = static_cast<double>(total_wall) / 1e9;
+  std::printf("%-28s %16llu %14s %12.3f %14.3g\n", "TOTAL",
+              static_cast<unsigned long long>(total_accesses), "",
+              total_secs,
+              total_secs > 0.0 ? static_cast<double>(total_accesses) / total_secs : 0.0);
+}
 
 }  // namespace
 
@@ -39,6 +73,7 @@ int main(int argc, char** argv) {
   bool list = false;
   bool list_md = false;
   bool quiet = false;
+  bool profile = false;
   std::vector<std::string> only;
 
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +122,8 @@ int main(int argc, char** argv) {
       setenv("TP_BENCH_JSON", v, 1);
     } else if (arg == "--quiet" || arg == "-q") {
       quiet = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
@@ -118,7 +155,13 @@ int main(int argc, char** argv) {
   // named after it, exactly like the old per-figure binaries.
   tp::runner::ExperimentRunner pool;
   int failed = 0;
+  std::vector<ProfileRow> profile_rows;
   for (const tp::scenarios::ChannelSpec* spec : selected) {
+    // The tally is fed when simulated machines are destroyed, which every
+    // channel body does before returning — the delta across RunSpec is the
+    // channel's simulated work.
+    tp::hw::SimTally before = tp::hw::SimTallySnapshot();
+    std::uint64_t t0 = tp::bench::Recorder::NowNs();
     try {
       tp::scenarios::RunSpec(*spec, pool, !quiet);
     } catch (const std::exception& e) {
@@ -126,6 +169,15 @@ int main(int argc, char** argv) {
                    e.what());
       failed = 1;
     }
+    if (profile) {
+      tp::hw::SimTally after = tp::hw::SimTallySnapshot();
+      profile_rows.push_back(ProfileRow{spec->name, after.accesses - before.accesses,
+                                        after.branches - before.branches,
+                                        tp::bench::Recorder::NowNs() - t0});
+    }
+  }
+  if (profile) {
+    PrintProfile(profile_rows, pool.threads());
   }
   return failed;
 }

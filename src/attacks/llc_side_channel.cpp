@@ -13,9 +13,7 @@ void LlcSpy::Step(kernel::UserApi& api) {
   slot.reserve(monitored_.size());
   for (const EvictionSet& es : monitored_) {
     std::uint64_t misses0 = api.Counters().llc_misses;
-    for (hw::VAddr va : es.lines()) {
-      api.Read(va);
-    }
+    api.ReadBatch(es.lines());
     slot.push_back(static_cast<double>(api.Counters().llc_misses - misses0));
   }
   slots_.push_back(std::move(slot));

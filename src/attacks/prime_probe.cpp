@@ -1,7 +1,7 @@
 #include "attacks/prime_probe.hpp"
 
 #include <algorithm>
-#include <map>
+#include <vector>
 
 namespace tp::attacks {
 
@@ -11,29 +11,51 @@ namespace {
 constexpr std::size_t kMaxBursts = 24;
 }  // namespace
 
+namespace {
+
+// Flat membership mask over the cache's per-slice set indices: the builders
+// test every line of a large buffer against `target_sets`, so a bitmap
+// beats a tree lookup.
+std::vector<std::uint8_t> TargetSetMask(const hw::SetAssociativeCache& cache,
+                                        const std::set<std::size_t>& target_sets) {
+  std::vector<std::uint8_t> mask(cache.geometry().SetsPerSlice(), 0);
+  for (std::size_t set : target_sets) {
+    if (set < mask.size()) {
+      mask[set] = 1;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
 EvictionSet EvictionSet::Build(const hw::SetAssociativeCache& cache,
                                const core::MappedBuffer& buffer,
                                const std::set<std::size_t>& target_sets,
                                std::size_t lines_per_set, bool by_vaddr) {
   EvictionSet es;
-  std::map<std::size_t, std::size_t> taken;
+  const std::vector<std::uint8_t> wanted = TargetSetMask(cache, target_sets);
+  std::vector<std::size_t> taken(wanted.size(), 0);
+  std::vector<std::uint8_t> touched(wanted.size(), 0);
   std::size_t line = cache.geometry().line_size;
   for (const auto& [va_page, pa_page] : buffer.pages) {
     for (std::size_t off = 0; off < hw::kPageSize; off += line) {
       std::uint64_t index_addr = by_vaddr ? va_page + off : pa_page + off;
       std::size_t set = cache.SetIndexOf(index_addr);
-      if (target_sets.find(set) == target_sets.end()) {
+      if (wanted[set] == 0) {
         continue;
       }
-      std::size_t& n = taken[set];
-      if (n >= lines_per_set) {
+      if (touched[set] == 0) {
+        touched[set] = 1;
+        ++es.covered_sets_;
+      }
+      if (taken[set] >= lines_per_set) {
         continue;
       }
-      ++n;
+      ++taken[set];
       es.lines_.push_back(va_page + off);
     }
   }
-  es.covered_sets_ = taken.size();
   return es;
 }
 
@@ -42,27 +64,28 @@ EvictionSet EvictionSet::BuildSliced(const hw::SetAssociativeCache& cache,
                                      const std::set<std::size_t>& target_sets,
                                      std::size_t lines_per_slice_set) {
   EvictionSet es;
-  std::map<std::pair<std::size_t, std::size_t>, std::size_t> taken;
+  const std::vector<std::uint8_t> wanted = TargetSetMask(cache, target_sets);
+  const std::size_t sets_per_slice = wanted.size();
+  std::vector<std::size_t> taken(sets_per_slice * cache.geometry().num_slices, 0);
   std::size_t line = cache.geometry().line_size;
-  std::set<std::pair<std::size_t, std::size_t>> covered;
   for (const auto& [va_page, pa_page] : buffer.pages) {
     for (std::size_t off = 0; off < hw::kPageSize; off += line) {
       hw::PAddr pa = pa_page + off;
       std::size_t set = cache.SetIndexOf(pa);
-      if (target_sets.find(set) == target_sets.end()) {
+      if (wanted[set] == 0) {
         continue;
       }
-      std::size_t slice = cache.SliceOf(pa);
-      std::size_t& n = taken[{slice, set}];
+      std::size_t& n = taken[cache.SliceOf(pa) * sets_per_slice + set];
       if (n >= lines_per_slice_set) {
         continue;
       }
+      if (n == 0) {
+        ++es.covered_sets_;
+      }
       ++n;
-      covered.insert({slice, set});
       es.lines_.push_back(va_page + off);
     }
   }
-  es.covered_sets_ = covered.size();
   return es;
 }
 
@@ -70,25 +93,17 @@ double CacheProbeReceiver::MeasureAndPrime(kernel::UserApi& api) {
   // Alternate traversal direction every round (Mastik's zig-zag): probing
   // in insertion order under LRU cascades — one foreign line per set makes
   // every subsequent probe of that set miss — so the probe must meet its
-  // own lines MRU-first.
-  const std::vector<hw::VAddr>& lines = eviction_set_.lines();
+  // own lines MRU-first. Both directions are precomputed address lists
+  // issued as one batch per probe.
+  if (reversed_lines_.empty() && !eviction_set_.lines().empty()) {
+    reversed_lines_.assign(eviction_set_.lines().rbegin(), eviction_set_.lines().rend());
+  }
+  const std::vector<hw::VAddr>& lines = reverse_ ? reversed_lines_ : eviction_set_.lines();
   hw::Cycles t0 = api.Now();
-  if (reverse_) {
-    for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
-      if (instruction_side_) {
-        api.Fetch(*it);
-      } else {
-        api.Read(*it);
-      }
-    }
+  if (instruction_side_) {
+    api.FetchBatch(lines);
   } else {
-    for (hw::VAddr va : lines) {
-      if (instruction_side_) {
-        api.Fetch(va);
-      } else {
-        api.Read(va);
-      }
-    }
+    api.ReadBatch(lines);
   }
   reverse_ = !reverse_;
   return static_cast<double>(api.Now() - t0);
@@ -100,15 +115,16 @@ void CacheSetSender::Transmit(kernel::UserApi& api, int symbol, std::size_t burs
     return;
   }
   std::size_t lines = static_cast<std::size_t>(symbol) * lines_per_symbol_;
+  scratch_.clear();
   for (std::size_t i = 0; i < lines; ++i) {
-    hw::VAddr va = base_ + (i * line_size_) % buffer_bytes_;
-    if (instruction_side_) {
-      api.Fetch(va);
-    } else if (writes_) {
-      api.Write(va);
-    } else {
-      api.Read(va);
-    }
+    scratch_.push_back(base_ + (i * line_size_) % buffer_bytes_);
+  }
+  if (instruction_side_) {
+    api.FetchBatch(scratch_);
+  } else if (writes_) {
+    api.WriteBatch(scratch_);
+  } else {
+    api.ReadBatch(scratch_);
   }
   if (lines == 0) {
     api.Compute(400);  // idle symbol
@@ -121,22 +137,26 @@ void PrefetchTrainSender::Transmit(kernel::UserApi& api, int symbol, std::size_t
     return;
   }
   std::size_t region = 64 * 1024;  // far apart: one stream-table slot each
+  scratch_.clear();
   for (int s = 0; s < symbol; ++s) {
     for (std::size_t k = 0; k < 6; ++k) {
-      hw::VAddr va = base_ + (s * region + (burst * 6 + k) * line_size_) % buffer_bytes_;
-      api.Read(va);
+      scratch_.push_back(base_ + (s * region + (burst * 6 + k) * line_size_) % buffer_bytes_);
     }
   }
+  api.ReadBatch(scratch_);
   if (symbol == 0) {
     api.Compute(400);
   }
 }
 
 double TlbProbeReceiver::MeasureAndPrime(kernel::UserApi& api) {
-  hw::Cycles t0 = api.Now();
-  for (std::size_t p = 0; p < pages_; ++p) {
-    api.Read(base_ + p * hw::kPageSize);  // one integer per page (§5.3.2)
+  if (probe_addrs_.empty() && pages_ > 0) {
+    for (std::size_t p = 0; p < pages_; ++p) {
+      probe_addrs_.push_back(base_ + p * hw::kPageSize);  // one integer per page (§5.3.2)
+    }
   }
+  hw::Cycles t0 = api.Now();
+  api.ReadBatch(probe_addrs_);
   return static_cast<double>(api.Now() - t0);
 }
 
@@ -146,9 +166,11 @@ void TlbSender::Transmit(kernel::UserApi& api, int symbol, std::size_t burst) {
     return;
   }
   std::size_t pages = static_cast<std::size_t>(symbol) * pages_per_symbol_;
+  scratch_.clear();
   for (std::size_t p = 0; p < pages; ++p) {
-    api.Read(base_ + (p * hw::kPageSize) % buffer_bytes_);
+    scratch_.push_back(base_ + (p * hw::kPageSize) % buffer_bytes_);
   }
+  api.ReadBatch(scratch_);
   if (pages == 0) {
     api.Compute(400);
   }

@@ -55,6 +55,7 @@ class CacheProbeReceiver final : public SliceReceiver {
 
  private:
   EvictionSet eviction_set_;
+  std::vector<hw::VAddr> reversed_lines_;  // lazily built reverse traversal
   bool instruction_side_;
   bool reverse_ = false;  // zig-zag traversal to defeat LRU probe-cascade
 };
@@ -86,6 +87,7 @@ class CacheSetSender final : public SymbolSender {
   std::size_t line_size_;
   bool writes_;
   bool instruction_side_;
+  std::vector<hw::VAddr> scratch_;  // per-burst batch buffer
 };
 
 // Trains `symbol` *distinct* sequential streams per burst (several spaced
@@ -108,6 +110,7 @@ class PrefetchTrainSender final : public SymbolSender {
   hw::VAddr base_;
   std::size_t buffer_bytes_;
   std::size_t line_size_;
+  std::vector<hw::VAddr> scratch_;  // per-burst batch buffer
 };
 
 // --- TLB channel ------------------------------------------------------------
@@ -123,6 +126,7 @@ class TlbProbeReceiver final : public SliceReceiver {
  private:
   hw::VAddr base_;
   std::size_t pages_;
+  std::vector<hw::VAddr> probe_addrs_;  // fixed probe sequence, built once
 };
 
 class TlbSender final : public SymbolSender {
@@ -141,6 +145,7 @@ class TlbSender final : public SymbolSender {
   hw::VAddr base_;
   std::size_t buffer_bytes_;
   std::size_t pages_per_symbol_;
+  std::vector<hw::VAddr> scratch_;  // per-burst batch buffer
 };
 
 // --- branch-predictor channels (BTB, BHB) -----------------------------------

@@ -1,45 +1,11 @@
 #include "hw/cache.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace tp::hw {
-
-namespace {
-
-// Slice hash over the line address, modelling the undocumented Haswell LLC
-// slice function: a strong bit mix (the real function is a parity tree over
-// many address bits) that spreads even highly structured address patterns
-// over the slices, while leaving the per-slice set index (and therefore
-// page-colour arithmetic) intact.
-std::size_t SliceHash(std::uint64_t line_addr, std::size_t num_slices) {
-  if (num_slices <= 1) {
-    return 0;
-  }
-  std::uint64_t h = line_addr * 0x9E3779B97F4A7C15ull;
-  h ^= h >> 32;
-  h *= 0xD6E8FEB86659FD93ull;
-  h ^= h >> 32;
-  return static_cast<std::size_t>(h % num_slices);
-}
-
-}  // namespace
-
-namespace {
-
-// log2 for exact powers of two; -1 otherwise.
-int Log2Exact(std::uint64_t v) {
-  if (v == 0 || (v & (v - 1)) != 0) {
-    return -1;
-  }
-  int shift = 0;
-  while ((v >> shift) != 1) {
-    ++shift;
-  }
-  return shift;
-}
-
-}  // namespace
 
 SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& geometry,
                                          Indexing indexing)
@@ -47,139 +13,136 @@ SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& 
   assert(geometry_.size_bytes % (geometry_.line_size * geometry_.associativity *
                                  geometry_.num_slices) ==
          0);
+  // The per-set valid/dirty bitmasks pack one bit per way into a 64-bit
+  // word; a wider geometry must fail loudly (release builds included), not
+  // silently wrap the masks.
+  if (geometry_.associativity < 1 || geometry_.associativity > 64) {
+    throw std::invalid_argument("SetAssociativeCache: associativity must be 1..64");
+  }
   sets_per_slice_ = geometry_.SetsPerSlice();
-  lines_.resize(geometry_.TotalLines());
-  line_shift_ = Log2Exact(geometry_.line_size);
-  if (sets_per_slice_ > 0 && (sets_per_slice_ & (sets_per_slice_ - 1)) == 0) {
+  num_slices_ = geometry_.num_slices;
+  ways_ = geometry_.associativity;
+  if (std::has_single_bit(geometry_.line_size)) {
+    line_shift_ = std::countr_zero(geometry_.line_size);
+  }
+  if (sets_per_slice_ > 0 && std::has_single_bit(sets_per_slice_)) {
     set_mask_ = sets_per_slice_ - 1;
   }
-}
-
-std::size_t SetAssociativeCache::SliceOf(PAddr paddr) const {
-  return SliceHash(LineOf(paddr), geometry_.num_slices);
-}
-
-std::size_t SetAssociativeCache::SetBase(VAddr addr_for_index, PAddr addr_for_tag) const {
-  std::uint64_t index_addr = indexing_ == Indexing::kVirtual ? addr_for_index : addr_for_tag;
-  std::size_t slice = SliceOf(addr_for_tag);
-  std::size_t set = SetIndexOf(index_addr);
-  return (slice * sets_per_slice_ + set) * geometry_.associativity;
-}
-
-SetAssociativeCache::Decoded SetAssociativeCache::Decode(VAddr addr_for_index,
-                                                         PAddr addr_for_tag) const {
-  std::uint64_t tag = LineOf(addr_for_tag);
-  std::size_t set;
-  if (indexing_ == Indexing::kPhysical) {
-    // Physical indexing shares the tag's line decode.
-    set = set_mask_ != 0 && line_shift_ >= 0
-              ? static_cast<std::size_t>(tag & set_mask_)
-              : static_cast<std::size_t>(tag % sets_per_slice_);
-  } else {
-    set = SetIndexOf(addr_for_index);
+  if (num_slices_ > 1 && std::has_single_bit(num_slices_)) {
+    slice_mask_ = num_slices_ - 1;
   }
-  std::size_t slice =
-      geometry_.num_slices > 1 ? SliceHash(tag, geometry_.num_slices) : 0;
-  return Decoded{(slice * sets_per_slice_ + set) * geometry_.associativity, tag};
-}
+  full_mask_ = ways_ == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << ways_) - 1;
 
-AccessResult SetAssociativeCache::Access(VAddr addr_for_index, PAddr addr_for_tag, bool write) {
-  const auto [base, tag] = Decode(addr_for_index, addr_for_tag);
-  AccessResult result;
-
-  std::size_t victim = base;
-  std::uint64_t victim_lru = ~std::uint64_t{0};
-  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
-    Line& line = lines_[base + way];
-    if (line.valid && line.tag == tag) {
-      line.lru = ++lru_clock_;
-      line.dirty = line.dirty || write;
-      ++hits_;
-      result.hit = true;
-      return result;
-    }
-    if (!line.valid) {
-      victim = base + way;
-      victim_lru = 0;
-    } else if (line.lru < victim_lru) {
-      victim = base + way;
-      victim_lru = line.lru;
+  const std::size_t lines = geometry_.TotalLines();
+  const std::size_t sets = sets_per_slice_ * num_slices_;
+  tags_.resize(lines);
+  age_stride_ = LruStride(ways_);
+  ages_.assign(sets * age_stride_, kLruPad);
+  for (std::size_t set = 0; set < sets; ++set) {
+    for (std::size_t w = 0; w < ways_; ++w) {
+      ages_[set * age_stride_ + w] = static_cast<std::uint8_t>(w);
     }
   }
+  valid_.assign(sets, 0);
+  dirty_.assign(sets, 0);
+}
 
+unsigned SetAssociativeCache::PickVictim(std::size_t set) const {
+  const std::uint64_t invalid = ~valid_[set] & full_mask_;
+  if (invalid != 0) {
+    // Highest-numbered invalid way.
+    return static_cast<unsigned>(std::bit_width(invalid) - 1);
+  }
+  return LruOldestWay(ages_.data() + set * age_stride_, age_stride_,
+                      static_cast<std::uint8_t>(ways_ - 1));
+}
+
+AccessResult SetAssociativeCache::MissFill(const Decoded& d, bool write) {
   ++misses_;
-  Line& line = lines_[victim];
-  if (line.valid) {
+  AccessResult result;
+  const unsigned victim = PickVictim(d.set);
+  const std::uint64_t bit = std::uint64_t{1} << victim;
+  if ((valid_[d.set] & bit) != 0) {
     result.evicted_valid = true;
-    result.evicted_line_addr = line.tag;
-    if (line.dirty) {
+    result.evicted_line_addr = tags_[d.set * ways_ + victim];
+    if ((dirty_[d.set] & bit) != 0) {
       result.writeback = true;
       ++writebacks_;
+      dirty_[d.set] &= ~bit;
+      --dirty_count_;
     }
+  } else {
+    valid_[d.set] |= bit;
+    ++valid_count_;
   }
-  line.tag = tag;
-  line.valid = true;
-  line.dirty = write;
-  line.lru = ++lru_clock_;
+  tags_[d.set * ways_ + victim] = d.tag;
+  if (write) {
+    SetDirty(d.set, victim);
+  }
+  Promote(d.set, victim);
   result.fill = true;
   return result;
 }
 
-bool SetAssociativeCache::Insert(VAddr addr_for_index, PAddr addr_for_tag, bool dirty) {
-  const auto [base, tag] = Decode(addr_for_index, addr_for_tag);
-  std::size_t victim = base;
-  std::uint64_t victim_lru = ~std::uint64_t{0};
-  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
-    Line& line = lines_[base + way];
-    if (line.valid && line.tag == tag) {
-      line.dirty = line.dirty || dirty;
-      return false;  // already present
-    }
-    if (!line.valid) {
-      victim = base + way;
-      victim_lru = 0;
-    } else if (line.lru < victim_lru) {
-      victim = base + way;
-      victim_lru = line.lru;
-    }
+AccessRunResult SetAssociativeCache::AccessRun(VAddr base_for_index, PAddr base_for_tag,
+                                               std::size_t count, std::size_t stride_bytes,
+                                               bool write) {
+  AccessRunResult run;
+  for (std::size_t i = 0; i < count; ++i) {
+    const AccessResult r =
+        Access(base_for_index + i * stride_bytes, base_for_tag + i * stride_bytes, write);
+    run.hits += r.hit ? 1 : 0;
+    run.misses += r.hit ? 0 : 1;
+    run.writebacks += r.writeback ? 1 : 0;
   }
-  Line& line = lines_[victim];
-  bool evicted_dirty = line.valid && line.dirty;
+  return run;
+}
+
+bool SetAssociativeCache::Insert(VAddr addr_for_index, PAddr addr_for_tag, bool dirty) {
+  const Decoded d = Decode(addr_for_index, addr_for_tag);
+  if (int way = FindWay(d.set, d.tag); way >= 0) {
+    // Already present: merge the dirty flag without an LRU touch (prefetch
+    // fills never promoted under the previous replacement state either).
+    if (dirty) {
+      SetDirty(d.set, static_cast<unsigned>(way));
+    }
+    return false;
+  }
+  const unsigned victim = PickVictim(d.set);
+  const std::uint64_t bit = std::uint64_t{1} << victim;
+  const bool evicted_dirty = (valid_[d.set] & bit) != 0 && (dirty_[d.set] & bit) != 0;
   if (evicted_dirty) {
     ++writebacks_;
+    dirty_[d.set] &= ~bit;
+    --dirty_count_;
   }
-  line.tag = tag;
-  line.valid = true;
-  line.dirty = dirty;
-  line.lru = ++lru_clock_;
+  if ((valid_[d.set] & bit) == 0) {
+    valid_[d.set] |= bit;
+    ++valid_count_;
+  }
+  tags_[d.set * ways_ + victim] = d.tag;
+  if (dirty) {
+    SetDirty(d.set, victim);
+  }
+  Promote(d.set, victim);
   return evicted_dirty;
 }
 
-bool SetAssociativeCache::Contains(VAddr addr_for_index, PAddr addr_for_tag) const {
-  std::size_t base = SetBase(addr_for_index, addr_for_tag);
-  std::uint64_t tag = TagOf(addr_for_tag);
-  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
-    const Line& line = lines_[base + way];
-    if (line.valid && line.tag == tag) {
-      return true;
-    }
-  }
-  return false;
-}
-
 bool SetAssociativeCache::InvalidateLine(VAddr addr_for_index, PAddr addr_for_tag) {
-  std::size_t base = SetBase(addr_for_index, addr_for_tag);
-  std::uint64_t tag = TagOf(addr_for_tag);
-  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
-    Line& line = lines_[base + way];
-    if (line.valid && line.tag == tag) {
-      bool was_dirty = line.dirty;
-      line.valid = false;
-      line.dirty = false;
-      return was_dirty;
-    }
+  const Decoded d = Decode(addr_for_index, addr_for_tag);
+  const int way = FindWay(d.set, d.tag);
+  if (way < 0) {
+    return false;
   }
-  return false;
+  const std::uint64_t bit = std::uint64_t{1} << static_cast<unsigned>(way);
+  const bool was_dirty = (dirty_[d.set] & bit) != 0;
+  valid_[d.set] &= ~bit;
+  --valid_count_;
+  if (was_dirty) {
+    dirty_[d.set] &= ~bit;
+    --dirty_count_;
+  }
+  return was_dirty;
 }
 
 bool SetAssociativeCache::InvalidateLineByPaddr(PAddr paddr) {
@@ -199,48 +162,22 @@ bool SetAssociativeCache::InvalidateLineByPaddr(PAddr paddr) {
 }
 
 std::size_t SetAssociativeCache::FlushAll() {
-  std::size_t dirty = 0;
-  for (Line& line : lines_) {
-    if (line.valid && line.dirty) {
-      ++dirty;
-    }
-    line.valid = false;
-    line.dirty = false;
-  }
+  const std::size_t dirty = dirty_count_;
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  valid_count_ = 0;
+  dirty_count_ = 0;
   writebacks_ += dirty;
   return dirty;
 }
 
 std::size_t SetAssociativeCache::InvalidateAll() {
-  std::size_t valid = 0;
-  for (Line& line : lines_) {
-    if (line.valid) {
-      ++valid;
-    }
-    line.valid = false;
-    line.dirty = false;
-  }
+  const std::size_t valid = valid_count_;
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  valid_count_ = 0;
+  dirty_count_ = 0;
   return valid;
-}
-
-std::size_t SetAssociativeCache::DirtyLineCount() const {
-  std::size_t n = 0;
-  for (const Line& line : lines_) {
-    if (line.valid && line.dirty) {
-      ++n;
-    }
-  }
-  return n;
-}
-
-std::size_t SetAssociativeCache::ValidLineCount() const {
-  std::size_t n = 0;
-  for (const Line& line : lines_) {
-    if (line.valid) {
-      ++n;
-    }
-  }
-  return n;
 }
 
 void SetAssociativeCache::ResetStats() {

@@ -1,7 +1,14 @@
 // Set-associative write-back cache model with LRU replacement and optional
 // slicing (for hashed, distributed last-level caches as on Haswell).
 //
-// The cache records, per line: physical tag, valid, dirty, and an LRU stamp.
+// Storage is structure-of-arrays for host speed: one contiguous tag array
+// plus packed per-set valid/dirty bitmasks, and per-line 8-bit LRU age
+// ranks (0 = MRU .. ways-1 = LRU, an exact per-set recency permutation that
+// reproduces the previous global-LRU-clock victim choice bit-for-bit).
+// The hit fast path lives in this header so Core::Access inlines it; the
+// miss/fill path is out of line. Running valid/dirty counters keep
+// FlushAll/DirtyLineCount/ValidLineCount from scanning lines.
+//
 // Access() reports hit/miss and whether the fill evicted a dirty victim
 // (a write-back, which costs extra cycles at the level below).
 //
@@ -12,10 +19,12 @@
 #ifndef TP_HW_CACHE_HPP_
 #define TP_HW_CACHE_HPP_
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "hw/lru.hpp"
 #include "hw/types.hpp"
 
 namespace tp::hw {
@@ -52,6 +61,13 @@ struct AccessResult {
   std::uint64_t evicted_line_addr = 0;  // victim's line number (paddr / line_size)
 };
 
+// Hit/miss tallies of a batched access run (see AccessRun).
+struct AccessRunResult {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+};
+
 class SetAssociativeCache {
  public:
   SetAssociativeCache(std::string name, const CacheGeometry& geometry, Indexing indexing);
@@ -60,13 +76,38 @@ class SetAssociativeCache {
   // `addr_for_index` selects the set: the virtual address for
   // virtually-indexed caches, the physical address otherwise. Caller passes
   // both; the cache picks per its indexing mode.
-  AccessResult Access(VAddr addr_for_index, PAddr addr_for_tag, bool write);
+  AccessResult Access(VAddr addr_for_index, PAddr addr_for_tag, bool write) {
+    const Decoded d = Decode(addr_for_index, addr_for_tag);
+    const std::uint64_t* tags = tags_.data() + d.set * ways_;
+    for (std::uint64_t m = valid_[d.set]; m != 0; m &= m - 1) {
+      const unsigned way = static_cast<unsigned>(std::countr_zero(m));
+      if (tags[way] == d.tag) {
+        Promote(d.set, way);
+        if (write) {
+          SetDirty(d.set, way);
+        }
+        ++hits_;
+        AccessResult result;
+        result.hit = true;
+        return result;
+      }
+    }
+    return MissFill(d, write);
+  }
+
+  // Batched run over `count` addresses advancing both index and tag by
+  // `stride_bytes`: one decode-and-probe loop with no per-access dispatch.
+  AccessRunResult AccessRun(VAddr base_for_index, PAddr base_for_tag, std::size_t count,
+                            std::size_t stride_bytes, bool write);
 
   // Inserts a line without reporting timing (hardware prefetch fill).
   // Returns true if the fill evicted a dirty line.
   bool Insert(VAddr addr_for_index, PAddr addr_for_tag, bool dirty = false);
 
-  bool Contains(VAddr addr_for_index, PAddr addr_for_tag) const;
+  bool Contains(VAddr addr_for_index, PAddr addr_for_tag) const {
+    const Decoded d = Decode(addr_for_index, addr_for_tag);
+    return FindWay(d.set, d.tag) >= 0;
+  }
 
   // Invalidates one line if present; returns true if it was dirty.
   bool InvalidateLine(VAddr addr_for_index, PAddr addr_for_tag);
@@ -81,8 +122,8 @@ class SetAssociativeCache {
   // Invalidate without write-back (instruction caches).
   std::size_t InvalidateAll();
 
-  std::size_t DirtyLineCount() const;
-  std::size_t ValidLineCount() const;
+  std::size_t DirtyLineCount() const { return dirty_count_; }
+  std::size_t ValidLineCount() const { return valid_count_; }
 
   // Set index (within its slice) that an address maps to; exposed so attack
   // code can construct eviction sets exactly as Mastik does on hardware.
@@ -94,7 +135,7 @@ class SetAssociativeCache {
     }
     return static_cast<std::size_t>((addr / geometry_.line_size) % sets_per_slice_);
   }
-  std::size_t SliceOf(PAddr paddr) const;
+  std::size_t SliceOf(PAddr paddr) const { return SliceHash(LineOf(paddr)); }
 
   // Line number (paddr / line_size) — the tag — via the same fast path.
   std::uint64_t LineOf(PAddr paddr) const {
@@ -116,35 +157,102 @@ class SetAssociativeCache {
   void ResetStats();
 
  private:
-  struct Line {
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;
-    bool valid = false;
-    bool dirty = false;
-  };
-
-  std::uint64_t TagOf(PAddr paddr) const { return LineOf(paddr); }
-  // Flat storage index of the first way of the set for `index_addr`/`tag_addr`.
-  std::size_t SetBase(VAddr addr_for_index, PAddr addr_for_tag) const;
-  // One-step address decode for the hot Access/Insert path: set base and
-  // tag from a single pass over the address bits.
+  // One-step address decode shared by every lookup path: global set index
+  // (slice * sets_per_slice + set) and tag from a single pass over the
+  // address bits, using the constants precomputed at construction.
   struct Decoded {
-    std::size_t base;
+    std::size_t set;
     std::uint64_t tag;
   };
-  Decoded Decode(VAddr addr_for_index, PAddr addr_for_tag) const;
+  Decoded Decode(VAddr addr_for_index, PAddr addr_for_tag) const {
+    const std::uint64_t tag = LineOf(addr_for_tag);
+    std::size_t set;
+    if (indexing_ == Indexing::kPhysical) {
+      // Physical indexing shares the tag's line decode.
+      set = set_mask_ != 0 && line_shift_ >= 0
+                ? static_cast<std::size_t>(tag & set_mask_)
+                : static_cast<std::size_t>(tag % sets_per_slice_);
+    } else {
+      set = SetIndexOf(addr_for_index);
+    }
+    if (num_slices_ > 1) {
+      set += SliceHash(tag) * sets_per_slice_;
+    }
+    return Decoded{set, tag};
+  }
+
+  // Slice hash over the line address, modelling the undocumented Haswell LLC
+  // slice function: a strong bit mix (the real function is a parity tree
+  // over many address bits) that spreads even highly structured address
+  // patterns over the slices, while leaving the per-slice set index (and
+  // therefore page-colour arithmetic) intact.
+  std::size_t SliceHash(std::uint64_t line_addr) const {
+    if (num_slices_ <= 1) {
+      return 0;
+    }
+    std::uint64_t h = line_addr * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 32;
+    h *= 0xD6E8FEB86659FD93ull;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(slice_mask_ != 0 ? h & slice_mask_ : h % num_slices_);
+  }
+
+  // Way holding (set, tag), or -1. The single tag-match used by the hit
+  // path, Contains and InvalidateLine alike; scans set bits of the valid
+  // mask in ascending way order, matching the previous way-0-first scan.
+  int FindWay(std::size_t set, std::uint64_t tag) const {
+    const std::uint64_t* tags = tags_.data() + set * ways_;
+    for (std::uint64_t m = valid_[set]; m != 0; m &= m - 1) {
+      const unsigned way = static_cast<unsigned>(std::countr_zero(m));
+      if (tags[way] == tag) {
+        return static_cast<int>(way);
+      }
+    }
+    return -1;
+  }
+
+  // Exact-LRU promotion: ages form a per-set permutation ordered by last
+  // touch; every way younger than the touched one ages by one step.
+  void Promote(std::size_t set, unsigned way) {
+    LruPromote(ages_.data() + set * age_stride_, age_stride_, way);
+  }
+
+  void SetDirty(std::size_t set, unsigned way) {
+    const std::uint64_t bit = std::uint64_t{1} << way;
+    if ((dirty_[set] & bit) == 0) {
+      dirty_[set] |= bit;
+      ++dirty_count_;
+    }
+  }
+
+  // The way a fill replaces: the last invalid way when the set has room
+  // (matching the previous scan, where a later invalid way overwrote an
+  // earlier choice), else the LRU-oldest way.
+  unsigned PickVictim(std::size_t set) const;
+  AccessResult MissFill(const Decoded& d, bool write);
 
   std::string name_;
   CacheGeometry geometry_;
   Indexing indexing_;
-  std::size_t sets_per_slice_;
+  std::size_t sets_per_slice_ = 1;
+  std::size_t num_slices_ = 1;
+  std::size_t ways_ = 1;
   // Precomputed decode constants: line_shift_ = log2(line_size) (or -1 when
   // line_size is not a power of two), set_mask_ = sets_per_slice - 1 when
-  // that is a power of two (else 0 -> modulo fallback).
+  // that is a power of two (else 0 -> modulo fallback), slice_mask_
+  // likewise for the slice count.
   int line_shift_ = -1;
   std::uint64_t set_mask_ = 0;
-  std::vector<Line> lines_;  // [slice][set][way] flattened
-  std::uint64_t lru_clock_ = 0;
+  std::uint64_t slice_mask_ = 0;
+  std::uint64_t full_mask_ = 1;  // low `ways_` bits set
+
+  std::size_t age_stride_ = 8;       // per-set age bytes, padded for SWAR
+  std::vector<std::uint64_t> tags_;  // [slice][set][way] flattened
+  std::vector<std::uint8_t> ages_;   // LRU rank per line, 0 = MRU
+  std::vector<std::uint64_t> valid_;  // per-set way bitmask
+  std::vector<std::uint64_t> dirty_;  // per-set way bitmask
+  std::size_t valid_count_ = 0;
+  std::size_t dirty_count_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t writebacks_ = 0;

@@ -1,11 +1,28 @@
 #include "hw/core.hpp"
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 
 #include "hw/machine.hpp"
 
 namespace tp::hw {
+
+namespace {
+std::atomic<std::uint64_t> g_sim_accesses{0};
+std::atomic<std::uint64_t> g_sim_branches{0};
+}  // namespace
+
+SimTally SimTallySnapshot() {
+  return SimTally{g_sim_accesses.load(std::memory_order_relaxed),
+                  g_sim_branches.load(std::memory_order_relaxed)};
+}
+
+Core::~Core() {
+  g_sim_accesses.fetch_add(counters_.reads + counters_.writes + counters_.fetches,
+                           std::memory_order_relaxed);
+  g_sim_branches.fetch_add(counters_.branches, std::memory_order_relaxed);
+}
 
 Core::Core(CoreId id, Machine* machine) : id_(id), machine_(machine) {
   const MachineConfig& cfg = machine->config();
@@ -23,11 +40,18 @@ Core::Core(CoreId id, Machine* machine) : id_(id), machine_(machine) {
 
 const Latencies& Core::lat() const { return machine_->config().lat; }
 
-void Core::SetUserContext(const TranslationContext* user_ctx) { user_ctx_ = user_ctx; }
+void Core::SetUserContext(const TranslationContext* user_ctx) {
+  user_ctx_ = user_ctx;
+  user_gen_ = user_ctx != nullptr ? user_ctx->generation() : &kStaticTranslationGeneration;
+  trans_memo_[0] = TranslationMemo{};
+}
 
 void Core::SetKernelContext(const TranslationContext* kernel_ctx, bool kernel_global) {
   kernel_ctx_ = kernel_ctx;
   kernel_global_ = kernel_global;
+  kernel_gen_ =
+      kernel_ctx != nullptr ? kernel_ctx->generation() : &kStaticTranslationGeneration;
+  trans_memo_[1] = TranslationMemo{};
 }
 
 const TranslationContext* Core::ContextFor(VAddr vaddr) const {
@@ -73,12 +97,22 @@ Translation Core::TranslateCharged(VAddr vaddr, bool instruction, Cycles& cost) 
     tlb.Insert(vpn, asid, global);
   }
 
+  // Host-side memo of the last translated page: Translate() is a virtual
+  // call into a map lookup, paid per access otherwise. The memo key covers
+  // the context identity and its generation, so a hit returns exactly what
+  // Translate() would.
+  TranslationMemo& memo = trans_memo_[kernel_addr ? 1 : 0];
+  const std::uint64_t gen = *(kernel_addr ? kernel_gen_ : user_gen_);
+  if (memo.ctx == ctx && memo.vpn == vpn && memo.gen == gen) {
+    return memo.tr;
+  }
   std::optional<Translation> tr = ctx->Translate(vaddr);
   if (!tr.has_value()) {
     std::ostringstream oss;
     oss << "core " << id_ << ": translation fault at vaddr 0x" << std::hex << vaddr;
     throw std::runtime_error(oss.str());
   }
+  memo = TranslationMemo{ctx, vpn, gen, *tr};
   return *tr;
 }
 
@@ -172,6 +206,22 @@ Cycles Core::Access(VAddr vaddr, AccessKind kind) {
   cost += CachePath(vaddr, paddr, kind);
   cycles_ += cost;
   return cost;
+}
+
+Cycles Core::AccessBatch(std::span<const VAddr> vaddrs, AccessKind kind) {
+  Cycles total = 0;
+  for (VAddr va : vaddrs) {
+    total += Access(va, kind);
+  }
+  return total;
+}
+
+Cycles Core::AccessBatch(std::span<const MemOp> ops) {
+  Cycles total = 0;
+  for (const MemOp& op : ops) {
+    total += Access(op.va, op.kind);
+  }
+  return total;
 }
 
 Cycles Core::Branch(VAddr pc, VAddr target, bool taken, bool conditional) {

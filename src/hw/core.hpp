@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "hw/branch_predictor.hpp"
@@ -34,6 +35,15 @@ enum class AccessKind {
   kFetch,
 };
 
+// One element of a batched memory-access run (Core::AccessBatch). Batches
+// replay their operations in element order, so a batch is bit-identical to
+// the equivalent sequence of Access() calls — it only removes the
+// per-access dispatch through the user-API layer.
+struct MemOp {
+  VAddr va = 0;
+  AccessKind kind = AccessKind::kRead;
+};
+
 struct Latencies {
   Cycles base_op = 1;
   Cycles l1_hit = 4;
@@ -50,9 +60,20 @@ struct Latencies {
   Cycles bp_flush = 200;
 };
 
+// Process-wide tally of simulated work, accumulated from each core's
+// perf counters when the core is destroyed — no per-access cost. The
+// tp_bench --profile mode reads snapshot deltas around each channel to
+// report host simulation throughput (accesses/second).
+struct SimTally {
+  std::uint64_t accesses = 0;  // reads + writes + fetches
+  std::uint64_t branches = 0;
+};
+SimTally SimTallySnapshot();
+
 class Core {
  public:
   Core(CoreId id, Machine* machine);
+  ~Core();
 
   // --- context (set by the kernel on thread/kernel switch) ---------------
 
@@ -71,6 +92,11 @@ class Core {
   // Performs one memory operation, advancing the cycle counter. Throws
   // std::runtime_error on a translation fault.
   Cycles Access(VAddr vaddr, AccessKind kind);
+  // Batched runs: one call into the memory system for a whole probe or
+  // traversal loop. Ops execute strictly in order; the total cost returned
+  // (and every state mutation) equals the per-call loop's.
+  Cycles AccessBatch(std::span<const VAddr> vaddrs, AccessKind kind);
+  Cycles AccessBatch(std::span<const MemOp> ops);
   // Branch at `pc` to `target`; cost depends on predictor state.
   Cycles Branch(VAddr pc, VAddr target, bool taken, bool conditional);
   // Pure compute / pipeline time.
@@ -138,6 +164,20 @@ class Core {
   Cycles cycles_ = 0;
   std::uint64_t last_miss_line_ = ~std::uint64_t{0};
   std::vector<PAddr> walk_scratch_;
+
+  // One-page translation memo per address-space half, keyed on the context
+  // and its generation counter: purely a host-side shortcut past the
+  // virtual Translate() call (the simulated TLB lookup still runs and is
+  // charged above). Invalidated by context switches and generation bumps.
+  struct TranslationMemo {
+    const TranslationContext* ctx = nullptr;
+    std::uint64_t vpn = ~std::uint64_t{0};
+    std::uint64_t gen = 0;
+    Translation tr;
+  };
+  TranslationMemo trans_memo_[2];  // [user, kernel]
+  const std::uint64_t* user_gen_ = &kStaticTranslationGeneration;
+  const std::uint64_t* kernel_gen_ = &kStaticTranslationGeneration;
 };
 
 }  // namespace tp::hw

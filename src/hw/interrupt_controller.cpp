@@ -1,50 +1,38 @@
 #include "hw/interrupt_controller.hpp"
 
+#include <algorithm>
+
 namespace tp::hw {
 
-InterruptController::InterruptController(IrqArch arch, std::size_t num_lines) : arch_(arch) {
-  lines_.resize(num_lines);
+InterruptController::InterruptController(IrqArch arch, std::size_t num_lines)
+    : arch_(arch), num_lines_(num_lines) {
+  const std::size_t words = (num_lines + 63) / 64;
+  raised_.assign(words, 0);
+  masked_.assign(words, ~std::uint64_t{0});  // lines boot masked
+  accepted_.assign(words, 0);
 }
 
 void InterruptController::Raise(IrqLine line) {
-  Line& l = lines_.at(line);
-  l.raised = true;
-  if (arch_ == IrqArch::kX86Hierarchical && !l.masked) {
+  Checked(line);
+  Set(raised_, line);
+  if (arch_ == IrqArch::kX86Hierarchical && !Test(masked_, line)) {
     // Accepted by the CPU: survives subsequent masking of the source.
-    l.accepted = true;
+    Set(accepted_, line);
   }
 }
 
-void InterruptController::Mask(IrqLine line) { lines_.at(line).masked = true; }
+void InterruptController::Mask(IrqLine line) { Set(masked_, Checked(line)); }
 
 void InterruptController::Unmask(IrqLine line) {
-  Line& l = lines_.at(line);
-  l.masked = false;
-  if (arch_ == IrqArch::kX86Hierarchical && l.raised) {
-    l.accepted = true;
+  Checked(line);
+  Clear(masked_, line);
+  if (arch_ == IrqArch::kX86Hierarchical && Test(raised_, line)) {
+    Set(accepted_, line);
   }
 }
 
 void InterruptController::MaskAll() {
-  for (Line& l : lines_) {
-    l.masked = true;
-  }
-}
-
-std::optional<IrqLine> InterruptController::PendingDeliverable() const {
-  for (std::size_t i = 0; i < lines_.size(); ++i) {
-    const Line& l = lines_[i];
-    if (arch_ == IrqArch::kX86Hierarchical) {
-      if (l.accepted || (l.raised && !l.masked)) {
-        return static_cast<IrqLine>(i);
-      }
-    } else {
-      if (l.raised && !l.masked) {
-        return static_cast<IrqLine>(i);
-      }
-    }
-  }
-  return std::nullopt;
+  std::fill(masked_.begin(), masked_.end(), ~std::uint64_t{0});
 }
 
 std::size_t InterruptController::ProbeAndAckAccepted() {
@@ -52,21 +40,20 @@ std::size_t InterruptController::ProbeAndAckAccepted() {
     return 0;
   }
   std::size_t n = 0;
-  for (Line& l : lines_) {
-    if (l.accepted && l.masked) {
-      // Drop the CPU-side acceptance; the source stays raised and will be
-      // delivered once its owning domain unmasks the line again.
-      l.accepted = false;
-      ++n;
-    }
+  for (std::size_t w = 0; w < accepted_.size(); ++w) {
+    // Drop the CPU-side acceptance of masked lines; the source stays raised
+    // and will be delivered once its owning domain unmasks the line again.
+    const std::uint64_t drained = accepted_[w] & masked_[w];
+    accepted_[w] &= ~drained;
+    n += static_cast<std::size_t>(std::popcount(drained));
   }
   return n;
 }
 
 void InterruptController::Ack(IrqLine line) {
-  Line& l = lines_.at(line);
-  l.raised = false;
-  l.accepted = false;
+  Checked(line);
+  Clear(raised_, line);
+  Clear(accepted_, line);
 }
 
 }  // namespace tp::hw

@@ -1,0 +1,67 @@
+// Shared exact-LRU age machinery for the SoA cache and TLB models.
+//
+// Each set keeps one byte of age rank per way (0 = MRU .. ways-1 = LRU),
+// padded to an 8-byte stride so promotion and victim search run as SWAR
+// word operations instead of per-byte loops. Ages form a permutation of
+// 0..ways-1 per set; padding bytes hold 0xFF, which no comparison against a
+// real rank (< 64) can match or increment. The update rule — every way
+// younger than the touched one ages by a step, the touched way becomes MRU
+// — reproduces the relative order of a global LRU clock exactly, so victim
+// choice is bit-identical to the previous array-of-structs model.
+#ifndef TP_HW_LRU_HPP_
+#define TP_HW_LRU_HPP_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace tp::hw {
+
+inline constexpr std::uint8_t kLruPad = 0xFF;
+
+constexpr std::size_t LruStride(std::size_t ways) { return (ways + 7) & ~std::size_t{7}; }
+
+// Promotes `way` to MRU: ages strictly younger than the touched way's old
+// rank gain a step; the touched way drops to 0. No-op when already MRU.
+inline void LruPromote(std::uint8_t* ages, std::size_t stride, unsigned way) {
+  const std::uint8_t old_age = ages[way];
+  if (old_age == 0) {
+    return;
+  }
+  const std::uint64_t kH = 0x8080808080808080ull;
+  const std::uint64_t broadcast = 0x0101010101010101ull * old_age;
+  for (std::size_t off = 0; off < stride; off += 8) {
+    std::uint64_t a;
+    std::memcpy(&a, ages + off, 8);
+    // Per-byte a >= old_age: bit 7 survives the subtraction (all real ages
+    // and old_age are < 0x80, padding is 0xFF and always "greater").
+    const std::uint64_t ge = ((a | kH) - broadcast) & kH;
+    a += (~ge & kH) >> 7;  // +1 where a < old_age
+    std::memcpy(ages + off, &a, 8);
+  }
+  ages[way] = 0;
+}
+
+// Way holding rank `oldest` (= ways-1, the LRU way of a full set). The ages
+// are a permutation, so exactly one byte matches.
+inline unsigned LruOldestWay(const std::uint8_t* ages, std::size_t stride,
+                             std::uint8_t oldest) {
+  const std::uint64_t broadcast = 0x0101010101010101ull * oldest;
+  for (std::size_t off = 0;; off += 8) {
+    std::uint64_t a;
+    std::memcpy(&a, ages + off, 8);
+    const std::uint64_t x = a ^ broadcast;  // zero byte where age == oldest
+    const std::uint64_t zero =
+        (x - 0x0101010101010101ull) & ~x & 0x8080808080808080ull;
+    if (zero != 0) {
+      return static_cast<unsigned>(off + static_cast<std::size_t>(std::countr_zero(zero)) / 8);
+    }
+    if (off + 8 >= stride) {
+      return 0;  // unreachable for a well-formed permutation
+    }
+  }
+}
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_LRU_HPP_

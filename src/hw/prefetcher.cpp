@@ -1,10 +1,20 @@
 #include "hw/prefetcher.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace tp::hw {
 
 StreamPrefetcher::StreamPrefetcher(const PrefetcherGeometry& geometry) : geometry_(geometry) {
+  // The per-miss fill list is a fixed inline array; a geometry that could
+  // overflow it must fail loudly here, not silently drop fills mid-miss.
+  if (geometry_.max_stale_issues_per_miss +
+          static_cast<std::size_t>(std::max(geometry_.prefetch_degree, 0)) >
+      PrefetchFillList::kCapacity) {
+    throw std::invalid_argument(
+        "PrefetcherGeometry: max_stale_issues_per_miss + prefetch_degree exceeds "
+        "the inline fill-list capacity");
+  }
   data_slots_.resize(geometry_.data_slots);
   instruction_slots_.resize(geometry_.instruction_slots);
 }
@@ -20,7 +30,8 @@ PrefetchOutcome StreamPrefetcher::HandleMiss(std::vector<Stream>& slots, std::ui
   // credited prefetches, delaying this demand miss.
   std::size_t stale_issued = 0;
   for (Stream& s : slots) {
-    if (stale_issued >= geometry_.max_stale_issues_per_miss) {
+    if (stale_issued >= geometry_.max_stale_issues_per_miss ||
+        outcome.fills.size() >= PrefetchFillList::kCapacity) {
       break;
     }
     if (s.valid && s.owner != owner && s.credits > 0 &&
@@ -48,7 +59,9 @@ PrefetchOutcome StreamPrefetcher::HandleMiss(std::vector<Stream>& slots, std::ui
       s.credits = geometry_.credits_on_train;
       s.next_line = static_cast<std::uint64_t>(static_cast<std::int64_t>(line) + s.direction);
       if (s.confidence >= geometry_.confidence_threshold) {
-        for (int i = 0; i < geometry_.prefetch_degree; ++i) {
+        for (int i = 0; i < geometry_.prefetch_degree &&
+                        outcome.fills.size() < PrefetchFillList::kCapacity;
+             ++i) {
           outcome.fills.push_back(static_cast<std::uint64_t>(
               static_cast<std::int64_t>(line) + s.direction * (i + 1)));
         }

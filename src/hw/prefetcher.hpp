@@ -18,6 +18,8 @@
 #ifndef TP_HW_PREFETCHER_HPP_
 #define TP_HW_PREFETCHER_HPP_
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -35,10 +37,34 @@ struct PrefetcherGeometry {
   std::size_t max_stale_issues_per_miss = 2;
 };
 
+// Per-miss prefetch fill list. A miss issues at most
+// max_stale_issues_per_miss + prefetch_degree fills, so the storage is a
+// small inline array — OnDemandMiss sits on the demand-miss hot path and
+// must not allocate.
+class PrefetchFillList {
+ public:
+  static constexpr std::size_t kCapacity = 8;
+
+  void push_back(std::uint64_t line) {
+    assert(count_ < kCapacity);
+    lines_[count_++] = line;
+  }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::uint64_t front() const { return lines_[0]; }
+  std::uint64_t operator[](std::size_t i) const { return lines_[i]; }
+  const std::uint64_t* begin() const { return lines_.data(); }
+  const std::uint64_t* end() const { return lines_.data() + count_; }
+
+ private:
+  std::array<std::uint64_t, kCapacity> lines_{};
+  std::size_t count_ = 0;
+};
+
 struct PrefetchOutcome {
   // Lines (physical line addresses, i.e. paddr / line_size) to insert into
   // the cache below L1 as prefetch fills.
-  std::vector<std::uint64_t> fills;
+  PrefetchFillList fills;
   Cycles interference = 0;  // extra latency from stale-stream bandwidth use
 };
 

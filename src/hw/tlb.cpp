@@ -1,6 +1,8 @@
 #include "hw/tlb.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace tp::hw {
@@ -8,83 +10,93 @@ namespace tp::hw {
 Tlb::Tlb(std::string name, const TlbGeometry& geometry)
     : name_(std::move(name)), geometry_(geometry) {
   assert(geometry_.entries % geometry_.associativity == 0);
-  entries_.resize(geometry_.entries);
+  // One bit per way in the packed valid/global masks (see cache.cpp).
+  if (geometry_.associativity < 1 || geometry_.associativity > 64) {
+    throw std::invalid_argument("Tlb: associativity must be 1..64");
+  }
   sets_ = geometry_.Sets();
-  if (sets_ > 0 && (sets_ & (sets_ - 1)) == 0) {
+  ways_ = geometry_.associativity;
+  if (sets_ > 0 && std::has_single_bit(sets_)) {
     set_mask_ = sets_ - 1;
   }
-}
+  full_mask_ = ways_ == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << ways_) - 1;
 
-bool Tlb::Lookup(std::uint64_t vpn, Asid asid) {
-  std::size_t base = SetBase(vpn);
-  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
-    Entry& e = entries_[base + way];
-    if (e.valid && e.vpn == vpn && (e.global || e.asid == asid)) {
-      e.lru = ++lru_clock_;
-      ++hits_;
-      return true;
+  vpns_.resize(geometry_.entries);
+  asids_.resize(geometry_.entries);
+  age_stride_ = LruStride(ways_);
+  ages_.assign(sets_ * age_stride_, kLruPad);
+  for (std::size_t set = 0; set < sets_; ++set) {
+    for (std::size_t w = 0; w < ways_; ++w) {
+      ages_[set * age_stride_ + w] = static_cast<std::uint8_t>(w);
     }
   }
-  ++misses_;
-  return false;
+  valid_.assign(sets_, 0);
+  global_.assign(sets_, 0);
+}
+
+unsigned Tlb::PickVictim(std::size_t set) const {
+  const std::uint64_t invalid = ~valid_[set] & full_mask_;
+  if (invalid != 0) {
+    // Highest-numbered invalid way, matching the previous scan order.
+    return static_cast<unsigned>(std::bit_width(invalid) - 1);
+  }
+  return LruOldestWay(ages_.data() + set * age_stride_, age_stride_,
+                      static_cast<std::uint8_t>(ways_ - 1));
 }
 
 void Tlb::Insert(std::uint64_t vpn, Asid asid, bool global) {
-  std::size_t base = SetBase(vpn);
-  std::size_t victim = base;
-  std::uint64_t victim_lru = ~std::uint64_t{0};
-  for (std::size_t way = 0; way < geometry_.associativity; ++way) {
-    Entry& e = entries_[base + way];
-    if (e.valid && e.vpn == vpn && (e.global || e.asid == asid)) {
-      e.lru = ++lru_clock_;
+  const std::size_t set = SetOf(vpn);
+  const std::size_t base = set * ways_;
+  const std::uint64_t glob = global_[set];
+  for (std::uint64_t m = valid_[set]; m != 0; m &= m - 1) {
+    const unsigned way = static_cast<unsigned>(std::countr_zero(m));
+    if (vpns_[base + way] == vpn &&
+        (((glob >> way) & 1) != 0 || asids_[base + way] == asid)) {
+      Promote(set, way);
       return;  // already present
     }
-    if (!e.valid) {
-      victim = base + way;
-      victim_lru = 0;
-    } else if (e.lru < victim_lru) {
-      victim = base + way;
-      victim_lru = e.lru;
-    }
   }
-  Entry& e = entries_[victim];
-  e.vpn = vpn;
-  e.asid = asid;
-  e.global = global;
-  e.valid = true;
-  e.lru = ++lru_clock_;
+  const unsigned victim = PickVictim(set);
+  const std::uint64_t bit = std::uint64_t{1} << victim;
+  if ((valid_[set] & bit) == 0) {
+    valid_[set] |= bit;
+    ++valid_count_;
+  }
+  vpns_[base + victim] = vpn;
+  asids_[base + victim] = asid;
+  if (global) {
+    global_[set] |= bit;
+  } else {
+    global_[set] &= ~bit;
+  }
+  Promote(set, victim);
 }
 
 void Tlb::FlushAll() {
-  for (Entry& e : entries_) {
-    e.valid = false;
-  }
+  std::fill(valid_.begin(), valid_.end(), 0);
+  valid_count_ = 0;
 }
 
 void Tlb::FlushNonGlobal() {
-  for (Entry& e : entries_) {
-    if (!e.global) {
-      e.valid = false;
-    }
+  std::size_t remaining = 0;
+  for (std::size_t set = 0; set < sets_; ++set) {
+    valid_[set] &= global_[set];
+    remaining += static_cast<std::size_t>(std::popcount(valid_[set]));
   }
+  valid_count_ = remaining;
 }
 
 void Tlb::FlushAsid(Asid asid) {
-  for (Entry& e : entries_) {
-    if (e.valid && !e.global && e.asid == asid) {
-      e.valid = false;
+  for (std::size_t set = 0; set < sets_; ++set) {
+    const std::size_t base = set * ways_;
+    for (std::uint64_t m = valid_[set] & ~global_[set]; m != 0; m &= m - 1) {
+      const unsigned way = static_cast<unsigned>(std::countr_zero(m));
+      if (asids_[base + way] == asid) {
+        valid_[set] &= ~(std::uint64_t{1} << way);
+        --valid_count_;
+      }
     }
   }
-}
-
-std::size_t Tlb::ValidCount() const {
-  std::size_t n = 0;
-  for (const Entry& e : entries_) {
-    if (e.valid) {
-      ++n;
-    }
-  }
-  return n;
 }
 
 void Tlb::ResetStats() {

@@ -6,13 +6,21 @@
 // global, while clone-capable kernels cannot (each kernel image has its own
 // mapping). On a low-associativity L2 TLB this difference is exactly the
 // Arm IPC slowdown of paper Table 5.
+//
+// Like SetAssociativeCache, storage is structure-of-arrays: contiguous
+// vpn/asid arrays, packed per-set valid/global bitmasks, and per-entry
+// 8-bit LRU age ranks reproducing the previous global-clock victim choice
+// exactly. Lookup is the hot path and lives in the header so the core's
+// translation fast path inlines it.
 #ifndef TP_HW_TLB_HPP_
 #define TP_HW_TLB_HPP_
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "hw/lru.hpp"
 #include "hw/types.hpp"
 
 namespace tp::hw {
@@ -29,14 +37,30 @@ class Tlb {
 
   // True on hit for (vpn, asid): an entry matches if its vpn equals and it
   // is either global or tagged with `asid`.
-  bool Lookup(std::uint64_t vpn, Asid asid);
+  bool Lookup(std::uint64_t vpn, Asid asid) {
+    const std::size_t set = SetOf(vpn);
+    const std::size_t base = set * ways_;
+    const std::uint64_t glob = global_[set];
+    for (std::uint64_t m = valid_[set]; m != 0; m &= m - 1) {
+      const unsigned way = static_cast<unsigned>(std::countr_zero(m));
+      if (vpns_[base + way] == vpn &&
+          (((glob >> way) & 1) != 0 || asids_[base + way] == asid)) {
+        Promote(set, way);
+        ++hits_;
+        return true;
+      }
+    }
+    ++misses_;
+    return false;
+  }
+
   void Insert(std::uint64_t vpn, Asid asid, bool global);
 
   void FlushAll();          // e.g. Arm TLBIALL
   void FlushNonGlobal();    // e.g. x86 CR3 write without PCID
   void FlushAsid(Asid asid);  // e.g. invpcid single-context
 
-  std::size_t ValidCount() const;
+  std::size_t ValidCount() const { return valid_count_; }
   const TlbGeometry& geometry() const { return geometry_; }
   const std::string& name() const { return name_; }
 
@@ -45,28 +69,34 @@ class Tlb {
   void ResetStats();
 
  private:
-  struct Entry {
-    std::uint64_t vpn = 0;
-    std::uint64_t lru = 0;
-    Asid asid = 0;
-    bool global = false;
-    bool valid = false;
-  };
-
   // Set selection, shift/mask when the set count is a power of two (every
   // real geometry), modulo otherwise.
-  std::size_t SetBase(std::uint64_t vpn) const {
-    std::size_t set = set_mask_ != 0 ? static_cast<std::size_t>(vpn & set_mask_)
-                                     : static_cast<std::size_t>(vpn % sets_);
-    return set * geometry_.associativity;
+  std::size_t SetOf(std::uint64_t vpn) const {
+    return set_mask_ != 0 ? static_cast<std::size_t>(vpn & set_mask_)
+                          : static_cast<std::size_t>(vpn % sets_);
   }
+
+  // Exact-LRU promotion over the per-set age permutation (see lru.hpp).
+  void Promote(std::size_t set, unsigned way) {
+    LruPromote(ages_.data() + set * age_stride_, age_stride_, way);
+  }
+
+  unsigned PickVictim(std::size_t set) const;
 
   std::string name_;
   TlbGeometry geometry_;
   std::size_t sets_ = 1;
+  std::size_t ways_ = 1;
   std::uint64_t set_mask_ = 0;
-  std::vector<Entry> entries_;
-  std::uint64_t lru_clock_ = 0;
+  std::uint64_t full_mask_ = 1;
+
+  std::size_t age_stride_ = 8;        // per-set age bytes, padded for SWAR
+  std::vector<std::uint64_t> vpns_;   // [set][way] flattened
+  std::vector<Asid> asids_;           // [set][way] flattened
+  std::vector<std::uint8_t> ages_;    // LRU rank per entry, 0 = MRU
+  std::vector<std::uint64_t> valid_;  // per-set way bitmask
+  std::vector<std::uint64_t> global_;  // per-set way bitmask
+  std::size_t valid_count_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

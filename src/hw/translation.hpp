@@ -18,12 +18,22 @@ struct Translation {
   bool global = false;  // TLB entry survives non-global flushes
 };
 
+// Shared change counter for contexts whose translation function is fixed
+// after construction (see TranslationContext::generation).
+inline constexpr std::uint64_t kStaticTranslationGeneration = 0;
+
 class TranslationContext {
  public:
   virtual ~TranslationContext() = default;
 
   // Translation for the page containing `vaddr`, or nullopt on fault.
   virtual std::optional<Translation> Translate(VAddr vaddr) const = 0;
+
+  // Monotonic change counter covering Translate()'s results: the core
+  // caches page translations keyed on (context, page, *generation()), so an
+  // implementation whose mappings can change after construction must bump
+  // its counter on every map/unmap. Immutable contexts keep the default.
+  virtual const std::uint64_t* generation() const { return &kStaticTranslationGeneration; }
 
   // Physical addresses of the page-table entries a hardware walker reads to
   // translate `vaddr` (outermost first). These reads go through the data

@@ -39,10 +39,14 @@ bool AddressSpace::Map(hw::VAddr vaddr, hw::PAddr paddr, bool global) {
     table_frames_.push_back(*frame);
   }
   mappings_[hw::PageNumber(vaddr)] = Mapping{hw::PageAlignDown(paddr), global};
+  ++translate_generation_;
   return true;
 }
 
-void AddressSpace::Unmap(hw::VAddr vaddr) { mappings_.erase(hw::PageNumber(vaddr)); }
+void AddressSpace::Unmap(hw::VAddr vaddr) {
+  mappings_.erase(hw::PageNumber(vaddr));
+  ++translate_generation_;
+}
 
 bool AddressSpace::IsMapped(hw::VAddr vaddr) const {
   if (direct_map_) {

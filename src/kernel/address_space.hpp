@@ -49,6 +49,7 @@ class AddressSpace final : public hw::TranslationContext {
   std::optional<hw::Translation> Translate(hw::VAddr vaddr) const override;
   void WalkPath(hw::VAddr vaddr, std::vector<hw::PAddr>& out) const override;
   hw::Asid asid() const override { return asid_; }
+  const std::uint64_t* generation() const override { return &translate_generation_; }
 
   hw::PAddr root_frame() const { return root_frame_; }
   const std::vector<hw::PAddr>& table_frames() const { return table_frames_; }
@@ -75,6 +76,7 @@ class AddressSpace final : public hw::TranslationContext {
   bool direct_map_ = false;
   hw::PAddr root_frame_ = 0;
   FrameAllocator allocator_;
+  std::uint64_t translate_generation_ = 0;  // bumped on every Map/Unmap
   std::unordered_map<std::uint64_t, Mapping> mappings_;        // vpn -> frame
   std::unordered_map<std::uint64_t, hw::PAddr> leaf_tables_;   // top index -> table frame
   std::vector<hw::PAddr> table_frames_;

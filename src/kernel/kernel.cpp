@@ -684,22 +684,7 @@ SyscallResult Kernel::SysSetTimer(hw::CoreId core, CapIdx timer_cap,
 // UserApi hardware pass-through
 // --------------------------------------------------------------------------
 
-hw::Cycles UserApi::Read(hw::VAddr va) {
-  return kernel_.machine().core(core_).Access(va, hw::AccessKind::kRead);
-}
-hw::Cycles UserApi::Write(hw::VAddr va) {
-  return kernel_.machine().core(core_).Access(va, hw::AccessKind::kWrite);
-}
-hw::Cycles UserApi::Fetch(hw::VAddr va) {
-  return kernel_.machine().core(core_).Access(va, hw::AccessKind::kFetch);
-}
-hw::Cycles UserApi::Branch(hw::VAddr pc, hw::VAddr target, bool taken, bool conditional) {
-  return kernel_.machine().core(core_).Branch(pc, target, taken, conditional);
-}
-hw::Cycles UserApi::Now() const { return kernel_.machine().core(core_).now(); }
-const hw::PerfCounters& UserApi::Counters() const {
-  return kernel_.machine().core(core_).counters();
-}
-void UserApi::Compute(hw::Cycles cycles) { kernel_.machine().core(core_).AdvanceCycles(cycles); }
+UserApi::UserApi(Kernel& kernel, hw::CoreId core)
+    : kernel_(kernel), core_(core), hw_core_(&kernel.machine().core(core)) {}
 
 }  // namespace tp::kernel

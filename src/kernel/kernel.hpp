@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -303,19 +304,36 @@ class Kernel {
 };
 
 // The interface user programs see: hardware access plus syscalls, all
-// charged to the owning core.
+// charged to the owning core. The hardware entry points are inline
+// forwarders onto a cached Core pointer — they sit on the simulator's
+// hottest path and must not cost a cross-TU call per memory operation.
 class UserApi {
  public:
-  UserApi(Kernel& kernel, hw::CoreId core) : kernel_(kernel), core_(core) {}
+  UserApi(Kernel& kernel, hw::CoreId core);
 
   // Hardware (user mode).
-  hw::Cycles Read(hw::VAddr va);
-  hw::Cycles Write(hw::VAddr va);
-  hw::Cycles Fetch(hw::VAddr va);
-  hw::Cycles Branch(hw::VAddr pc, hw::VAddr target, bool taken, bool conditional = true);
-  hw::Cycles Now() const;
-  const hw::PerfCounters& Counters() const;
-  void Compute(hw::Cycles cycles);
+  hw::Cycles Read(hw::VAddr va) { return hw_core_->Access(va, hw::AccessKind::kRead); }
+  hw::Cycles Write(hw::VAddr va) { return hw_core_->Access(va, hw::AccessKind::kWrite); }
+  hw::Cycles Fetch(hw::VAddr va) { return hw_core_->Access(va, hw::AccessKind::kFetch); }
+  // Batched variants: identical state evolution and cost to calling the
+  // single-op form once per element, minus the per-access dispatch (the
+  // prime/probe/traverse inner loops of the attacks and workloads).
+  hw::Cycles ReadBatch(std::span<const hw::VAddr> vas) {
+    return hw_core_->AccessBatch(vas, hw::AccessKind::kRead);
+  }
+  hw::Cycles WriteBatch(std::span<const hw::VAddr> vas) {
+    return hw_core_->AccessBatch(vas, hw::AccessKind::kWrite);
+  }
+  hw::Cycles FetchBatch(std::span<const hw::VAddr> vas) {
+    return hw_core_->AccessBatch(vas, hw::AccessKind::kFetch);
+  }
+  hw::Cycles AccessBatch(std::span<const hw::MemOp> ops) { return hw_core_->AccessBatch(ops); }
+  hw::Cycles Branch(hw::VAddr pc, hw::VAddr target, bool taken, bool conditional = true) {
+    return hw_core_->Branch(pc, target, taken, conditional);
+  }
+  hw::Cycles Now() const { return hw_core_->now(); }
+  const hw::PerfCounters& Counters() const { return hw_core_->counters(); }
+  void Compute(hw::Cycles cycles) { hw_core_->AdvanceCycles(cycles); }
 
   // Syscalls.
   SyscallResult Signal(CapIdx cap) { return kernel_.SysSignal(core_, cap); }
@@ -341,6 +359,7 @@ class UserApi {
  private:
   Kernel& kernel_;
   hw::CoreId core_;
+  hw::Core* hw_core_;  // kernel_.machine().core(core_), resolved once
 };
 
 }  // namespace tp::kernel

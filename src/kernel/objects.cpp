@@ -5,13 +5,19 @@
 namespace tp::kernel {
 
 CapIdx CSpace::Insert(const Capability& cap) {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
+  // First-null-slot allocation, scanning from the lowest index that can be
+  // free: every slot below `first_free_` is occupied (Delete lowers the
+  // hint, filling a slot raises it past the filled index), so the result is
+  // identical to a full scan without the quadratic rescan of a large table.
+  for (std::size_t i = first_free_; i < slots_.size(); ++i) {
     if (slots_[i].is_null()) {
       slots_[i] = cap;
+      first_free_ = i + 1;
       return static_cast<CapIdx>(i);
     }
   }
   slots_.push_back(cap);
+  first_free_ = slots_.size();
   return static_cast<CapIdx>(slots_.size() - 1);
 }
 
@@ -42,6 +48,9 @@ CapIdx CSpace::Derive(CapIdx src, const CapRights& new_rights) {
 void CSpace::Delete(CapIdx idx) {
   if (idx < slots_.size()) {
     slots_[idx] = Capability{};
+    if (idx < first_free_) {
+      first_free_ = idx;
+    }
   }
 }
 

@@ -174,6 +174,7 @@ class CSpace {
 
  private:
   std::vector<Capability> slots_;
+  std::size_t first_free_ = 0;  // every slot below this index is occupied
 };
 
 // Object storage uses a deque so that references handed out by Get()/As()

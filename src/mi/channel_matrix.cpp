@@ -20,11 +20,12 @@ ChannelMatrix::ChannelMatrix(const Observations& obs, std::size_t output_bins)
   }
 
   auto by = obs.ByInput();
+  const double bin_scale = static_cast<double>(bins_) / (hi_ - lo_);
   for (const auto& [input, ys] : by) {
     inputs_.push_back(input);
     std::vector<double> row(bins_, 0.0);
     for (double y : ys) {
-      auto b = static_cast<std::size_t>((y - lo_) / (hi_ - lo_) * static_cast<double>(bins_));
+      auto b = static_cast<std::size_t>((y - lo_) * bin_scale);
       b = std::min(b, bins_ - 1);
       row[b] += 1.0;
     }
@@ -38,7 +39,7 @@ ChannelMatrix::ChannelMatrix(const Observations& obs, std::size_t output_bins)
 }
 
 double ChannelMatrix::Probability(std::size_t input_index, std::size_t bin) const {
-  return prob_.at(input_index).at(bin);
+  return prob_[input_index][bin];
 }
 
 double ChannelMatrix::BinCenter(std::size_t bin) const {

@@ -60,7 +60,7 @@ std::string FormatDouble(double v) {
 std::string RecordToJson(const std::string& bench, const std::string& label,
                          const BenchRecord& r) {
   std::ostringstream os;
-  os << "{\"schema_version\": 1"
+  os << "{\"schema_version\": 2"
      << ", \"bench\": \"" << JsonEscape(bench) << "\""
      << ", \"label\": \"" << JsonEscape(label) << "\""
      << ", \"cell\": \"" << JsonEscape(r.cell) << "\""

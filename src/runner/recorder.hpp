@@ -7,7 +7,7 @@
 // disabled and the benches print their tables exactly as before.
 //
 // File schema (documented in BUILDING.md): a JSON array of flat records,
-//   { "schema_version": 1,
+//   { "schema_version": 2,
 //     "bench": "fig3_kernel_channel",   driver name
 //     "label": "pr2-optimized",         free-form run label (TP_BENCH_LABEL)
 //     "cell": "haswell/raw",            experiment cell within the driver
@@ -19,7 +19,9 @@
 //     "samples": 142,                   paired observations (0 = n/a)
 //     "mi_bits": 0.79,                  leakage estimate (absent = n/a)
 //     "m0_bits": 0.01,                  shuffled-baseline MI (absent = n/a)
-//     "wall_ns": 123456789,             host wall-clock for the cell
+//     "wall_ns": 123456789,             host wall-clock for the cell (v2:
+//                                       measured per cell for cost grids
+//                                       too, never amortised)
 //     "unix_time": 1753400000,          record time, seconds since epoch
 //     "metrics": {"clone_us": 79.0} }   bench-specific extras (absent if none)
 #ifndef TP_RUNNER_RECORDER_HPP_

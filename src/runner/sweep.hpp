@@ -104,6 +104,30 @@ class SweepEngine {
     return runner_.Map(cells.size(), [&](std::size_t i) { return fn(cells[i]); });
   }
 
+  // One cost-cell result with the host wall time its body actually took —
+  // the per-cell `wall_ns` every schema-v2 cost record carries (amortising
+  // a grid's elapsed time over its cells would hide single-cell
+  // regressions from the trajectory gate).
+  template <typename T>
+  struct TimedCell {
+    T value{};
+    std::uint64_t wall_ns = 0;
+  };
+
+  // MapCells with per-cell wall timing.
+  template <typename Fn>
+  auto MapCellsTimed(const GridSpec& spec, Fn&& fn) const {
+    std::vector<GridCell> cells = ExpandGrid(spec);
+    using R = std::invoke_result_t<Fn&, const GridCell&>;
+    return runner_.Map(cells.size(), [&](std::size_t i) {
+      const std::uint64_t t0 = bench::Recorder::NowNs();
+      TimedCell<R> out;
+      out.value = fn(cells[i]);
+      out.wall_ns = bench::Recorder::NowNs() - t0;
+      return out;
+    });
+  }
+
   const ExperimentRunner& runner() const { return runner_; }
 
  private:

@@ -28,16 +28,13 @@ void Run(RunContext& ctx) {
 
   // The spy trace is one continuous time series per scenario, so the
   // fan-out unit is the grid cell, not the slot.
-  std::uint64_t t0 = bench::Recorder::NowNs();
-  std::vector<attacks::SideChannelResult> results =
-      ctx.engine.MapCells(grid, [&](const runner::GridCell& cell) {
-        return attacks::RunLlcSideChannel(PlatformConfig(cell.platform, 2),
-                                          ScenarioByName(cell.mode), kSecret, slots);
-      });
-  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+  auto results = ctx.engine.MapCellsTimed(grid, [&](const runner::GridCell& cell) {
+    return attacks::RunLlcSideChannel(PlatformConfig(cell.platform, 2),
+                                      ScenarioByName(cell.mode), kSecret, slots);
+  });
 
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    const attacks::SideChannelResult& r = results[i];
+    const attacks::SideChannelResult& r = results[i].value;
     if (ctx.verbose) {
       std::printf(
           "\n%s: activity in %zu/%zu slots (%.1f%%), %zu dot events, victim "
@@ -50,7 +47,7 @@ void Run(RunContext& ctx) {
         {.cell = cells[i].Name(),
          .rounds = slots,
          .samples = r.trace.size(),
-         .wall_ns = grid_ns / cells.size(),
+         .wall_ns = results[i].wall_ns,
          .threads = ctx.pool.threads(),
          .metrics = {{"activity_slots", static_cast<double>(r.activity_slots)},
                      {"activity_events", static_cast<double>(r.activity_events)},

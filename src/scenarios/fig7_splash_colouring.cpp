@@ -74,13 +74,16 @@ void Run(RunContext& ctx) {
   std::vector<runner::GridCell> cells = runner::ExpandGrid(grid);
 
   // Every (benchmark, config) run — including the 100% baselines — is an
-  // independent simulation; fan them all out at once.
-  std::uint64_t t0 = bench::Recorder::NowNs();
-  std::vector<double> cycles = ctx.engine.MapCells(grid, [&](const runner::GridCell& cell) {
+  // independent simulation; fan them all out at once, timing each cell.
+  auto timed = ctx.engine.MapCellsTimed(grid, [&](const runner::GridCell& cell) {
     return RunOnce(PlatformConfig(cell.platform), SplashKindByName(cell.variant),
                    cell.mode == "clone", cell.colour_fraction, accesses);
   });
-  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+  std::vector<double> cycles;
+  cycles.reserve(timed.size());
+  for (const auto& t : timed) {
+    cycles.push_back(t.value);
+  }
 
   // Baseline (base mode, all colours) cycles per platform/benchmark.
   std::map<std::string, double> base;
@@ -103,7 +106,7 @@ void Run(RunContext& ctx) {
     bench::BenchRecord rec;
     rec.cell = cell.Name();
     rec.rounds = accesses;
-    rec.wall_ns = grid_ns / cells.size();
+    rec.wall_ns = timed[i].wall_ns;
     rec.threads = ctx.pool.threads();
     rec.metrics["cycles"] = cycles[i];
     rec.metrics["slowdown"] = slowdown;

@@ -86,11 +86,7 @@ std::vector<Micro> Benches() {
   benches.push_back({"llc_decode_sweep", 1'000'000, [](std::size_t n) {
                        hw::SetAssociativeCache llc("LLC", hw::MachineConfig::Haswell(1).llc,
                                                    hw::Indexing::kPhysical);
-                       hw::PAddr pa = 0;
-                       for (std::size_t i = 0; i < n; ++i) {
-                         llc.Access(pa, pa, false);
-                         pa += 64;
-                       }
+                       llc.AccessRun(0, 0, n, 64, false);
                      }});
 
   benches.push_back({"tlb_lookup_hit", 2'000'000, [](std::size_t n) {

@@ -96,24 +96,23 @@ void Run(RunContext& ctx) {
   grid.variants = {"L1", "full"};
   std::vector<runner::GridCell> cells = runner::ExpandGrid(grid);
 
-  std::uint64_t t0 = bench::Recorder::NowNs();
-  std::vector<CostCell> costs = ctx.engine.MapCells(grid, [&](const runner::GridCell& cell) {
+  auto costs = ctx.engine.MapCellsTimed(grid, [&](const runner::GridCell& cell) {
     return MeasureCell(PlatformConfig(cell.platform), cell.variant == "full");
   });
-  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
 
   Table t({"platform", "cache", "direct", "indirect", "total", "paper(d/i/t)"});
   for (std::size_t i = 0; i < cells.size(); ++i) {
     auto it = paper.find(cells[i].platform + "/" + cells[i].variant);
+    const CostCell& cost = costs[i].value;
     t.AddRow({cells[i].platform, cells[i].variant == "full" ? "Full flush" : "L1 only",
-              Fmt("%.1f", costs[i].direct_us), Fmt("%.1f", costs[i].indirect_us),
-              Fmt("%.1f", costs[i].direct_us + costs[i].indirect_us),
+              Fmt("%.1f", cost.direct_us), Fmt("%.1f", cost.indirect_us),
+              Fmt("%.1f", cost.direct_us + cost.indirect_us),
               it != paper.end() ? it->second : "-"});
     ctx.recorder.Add({.cell = cells[i].Name(),
-                      .wall_ns = grid_ns / cells.size(),
+                      .wall_ns = costs[i].wall_ns,
                       .threads = ctx.pool.threads(),
-                      .metrics = {{"direct_us", costs[i].direct_us},
-                                  {"indirect_us", costs[i].indirect_us}}});
+                      .metrics = {{"direct_us", cost.direct_us},
+                                  {"indirect_us", cost.indirect_us}}});
   }
   if (ctx.verbose) {
     std::printf("\n");

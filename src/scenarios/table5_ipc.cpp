@@ -146,11 +146,14 @@ void Run(RunContext& ctx) {
   grid.variants = {"original", "colour-ready", "intra-colour", "inter-colour"};
   std::vector<runner::GridCell> cells = runner::ExpandGrid(grid);
 
-  std::uint64_t t0 = bench::Recorder::NowNs();
-  std::vector<double> cycles = ctx.engine.MapCells(grid, [&](const runner::GridCell& cell) {
+  auto timed = ctx.engine.MapCellsTimed(grid, [&](const runner::GridCell& cell) {
     return MeasureIpc(PlatformConfig(cell.platform), cell.variant, rounds);
   });
-  std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+  std::vector<double> cycles;
+  cycles.reserve(timed.size());
+  for (const auto& t : timed) {
+    cycles.push_back(t.value);
+  }
 
   // Versions are the inner axis: each platform's four cells are
   // consecutive, "original" first.
@@ -168,7 +171,7 @@ void Run(RunContext& ctx) {
       t.AddRow({cells[i].variant, Fmt("%.0f", cycles[i]), Fmt("%+.1f%%", slowdown)});
       ctx.recorder.Add({.cell = cells[i].Name(),
                         .rounds = rounds,
-                        .wall_ns = grid_ns / cells.size(),
+                        .wall_ns = timed[i].wall_ns,
                         .threads = ctx.pool.threads(),
                         .metrics = {{"ipc_cycles", cycles[i]}, {"slowdown_pct", slowdown}}});
     }

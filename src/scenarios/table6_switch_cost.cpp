@@ -130,22 +130,19 @@ void Run(RunContext& ctx) {
 
   for (const runner::GridSpec& grid : {x86, arm}) {
     std::vector<runner::GridCell> cells = runner::ExpandGrid(grid);
-    std::uint64_t t0 = bench::Recorder::NowNs();
-    std::vector<double> costs =
-        ctx.engine.MapCells(grid, [&](const runner::GridCell& cell) {
-          return MeasureSwitch(PlatformConfig(cell.platform), ScenarioByName(cell.mode),
-                               cell.variant, switches);
-        });
-    std::uint64_t grid_ns = bench::Recorder::NowNs() - t0;
+    auto costs = ctx.engine.MapCellsTimed(grid, [&](const runner::GridCell& cell) {
+      return MeasureSwitch(PlatformConfig(cell.platform), ScenarioByName(cell.mode),
+                           cell.variant, switches);
+    });
 
     std::map<std::string, double> by_key;  // variant|mode -> us
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      by_key[cells[i].variant + "|" + cells[i].mode] = costs[i];
+      by_key[cells[i].variant + "|" + cells[i].mode] = costs[i].value;
       ctx.recorder.Add({.cell = cells[i].Name(),
                         .rounds = switches,
-                        .wall_ns = grid_ns / cells.size(),
+                        .wall_ns = costs[i].wall_ns,
                         .threads = ctx.pool.threads(),
-                        .metrics = {{"switch_us", costs[i]}}});
+                        .metrics = {{"switch_us", costs[i].value}}});
     }
     if (ctx.verbose) {
       const std::string& platform = grid.platforms.front();

@@ -180,6 +180,10 @@ DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view base
       }
       bool wall_gated = std::max(d.base_wall_ns, d.cand_wall_ns) >= options.min_wall_ns;
       d.wall_regression = wall_gated && d.wall_ratio > options.max_wall_ratio;
+      if (options.require_cell_wall && d.base_wall_ns > 0 && d.cand_wall_ns == 0) {
+        result.notes.push_back("wall_ns vanished from cell '" + key + "'");
+        d.missing_wall = true;
+      }
     }
     d.leak_regression = d.protected_mode && c->has_mi() &&
                         c->mi_bits > base_mi_floor + options.mi_eps_bits;
@@ -223,6 +227,7 @@ DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view base
     result.leak_regressions += d.leak_regression ? 1 : 0;
     result.wall_regressions += d.wall_regression ? 1 : 0;
     result.mi_delta_regressions += d.mi_delta_regression ? 1 : 0;
+    result.missing_wall += d.missing_wall ? 1 : 0;
     result.cells.push_back(std::move(d));
   }
   if (result.cells.empty()) {
@@ -242,7 +247,9 @@ std::string ReportJson(const DiffOutcome& outcome) {
   out += "  \"candidate\": \"" + JsonEscape(r.candidate_label) + "\",\n";
   out += "  \"options\": {\"max_wall_ratio\": " + FormatDouble(r.options.max_wall_ratio) +
          ", \"min_wall_ns\": " + std::to_string(r.options.min_wall_ns) +
-         ", \"mi_eps_bits\": " + FormatDouble(r.options.mi_eps_bits) + "},\n";
+         ", \"mi_eps_bits\": " + FormatDouble(r.options.mi_eps_bits) +
+         ", \"require_cell_wall\": " +
+         std::string(r.options.require_cell_wall ? "true" : "false") + "},\n";
   if (!outcome.error.empty()) {
     out += "  \"error\": \"" + JsonEscape(outcome.error) + "\",\n";
   }
@@ -251,6 +258,7 @@ std::string ReportJson(const DiffOutcome& outcome) {
   out += "  \"wall_regressions\": " + std::to_string(r.wall_regressions) + ",\n";
   out += "  \"mi_delta_regressions\": " + std::to_string(r.mi_delta_regressions) + ",\n";
   out += "  \"missing_protected\": " + std::to_string(r.missing_protected) + ",\n";
+  out += "  \"missing_wall\": " + std::to_string(r.missing_wall) + ",\n";
   out += "  \"cells_compared\": " + std::to_string(r.cells.size()) + ",\n";
   AppendStringArray(out, "missing_in_candidate", r.missing_in_candidate);
   out += ",\n";
@@ -279,6 +287,9 @@ std::string ReportJson(const DiffOutcome& outcome) {
     out += ", \"wall_regression\": " + std::string(d.wall_regression ? "true" : "false");
     out += ", \"mi_delta_regression\": " +
            std::string(d.mi_delta_regression ? "true" : "false");
+    if (d.missing_wall) {
+      out += ", \"missing_wall\": true";
+    }
     out += "}";
   }
   out += r.cells.empty() ? "]\n" : "\n  ]\n";

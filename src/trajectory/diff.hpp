@@ -54,6 +54,10 @@ struct DiffOptions {
   // Slack for leak-metric comparisons (fractions/counts, not bits — kept
   // separate from mi_eps_bits so the two gates tune independently).
   double leak_metric_eps = 1e-9;
+  // Fail any joined cell whose baseline carries a wall_ns measurement but
+  // whose candidate records none (wall_ns == 0): per-cell timing that
+  // silently vanishes would exempt the cell from every future wall gate.
+  bool require_cell_wall = false;
 };
 
 // True when one of the cell name's "/" segments is exactly "protected"
@@ -75,6 +79,7 @@ struct CellDiff {
   bool leak_regression = false;
   bool wall_regression = false;
   bool mi_delta_regression = false;
+  bool missing_wall = false;  // baseline timed this cell, candidate did not
 };
 
 struct DiffResult {
@@ -90,9 +95,10 @@ struct DiffResult {
   std::size_t wall_regressions = 0;
   std::size_t mi_delta_regressions = 0;
   std::size_t missing_protected = 0;  // protected baseline cells gone from candidate
+  std::size_t missing_wall = 0;       // cells whose candidate lost per-cell timing
   bool ok() const {
     return leak_regressions == 0 && wall_regressions == 0 && mi_delta_regressions == 0 &&
-           missing_protected == 0;
+           missing_protected == 0 && missing_wall == 0;
   }
 };
 

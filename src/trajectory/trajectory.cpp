@@ -66,7 +66,7 @@ bool ParseRecord(const JsonValue& v, TrajectoryRecord& r, std::string* why) {
     return false;
   }
   r.schema_version = static_cast<int>(num);
-  if (r.schema_version != kSchemaVersion) {
+  if (r.schema_version < kMinSchemaVersion || r.schema_version > kSchemaVersion) {
     *why = "unknown schema_version " + std::to_string(r.schema_version);
     return false;
   }

@@ -19,9 +19,13 @@
 
 namespace tp::trajectory {
 
-// The schema this tooling understands (see BUILDING.md and
-// runner/recorder.hpp, which writes it).
-inline constexpr int kSchemaVersion = 1;
+// The schema range this tooling understands (see BUILDING.md and
+// runner/recorder.hpp, which writes the current version). v1 records carry
+// amortised wall_ns on cost-grid cells; v2 wall_ns is always a per-cell
+// measurement. The fields are otherwise identical, so both versions load
+// into the same record type and diff against each other.
+inline constexpr int kMinSchemaVersion = 1;
+inline constexpr int kSchemaVersion = 2;
 
 struct TrajectoryRecord {
   int schema_version = 0;

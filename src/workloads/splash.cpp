@@ -106,6 +106,12 @@ hw::VAddr SplashProgram::Addr(std::uint64_t index) const { return base_ + index 
 void SplashProgram::Step(kernel::UserApi& api) {
   ++steps_;
   std::uint64_t before = accesses_;
+  // Addresses are a pure function of the program state (cursor/phase/rng),
+  // never of access timing, so a whole step's trace can be generated first
+  // and issued as one batch in the exact same order.
+  ops_.clear();
+  auto read = [this](hw::VAddr va) { ops_.push_back({va, hw::AccessKind::kRead}); };
+  auto write = [this](hw::VAddr va) { ops_.push_back({va, hw::AccessKind::kWrite}); };
   for (std::size_t i = 0; i < kAccessesPerStep; ++i) {
     switch (kind_) {
       case SplashKind::kFft: {
@@ -114,9 +120,9 @@ void SplashProgram::Step(kernel::UserApi& api) {
         if (stride < 64) {
           stride = size_ / 2;
         }
-        api.Read(Addr(cursor_));
-        api.Read(Addr(cursor_ + stride));
-        api.Write(Addr(cursor_));
+        read(Addr(cursor_));
+        read(Addr(cursor_ + stride));
+        write(Addr(cursor_));
         cursor_ += 64;
         if (cursor_ >= size_) {
           cursor_ = 0;
@@ -132,8 +138,8 @@ void SplashProgram::Step(kernel::UserApi& api) {
         std::uint64_t block =
             kind_ == SplashKind::kLu ? 32 * 1024 : 16 * 1024 + (phase_ % 3) * 8192;
         std::uint64_t block_base = (phase_ * block) % size_;
-        api.Read(Addr(block_base + cursor_ % block));
-        api.Write(Addr(block_base + (cursor_ + 8) % block));
+        read(Addr(block_base + cursor_ % block));
+        write(Addr(block_base + (cursor_ + 8) % block));
         cursor_ += 64;
         if (cursor_ % block == 0) {
           ++phase_;
@@ -143,8 +149,8 @@ void SplashProgram::Step(kernel::UserApi& api) {
       }
       case SplashKind::kRadix: {
         // Counting sort: sequential read, scattered histogram write.
-        api.Read(Addr(cursor_));
-        api.Write(Addr((XorShift(rng_) % (size_ / 4)) & ~std::uint64_t{7}));
+        read(Addr(cursor_));
+        write(Addr((XorShift(rng_) % (size_ / 4)) & ~std::uint64_t{7}));
         cursor_ += 64;
         accesses_ += 2;
         break;
@@ -152,11 +158,11 @@ void SplashProgram::Step(kernel::UserApi& api) {
       case SplashKind::kOcean: {
         // 5-point stencil over a 2D grid (row = 4 KiB).
         std::uint64_t row = 4096;
-        api.Read(Addr(cursor_));
-        api.Read(Addr(cursor_ + 8));
-        api.Read(Addr(cursor_ + row));
-        api.Read(Addr(cursor_ >= row ? cursor_ - row : cursor_));
-        api.Write(Addr(cursor_));
+        read(Addr(cursor_));
+        read(Addr(cursor_ + 8));
+        read(Addr(cursor_ + row));
+        read(Addr(cursor_ >= row ? cursor_ - row : cursor_));
+        write(Addr(cursor_));
         cursor_ += 8;
         accesses_ += 5;
         break;
@@ -164,7 +170,7 @@ void SplashProgram::Step(kernel::UserApi& api) {
       case SplashKind::kBarnes: {
         // Tree walk: pointer chase through a hashed next-node function.
         pointer_ = (pointer_ * 0x9E3779B97F4A7C15ull + 0x7F4A7C15ull) % size_;
-        api.Read(Addr(pointer_ & ~std::uint64_t{7}));
+        read(Addr(pointer_ & ~std::uint64_t{7}));
         accesses_ += 1;
         break;
       }
@@ -174,30 +180,30 @@ void SplashProgram::Step(kernel::UserApi& api) {
         if (cursor_ % cluster == 0) {
           pointer_ = (XorShift(rng_) % (size_ / cluster)) * cluster;
         }
-        api.Read(Addr(pointer_ + cursor_ % cluster));
+        read(Addr(pointer_ + cursor_ % cluster));
         cursor_ += 32;
         accesses_ += 1;
         break;
       }
       case SplashKind::kRadiosity: {
         // Random patch pairs: gather two, update one.
-        api.Read(Addr(XorShift(rng_) & ~std::uint64_t{31}));
-        api.Write(Addr(XorShift(rng_) & ~std::uint64_t{31}));
+        read(Addr(XorShift(rng_) & ~std::uint64_t{31}));
+        write(Addr(XorShift(rng_) & ~std::uint64_t{31}));
         accesses_ += 2;
         break;
       }
       case SplashKind::kRaytrace: {
         // Rays hit scattered scene data: large, random, read-mostly.
-        api.Read(Addr(XorShift(rng_) & ~std::uint64_t{31}));
-        api.Read(Addr(XorShift(rng_) & ~std::uint64_t{31}));
+        read(Addr(XorShift(rng_) & ~std::uint64_t{31}));
+        read(Addr(XorShift(rng_) & ~std::uint64_t{31}));
         accesses_ += 2;
         break;
       }
       case SplashKind::kWaterNSquared: {
         // O(n^2) molecule pairs: two sequential streams at an offset.
-        api.Read(Addr(cursor_));
-        api.Read(Addr(cursor_ + size_ / 2));
-        api.Write(Addr(cursor_));
+        read(Addr(cursor_));
+        read(Addr(cursor_ + size_ / 2));
+        write(Addr(cursor_));
         cursor_ += 32;
         accesses_ += 3;
         break;
@@ -206,8 +212,8 @@ void SplashProgram::Step(kernel::UserApi& api) {
         // Cell lists: a cell and one neighbour cell.
         std::uint64_t cell = 2048;
         std::uint64_t c0 = (phase_ * cell) % size_;
-        api.Read(Addr(c0 + cursor_ % cell));
-        api.Read(Addr(c0 + cell + cursor_ % cell));
+        read(Addr(c0 + cursor_ % cell));
+        read(Addr(c0 + cell + cursor_ % cell));
         cursor_ += 32;
         if (cursor_ % cell == 0) {
           ++phase_;
@@ -217,6 +223,7 @@ void SplashProgram::Step(kernel::UserApi& api) {
       }
     }
   }
+  api.AccessBatch(ops_);
   api.Compute((accesses_ - before) * kComputePerAccess);
 }
 

@@ -64,6 +64,9 @@ class SplashProgram final : public kernel::UserProgram {
   std::uint64_t rng_;
   std::uint64_t accesses_ = 0;
   std::uint64_t steps_ = 0;
+  // One step's access trace, generated from the program state above and
+  // issued as a single batch (addresses never depend on access outcomes).
+  std::vector<hw::MemOp> ops_;
 };
 
 }  // namespace tp::workloads

@@ -76,7 +76,7 @@ TEST_F(RecorderTest, WritesSchemaFieldsAndTotalRecord) {
   }  // destructor appends the "total" record and flushes
   std::string text = ReadFile();
   EXPECT_EQ(text.front(), '[');
-  EXPECT_EQ(Count(text, "\"schema_version\": 1"), 2u);  // cell + total
+  EXPECT_EQ(Count(text, "\"schema_version\": 2"), 2u);  // cell + total
   EXPECT_NE(text.find("\"bench\": \"mybench\""), std::string::npos);
   EXPECT_NE(text.find("\"label\": \"unit-test\""), std::string::npos);
   EXPECT_NE(text.find("\"cell\": \"haswell/raw\""), std::string::npos);

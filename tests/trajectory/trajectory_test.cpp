@@ -339,6 +339,26 @@ TEST(Diff, TinyCellsAreNeverWallGated) {
   EXPECT_FALSE(DiffTrajectories(t, "base", "cand").ok());
 }
 
+TEST(Diff, RequireWallFailsWhenCandidateLosesTiming) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/raw", -1, 1'000'000'000));
+  t.records.push_back(MakeRecord("cand", "x/raw", -1, 0));  // timing vanished
+  // Off by default: a zero candidate wall is not a regression on its own.
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
+  DiffOptions opt;
+  opt.require_cell_wall = true;
+  DiffOutcome o = DiffTrajectories(t, "base", "cand", opt);
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.missing_wall, 1u);
+  // A candidate that records any wall time passes; an untimed baseline
+  // cell (wall_ns 0 on both sides) never arms the gate.
+  t.records[1].wall_ns = 5'000'000;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
+  t.records[0].wall_ns = 0;
+  t.records[1].wall_ns = 0;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
+}
+
 TEST(Diff, DisjointCellSetsAreReportedNotGated) {
   Trajectory t;
   t.records.push_back(MakeRecord("base", "gone/raw", 1.0, 1e8));

@@ -34,6 +34,8 @@ constexpr const char* kUsage =
     "  --allow-missing-protected\n"
     "                   do not fail when a protected baseline cell is\n"
     "                   missing from the candidate\n"
+    "  --require-wall   fail any joined cell whose baseline has a wall_ns\n"
+    "                   measurement but whose candidate records none\n"
     "  --list-labels    print the labels present in the file and exit\n"
     "  --quiet          suppress the per-cell table, print the verdict only\n";
 
@@ -100,6 +102,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->options.max_abs_mi_delta = std::atof(v);
     } else if (arg == "--allow-missing-protected") {
       args->options.gate_missing_protected = false;
+    } else if (arg == "--require-wall") {
+      args->options.require_cell_wall = true;
     } else if (arg == "--list-labels") {
       args->list_labels = true;
     } else if (arg == "--quiet" || arg == "-q") {
@@ -178,6 +182,7 @@ int main(int argc, char** argv) {
       const char* verdict = d.leak_regression       ? "LEAK"
                             : d.wall_regression     ? "SLOW"
                             : d.mi_delta_regression ? "MI-DRIFT"
+                            : d.missing_wall        ? "NO-WALL"
                                                     : "ok";
       std::printf("%-58s  %+10.4g  %10.3f  %6s  %s\n", key.c_str(), d.mi_delta, d.wall_ratio,
                   d.protected_mode ? "yes" : "-", verdict);
@@ -196,9 +201,10 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "tp_bench_diff: %s vs %s — %zu cells compared, %zu leak regression(s), "
-      "%zu wall regression(s), %zu MI drift(s), %zu missing protected cell(s) -> %s\n",
+      "%zu wall regression(s), %zu MI drift(s), %zu missing protected cell(s), "
+      "%zu missing wall record(s) -> %s\n",
       r.baseline_label.c_str(), r.candidate_label.c_str(), r.cells.size(),
       r.leak_regressions, r.wall_regressions, r.mi_delta_regressions, r.missing_protected,
-      outcome.ok() ? "PASS" : "FAIL");
+      r.missing_wall, outcome.ok() ? "PASS" : "FAIL");
   return outcome.ok() ? 0 : 1;
 }
