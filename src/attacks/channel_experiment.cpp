@@ -6,6 +6,14 @@
 
 namespace tp::attacks {
 
+namespace {
+std::function<void(kernel::KernelConfig&)> g_config_override;
+}  // namespace
+
+void SetGlobalConfigOverride(std::function<void(kernel::KernelConfig&)> hook) {
+  g_config_override = std::move(hook);
+}
+
 void SymbolSender::Step(kernel::UserApi& api) {
   hw::Cycles now = api.Now();
   if (sync_.NewSlice(now) || current_symbol_ < 0) {
@@ -46,6 +54,9 @@ Experiment MakeExperiment(const hw::MachineConfig& machine_config, core::Scenari
   }
   if (options.config_hook) {
     options.config_hook(kc);
+  }
+  if (g_config_override) {
+    g_config_override(kc);
   }
   exp.kernel = std::make_unique<kernel::Kernel>(*exp.machine, kc);
   exp.manager = std::make_unique<core::DomainManager>(*exp.kernel);

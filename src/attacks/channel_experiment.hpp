@@ -128,6 +128,13 @@ struct ExperimentOptions {
 Experiment MakeExperiment(const hw::MachineConfig& machine_config, core::Scenario scenario,
                           const ExperimentOptions& options = {});
 
+// Process-global kernel-config override applied after every per-call
+// config_hook in MakeExperiment; pass nullptr to clear. For tests that must
+// force one kernel configuration (e.g. full flush) through a whole scenario
+// sweep they cannot otherwise parameterise. Not thread-safe against
+// concurrent MakeExperiment — set it before fanning out.
+void SetGlobalConfigOverride(std::function<void(kernel::KernelConfig&)> hook);
+
 // Runs the kernel until the receiver has `rounds` samples (or a generous
 // cycle budget runs out) and pairs them with the sender's symbols.
 // `sample_lag` shifts the pairing: prime&probe receivers observe sender

@@ -67,6 +67,7 @@ Domain& DomainManager::CreateDomain(const DomainOptions& options) {
   }
 
   kernel_.BindDomainToImage(kInitCore, *cspace_, options.id, domain->kernel_image);
+  kernel_.RegisterDomainColours(options.id, options.colours);
 
   if (options.pad_cycles > 0) {
     kernel::SyscallResult r = kernel_.KernelSetPad(
@@ -88,24 +89,35 @@ Domain& DomainManager::CreateDomain(const DomainOptions& options) {
     }
   }
 
-  // Domain vspace with page tables drawn from the domain's coloured pool.
-  kernel::SyscallResult r = kernel_.Retype(kInitCore, *cspace_, untyped_,
-                                           kernel::ObjectType::kVSpace, 0, &domain->vspace);
+  // Domain vspace with root and interior page tables drawn from the
+  // domain's coloured pool.
+  domain->vspace = MakeColouredVSpace(options.colours);
+
+  domains_.push_back(std::move(domain));
+  return *domains_.back();
+}
+
+kernel::CapIdx DomainManager::MakeColouredVSpace(const std::set<std::size_t>& colours) {
+  std::optional<kernel::CapIdx> root = pool_.TakeFrame(colours);
+  if (!root.has_value()) {
+    throw std::runtime_error("DomainManager: out of coloured frames for VSpace root");
+  }
+  kernel::CapIdx vspace = 0;
+  kernel::SyscallResult r = kernel_.RetypeInFrame(kInitCore, *cspace_, *root,
+                                                  kernel::ObjectType::kVSpace, &vspace);
   if (!r.ok()) {
     throw std::runtime_error("DomainManager: cannot retype VSpace");
   }
-  std::set<std::size_t> colours = options.colours;
-  kernel_.SetVSpaceAllocator(*cspace_, domain->vspace,
-                             [this, colours]() -> std::optional<hw::PAddr> {
-                               std::optional<kernel::CapIdx> f = pool_.TakeFrame(colours);
+  std::set<std::size_t> cs = colours;
+  kernel_.SetVSpaceAllocator(*cspace_, vspace,
+                             [this, cs]() -> std::optional<hw::PAddr> {
+                               std::optional<kernel::CapIdx> f = pool_.TakeFrame(cs);
                                if (!f.has_value()) {
                                  return std::nullopt;
                                }
                                return pool_.FrameBase(*f);
                              });
-
-  domains_.push_back(std::move(domain));
-  return *domains_.back();
+  return vspace;
 }
 
 MappedBuffer DomainManager::AllocBuffer(Domain& domain, std::size_t bytes) {
@@ -130,22 +142,7 @@ MappedBuffer DomainManager::AllocBuffer(Domain& domain, std::size_t bytes) {
 }
 
 kernel::CapIdx DomainManager::CreateVSpace(Domain& domain) {
-  kernel::CapIdx vspace = 0;
-  kernel::SyscallResult r = kernel_.Retype(kInitCore, *cspace_, untyped_,
-                                           kernel::ObjectType::kVSpace, 0, &vspace);
-  if (!r.ok()) {
-    throw std::runtime_error("DomainManager: cannot retype extra VSpace");
-  }
-  std::set<std::size_t> colours = domain.colours;
-  kernel_.SetVSpaceAllocator(*cspace_, vspace,
-                             [this, colours]() -> std::optional<hw::PAddr> {
-                               std::optional<kernel::CapIdx> f = pool_.TakeFrame(colours);
-                               if (!f.has_value()) {
-                                 return std::nullopt;
-                               }
-                               return pool_.FrameBase(*f);
-                             });
-  return vspace;
+  return MakeColouredVSpace(domain.colours);
 }
 
 kernel::CapIdx DomainManager::StartThread(Domain& domain, kernel::UserProgram* program,
@@ -232,21 +229,9 @@ Domain& DomainManager::Subdivide(Domain& parent, kernel::DomainId new_id,
   // Cloned from the *parent's* kernel: revoking the parent revokes this.
   domain->kernel_image = CloneKernelFromPool(colours, parent.kernel_image);
   kernel_.BindDomainToImage(kInitCore, *cspace_, new_id, domain->kernel_image);
+  kernel_.RegisterDomainColours(new_id, colours);
 
-  kernel::SyscallResult r = kernel_.Retype(kInitCore, *cspace_, untyped_,
-                                           kernel::ObjectType::kVSpace, 0, &domain->vspace);
-  if (!r.ok()) {
-    throw std::runtime_error("DomainManager: cannot retype sub-domain VSpace");
-  }
-  std::set<std::size_t> cs = colours;
-  kernel_.SetVSpaceAllocator(*cspace_, domain->vspace,
-                             [this, cs]() -> std::optional<hw::PAddr> {
-                               std::optional<kernel::CapIdx> f = pool_.TakeFrame(cs);
-                               if (!f.has_value()) {
-                                 return std::nullopt;
-                               }
-                               return pool_.FrameBase(*f);
-                             });
+  domain->vspace = MakeColouredVSpace(colours);
   domains_.push_back(std::move(domain));
   return *domains_.back();
 }

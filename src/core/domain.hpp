@@ -99,6 +99,11 @@ class DomainManager {
   kernel::CapIdx CloneKernelFromPool(const std::set<std::size_t>& colours,
                                      kernel::CapIdx source_image);
 
+  // VSpace whose root table AND interior tables live in `colours`: page
+  // walks read the root PTE line, so an uncoloured root leaks across the
+  // partition.
+  kernel::CapIdx MakeColouredVSpace(const std::set<std::size_t>& colours);
+
   kernel::Kernel& kernel_;
   CSpacePtr cspace_;
   kernel::CapIdx untyped_;

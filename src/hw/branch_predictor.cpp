@@ -8,6 +8,10 @@ BranchPredictor::BranchPredictor(const BranchPredictorGeometry& geometry) : geom
   assert(geometry_.btb_entries % geometry_.btb_associativity == 0);
   btb_.resize(geometry_.btb_entries);
   pht_.assign(geometry_.pht_entries, 1);  // weakly not-taken
+  if (TaintTrackingEnabled()) {
+    btb_taint_.Enable(geometry_.btb_entries, 1);
+    pht_taint_.Enable(geometry_.pht_entries, 1);
+  }
 }
 
 std::size_t BranchPredictor::BtbSetBase(VAddr pc) const {
@@ -46,6 +50,10 @@ BranchResult BranchPredictor::Branch(VAddr pc, VAddr target, bool taken, bool co
     }
     std::uint64_t history_mask = (std::uint64_t{1} << geometry_.history_bits) - 1;
     ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) & history_mask;
+    if (pht_taint_.on()) {
+      pht_taint_.Tag(idx, taint_owner_, 0);
+      ghr_owner_ = taint_owner_;
+    }
   }
 
   // Target prediction via the BTB (only needed for taken branches).
@@ -61,6 +69,9 @@ BranchResult BranchPredictor::Branch(VAddr pc, VAddr target, bool taken, bool co
       e.lru = ++lru_clock_;
       if (taken) {
         e.target = target;
+      }
+      if (btb_taint_.on()) {
+        btb_taint_.Tag(base + way, taint_owner_, 0);
       }
       victim = static_cast<std::size_t>(-1);
       break;
@@ -79,6 +90,9 @@ BranchResult BranchPredictor::Branch(VAddr pc, VAddr target, bool taken, bool co
     e.target = target;
     e.valid = true;
     e.lru = ++lru_clock_;
+    if (btb_taint_.on()) {
+      btb_taint_.Tag(victim, taint_owner_, 0);
+    }
   }
 
   bool direction_wrong = conditional && (predicted_taken != taken);
@@ -95,11 +109,18 @@ void BranchPredictor::FlushBtb() {
   for (BtbEntry& e : btb_) {
     e.valid = false;
   }
+  if (btb_taint_.on()) {
+    btb_taint_.ClearAll();
+  }
 }
 
 void BranchPredictor::FlushHistory() {
   ghr_ = 0;
   pht_.assign(pht_.size(), 1);
+  if (pht_taint_.on()) {
+    pht_taint_.ClearAll();
+    ghr_owner_ = 0;
+  }
 }
 
 std::size_t BranchPredictor::BtbValidCount() const {

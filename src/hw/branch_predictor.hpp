@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "hw/taint.hpp"
 #include "hw/types.hpp"
 
 namespace tp::hw {
@@ -58,6 +59,15 @@ class BranchPredictor {
 
   const BranchPredictorGeometry& geometry() const { return geometry_; }
 
+  // Taint metadata (active only when tracking was enabled at construction).
+  // BTB entries and PHT counters are tagged individually; the GHR is one
+  // shared register with a single owner tag.
+  void SetTaintOwner(TaintTag owner) { taint_owner_ = owner; }
+  const TaintMap& btb_taint() const { return btb_taint_; }
+  const TaintMap& pht_taint() const { return pht_taint_; }
+  TaintTag ghr_owner() const { return ghr_owner_; }
+  std::size_t btb_associativity() const { return geometry_.btb_associativity; }
+
  private:
   struct BtbEntry {
     std::uint64_t tag = 0;
@@ -77,6 +87,11 @@ class BranchPredictor {
   std::uint64_t mispredicts_ = 0;
   std::uint64_t branches_ = 0;
   bool enabled_ = true;
+
+  TaintMap btb_taint_;
+  TaintMap pht_taint_;
+  TaintTag taint_owner_ = 0;
+  TaintTag ghr_owner_ = 0;
 };
 
 }  // namespace tp::hw

@@ -45,6 +45,12 @@ SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& 
   }
   valid_.assign(sets, 0);
   dirty_.assign(sets, 0);
+
+  if (TaintTrackingEnabled()) {
+    const std::size_t colours = geometry_.Colours();
+    taint_colours_ = colours >= 1 && colours <= 64 ? colours : 1;
+    taint_.Enable(lines, taint_colours_);
+  }
 }
 
 unsigned SetAssociativeCache::PickVictim(std::size_t set) const {
@@ -80,6 +86,9 @@ AccessResult SetAssociativeCache::MissFill(const Decoded& d, bool write) {
     SetDirty(d.set, victim);
   }
   Promote(d.set, victim);
+  if (taint_.on()) {
+    taint_.Tag(d.set * ways_ + victim, taint_owner_, TaintColourOfTag(d.tag));
+  }
   result.fill = true;
   return result;
 }
@@ -106,6 +115,10 @@ bool SetAssociativeCache::Insert(VAddr addr_for_index, PAddr addr_for_tag, bool 
     if (dirty) {
       SetDirty(d.set, static_cast<unsigned>(way));
     }
+    if (taint_.on()) {
+      taint_.Tag(d.set * ways_ + static_cast<unsigned>(way), taint_owner_,
+                 TaintColourOfTag(d.tag));
+    }
     return false;
   }
   const unsigned victim = PickVictim(d.set);
@@ -125,6 +138,9 @@ bool SetAssociativeCache::Insert(VAddr addr_for_index, PAddr addr_for_tag, bool 
     SetDirty(d.set, victim);
   }
   Promote(d.set, victim);
+  if (taint_.on()) {
+    taint_.Tag(d.set * ways_ + victim, taint_owner_, TaintColourOfTag(d.tag));
+  }
   return evicted_dirty;
 }
 
@@ -141,6 +157,9 @@ bool SetAssociativeCache::InvalidateLine(VAddr addr_for_index, PAddr addr_for_ta
   if (was_dirty) {
     dirty_[d.set] &= ~bit;
     --dirty_count_;
+  }
+  if (taint_.on()) {
+    taint_.Clear(d.set * ways_ + static_cast<unsigned>(way));
   }
   return was_dirty;
 }
@@ -168,6 +187,9 @@ std::size_t SetAssociativeCache::FlushAll() {
   valid_count_ = 0;
   dirty_count_ = 0;
   writebacks_ += dirty;
+  if (taint_.on()) {
+    taint_.ClearAll();
+  }
   return dirty;
 }
 
@@ -177,6 +199,9 @@ std::size_t SetAssociativeCache::InvalidateAll() {
   std::fill(dirty_.begin(), dirty_.end(), 0);
   valid_count_ = 0;
   dirty_count_ = 0;
+  if (taint_.on()) {
+    taint_.ClearAll();
+  }
   return valid;
 }
 

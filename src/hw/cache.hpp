@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "hw/lru.hpp"
+#include "hw/taint.hpp"
 #include "hw/types.hpp"
 
 namespace tp::hw {
@@ -87,6 +88,12 @@ class SetAssociativeCache {
           SetDirty(d.set, way);
         }
         ++hits_;
+        if (taint_.on()) {
+          // Retag on hit: the line now reflects this owner's activity at
+          // *this* level only (a deterministic L1 re-touch must not launder
+          // a secret-dependent LLC copy).
+          taint_.Tag(d.set * ways_ + way, taint_owner_, TaintColourOfTag(d.tag));
+        }
         AccessResult result;
         result.hit = true;
         return result;
@@ -156,7 +163,34 @@ class SetAssociativeCache {
   std::uint64_t writebacks() const { return writebacks_; }
   void ResetStats();
 
+  // Taint metadata (active only when taint tracking was enabled at
+  // construction). The owner stamps every line this cache fills or touches
+  // until changed; entry index is set * ways + way.
+  void SetTaintOwner(TaintTag owner) { taint_owner_ = owner; }
+  TaintTag taint_owner() const { return taint_owner_; }
+  const TaintMap& taint() const { return taint_; }
+  std::size_t ways() const { return ways_; }
+  std::size_t sets_per_slice() const { return sets_per_slice_; }
+
+  // Physical address of the line held at (global set, way), or 0 when the
+  // way is invalid — lets the contract checker name the violating line
+  // itself, not just the slot it occupies.
+  PAddr LinePaddrAt(std::size_t set, std::size_t way) const {
+    if (set >= valid_.size() || way >= ways_ || ((valid_[set] >> way) & 1) == 0) {
+      return 0;
+    }
+    return static_cast<PAddr>(tags_[set * ways_ + way] * geometry_.line_size);
+  }
+
  private:
+  // Page colour of the line a tag denotes, clamped to one colour when the
+  // geometry has more colours than a mask word holds.
+  std::size_t TaintColourOfTag(std::uint64_t tag) const {
+    return taint_colours_ > 1
+               ? PageNumber(static_cast<PAddr>(tag * geometry_.line_size)) % taint_colours_
+               : 0;
+  }
+
   // One-step address decode shared by every lookup path: global set index
   // (slice * sets_per_slice + set) and tag from a single pass over the
   // address bits, using the constants precomputed at construction.
@@ -256,6 +290,10 @@ class SetAssociativeCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t writebacks_ = 0;
+
+  TaintMap taint_;
+  TaintTag taint_owner_ = 0;
+  std::size_t taint_colours_ = 1;
 };
 
 }  // namespace tp::hw

@@ -36,6 +36,36 @@ Core::Core(CoreId id, Machine* machine) : id_(id), machine_(machine) {
   l2tlb_ = std::make_unique<Tlb>("L2-TLB", cfg.l2tlb);
   bp_ = std::make_unique<BranchPredictor>(cfg.bp);
   prefetcher_ = std::make_unique<StreamPrefetcher>(cfg.prefetcher);
+  taint_on_ = TaintTrackingEnabled();
+}
+
+void Core::SetTaintOwner(std::uint16_t owner) {
+  taint_owner_ = owner;
+  if (!taint_on_) {
+    return;
+  }
+  itlb_->SetTaintOwner(owner);
+  dtlb_->SetTaintOwner(owner);
+  l2tlb_->SetTaintOwner(owner);
+  bp_->SetTaintOwner(owner);
+}
+
+void Core::AddTaintNeutralRange(PAddr base, std::size_t bytes) {
+  if (bytes > 0) {
+    taint_neutral_.emplace_back(base, base + bytes);
+  }
+}
+
+int Core::StaleTranslationMemo() const {
+  const TranslationContext* current[2] = {user_ctx_, kernel_ctx_};
+  const std::uint64_t* gens[2] = {user_gen_, kernel_gen_};
+  for (int half = 0; half < 2; ++half) {
+    const TranslationMemo& memo = trans_memo_[half];
+    if (memo.ctx != nullptr && (memo.ctx != current[half] || memo.gen != *gens[half])) {
+      return half;
+    }
+  }
+  return -1;
 }
 
 const Latencies& Core::lat() const { return machine_->config().lat; }
@@ -122,6 +152,15 @@ Cycles Core::CachePath(VAddr vaddr, PAddr paddr, AccessKind kind) {
   bool write = kind == AccessKind::kWrite;
   SetAssociativeCache& l1 = instruction ? *l1i_ : *l1d_;
 
+  if (taint_on_) {
+    const std::uint16_t owner = TaintNeutral(paddr) ? 0 : taint_owner_;
+    l1.SetTaintOwner(owner);
+    if (l2_ != nullptr) {
+      l2_->SetTaintOwner(owner);
+    }
+    machine_->llc().SetTaintOwner(owner);
+  }
+
   Cycles cost = L.l1_hit;
   AccessResult r1 = l1.Access(vaddr, paddr, write);
   if (r1.hit) {
@@ -171,10 +210,26 @@ Cycles Core::CachePath(VAddr vaddr, PAddr paddr, AccessKind kind) {
       last_miss_line_ = miss_line;
 
       // Stream prefetcher trains on demand misses at the level below L1.
-      PrefetchOutcome out = prefetcher_->OnDemandMiss(miss_line, domain_tag_, instruction);
+      // Behaviour owner is always the domain tag; the taint owner follows
+      // the same neutral masking as the cache levels, so streams trained by
+      // the deterministic tick sequence stamp neutral fills instead of
+      // fabricating foreign residue in another domain's partition.
+      PrefetchOutcome out = prefetcher_->OnDemandMiss(
+          miss_line, domain_tag_, instruction, TaintNeutral(paddr) ? 0 : taint_owner_);
       cost += out.interference;
-      for (std::uint64_t fill_line : out.fills) {
+      for (std::size_t i = 0; i < out.fills.size(); ++i) {
+        const std::uint64_t fill_line = out.fills[i];
         PAddr fill_paddr = fill_line * llc.geometry().line_size;
+        if (taint_on_) {
+          // A prefetch fill belongs to the stream that issued it — a stale
+          // stream keeps stamping its old domain after the switch (§5.3.2).
+          const std::uint16_t fill_owner =
+              TaintNeutral(fill_paddr) ? 0 : out.fills.owner(i);
+          llc.SetTaintOwner(fill_owner);
+          if (l2_ != nullptr) {
+            l2_->SetTaintOwner(fill_owner);
+          }
+        }
         AccessResult fr = llc.Access(KernelVaddrFor(fill_paddr), fill_paddr, false);
         if (fr.evicted_valid) {
           machine_->BackInvalidateLine(fr.evicted_line_addr * llc.geometry().line_size);

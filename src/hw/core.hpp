@@ -85,7 +85,29 @@ class Core {
   void SetKernelContext(const TranslationContext* kernel_ctx, bool kernel_global);
   // Tags prefetcher training so leftover streams from another domain are
   // recognisably stale. The kernel passes the current domain/kernel id.
-  void SetDomainTag(std::uint16_t tag) { domain_tag_ = tag; }
+  void SetDomainTag(std::uint16_t tag) {
+    domain_tag_ = tag;
+    if (taint_on_) {
+      SetTaintOwner(tag);
+    }
+  }
+  std::uint16_t domain_tag() const { return domain_tag_; }
+
+  // --- taint tracking (no-ops unless enabled at construction) --------------
+
+  // Owner stamped on every structure this core touches. Normally follows
+  // the domain tag; the kernel sets 0 (neutral) around the schedule-driven
+  // switch sequence. Kept separate from the domain tag so prefetcher
+  // training owners — simulated behaviour — never change with taint mode.
+  void SetTaintOwner(std::uint16_t owner);
+  std::uint16_t taint_owner() const { return taint_owner_; }
+  // Physical ranges whose contents are taint-neutral by construction: the
+  // §4.1 deterministically-prefetched shared region and the x86 manual
+  // flush buffers.
+  void AddTaintNeutralRange(PAddr base, std::size_t bytes);
+  // Address-space half (0 user, 1 kernel) whose translation memo still
+  // holds a stale entry (wrong context or generation), or -1 when clean.
+  int StaleTranslationMemo() const;
 
   // --- execution ----------------------------------------------------------
 
@@ -157,10 +179,22 @@ class Core {
   OneShotTimer preemption_timer_;
   PerfCounters counters_;
 
+  bool TaintNeutral(PAddr paddr) const {
+    for (const auto& range : taint_neutral_) {
+      if (paddr >= range.first && paddr < range.second) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   const TranslationContext* user_ctx_ = nullptr;
   const TranslationContext* kernel_ctx_ = nullptr;
   bool kernel_global_ = true;
   std::uint16_t domain_tag_ = 0;
+  bool taint_on_ = false;
+  std::uint16_t taint_owner_ = 0;
+  std::vector<std::pair<PAddr, PAddr>> taint_neutral_;  // [base, end)
   Cycles cycles_ = 0;
   std::uint64_t last_miss_line_ = ~std::uint64_t{0};
   std::vector<PAddr> walk_scratch_;

@@ -65,6 +65,16 @@ class InterruptController {
 
   bool IsRaised(IrqLine line) const { return Test(raised_, Checked(line)); }
   bool IsMasked(IrqLine line) const { return Test(masked_, Checked(line)); }
+  // Whether this single line would be delivered right now (same per-arch
+  // rule as PendingDeliverable); used by the contract checker to spot a
+  // partitioned-out domain's IRQ that could still fire.
+  bool IsDeliverable(IrqLine line) const {
+    const IrqLine l = Checked(line);
+    if (arch_ == IrqArch::kX86Hierarchical && Test(accepted_, l)) {
+      return true;
+    }
+    return Test(raised_, l) && !Test(masked_, l);
+  }
   std::size_t num_lines() const { return num_lines_; }
   IrqArch arch() const { return arch_; }
 

@@ -19,8 +19,13 @@ StreamPrefetcher::StreamPrefetcher(const PrefetcherGeometry& geometry) : geometr
   instruction_slots_.resize(geometry_.instruction_slots);
 }
 
+std::uint64_t StreamPrefetcher::PageOf(std::uint64_t line) const {
+  return line / geometry_.lines_per_page;
+}
+
 PrefetchOutcome StreamPrefetcher::HandleMiss(std::vector<Stream>& slots, std::uint64_t line,
-                                             std::uint16_t owner, bool enabled) {
+                                             std::uint16_t owner, std::uint16_t taint_owner,
+                                             bool enabled) {
   PrefetchOutcome outcome;
   if (slots.empty()) {
     return outcome;
@@ -36,8 +41,17 @@ PrefetchOutcome StreamPrefetcher::HandleMiss(std::vector<Stream>& slots, std::ui
     }
     if (s.valid && s.owner != owner && s.credits > 0 &&
         s.confidence >= geometry_.confidence_threshold) {
+      const std::uint64_t prev = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(s.next_line) - s.direction);
+      if (PageOf(s.next_line) != PageOf(prev)) {
+        // The stream ran off its page: a real streamer stops here (and a
+        // fill past the boundary would land in another domain's frame).
+        s.valid = false;
+        s.credits = 0;
+        continue;
+      }
       --s.credits;
-      outcome.fills.push_back(s.next_line);
+      outcome.fills.push_back(s.next_line, s.taint_owner);
       s.next_line = static_cast<std::uint64_t>(static_cast<std::int64_t>(s.next_line) +
                                                s.direction);
       outcome.interference += geometry_.interference_cycles;
@@ -57,14 +71,25 @@ PrefetchOutcome StreamPrefetcher::HandleMiss(std::vector<Stream>& slots, std::ui
     if (s.next_line == line) {
       s.confidence = std::min(s.confidence + 1, 8);
       s.credits = geometry_.credits_on_train;
+      s.taint_owner = taint_owner;
       s.next_line = static_cast<std::uint64_t>(static_cast<std::int64_t>(line) + s.direction);
       if (s.confidence >= geometry_.confidence_threshold) {
         for (int i = 0; i < geometry_.prefetch_degree &&
                         outcome.fills.size() < PrefetchFillList::kCapacity;
              ++i) {
-          outcome.fills.push_back(static_cast<std::uint64_t>(
-              static_cast<std::int64_t>(line) + s.direction * (i + 1)));
+          const std::uint64_t fill = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(line) + s.direction * (i + 1));
+          if (PageOf(fill) != PageOf(line)) {
+            break;  // degree fills stop at the page boundary too
+          }
+          outcome.fills.push_back(fill, taint_owner);
         }
+      }
+      if (PageOf(s.next_line) != PageOf(line)) {
+        // Trained to the end of its page: the stream is complete. A miss on
+        // the next page allocates a fresh stream for that page.
+        s.valid = false;
+        s.credits = 0;
       }
       return outcome;
     }
@@ -89,6 +114,7 @@ PrefetchOutcome StreamPrefetcher::HandleMiss(std::vector<Stream>& slots, std::ui
   Stream& s = slots[victim];
   s.valid = true;
   s.owner = owner;
+  s.taint_owner = taint_owner;
   s.direction = 1;
   s.next_line = line + 1;
   s.confidence = 1;
@@ -97,11 +123,11 @@ PrefetchOutcome StreamPrefetcher::HandleMiss(std::vector<Stream>& slots, std::ui
 }
 
 PrefetchOutcome StreamPrefetcher::OnDemandMiss(std::uint64_t line, std::uint16_t owner,
-                                               bool instruction) {
+                                               bool instruction, std::uint16_t taint_owner) {
   if (instruction) {
-    return HandleMiss(instruction_slots_, line, owner, /*enabled=*/true);
+    return HandleMiss(instruction_slots_, line, owner, taint_owner, /*enabled=*/true);
   }
-  return HandleMiss(data_slots_, line, owner, data_enabled_);
+  return HandleMiss(data_slots_, line, owner, taint_owner, data_enabled_);
 }
 
 void StreamPrefetcher::SetDataPrefetcherEnabled(bool enabled) {

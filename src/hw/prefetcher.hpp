@@ -35,6 +35,11 @@ struct PrefetcherGeometry {
   int credits_on_train = 4;       // prefetches a stream may issue unprompted
   Cycles interference_cycles = 6;  // added to a miss per stale-stream issue
   std::size_t max_stale_issues_per_miss = 2;
+  // Streams track within one page and die at its boundary: physical
+  // contiguity is not guaranteed past a page, so hardware streamers never
+  // cross one — and a prefetch that did would punch through the colouring
+  // partition into a neighbouring domain's frame.
+  std::size_t lines_per_page = kPageSize / 64;
 };
 
 // Per-miss prefetch fill list. A miss issues at most
@@ -45,19 +50,28 @@ class PrefetchFillList {
  public:
   static constexpr std::size_t kCapacity = 8;
 
-  void push_back(std::uint64_t line) {
+  // `owner` is the *taint* owner of the fill: the stream's taint owner for
+  // stale-stream issues (the previous domain keeps prefetching, §5.3.2),
+  // the training access's taint owner for degree fills. Streams trained by
+  // taint-neutral accesses (the deterministic kernel tick sequence) carry
+  // taint owner 0 even though their behaviour owner is the domain tag. Only
+  // consulted by taint tracking; fills behave identically either way.
+  void push_back(std::uint64_t line, std::uint16_t owner = 0) {
     assert(count_ < kCapacity);
+    owners_[count_] = owner;
     lines_[count_++] = line;
   }
   bool empty() const { return count_ == 0; }
   std::size_t size() const { return count_; }
   std::uint64_t front() const { return lines_[0]; }
   std::uint64_t operator[](std::size_t i) const { return lines_[i]; }
+  std::uint16_t owner(std::size_t i) const { return owners_[i]; }
   const std::uint64_t* begin() const { return lines_.data(); }
   const std::uint64_t* end() const { return lines_.data() + count_; }
 
  private:
   std::array<std::uint64_t, kCapacity> lines_{};
+  std::array<std::uint16_t, kCapacity> owners_{};
   std::size_t count_ = 0;
 };
 
@@ -74,8 +88,17 @@ class StreamPrefetcher {
 
   // Called on every demand miss at physical line address `line`
   // (paddr / line_size). `owner` tags the training domain (the kernel passes
-  // the current kernel-image id or ASID).
-  PrefetchOutcome OnDemandMiss(std::uint64_t line, std::uint16_t owner, bool instruction);
+  // the current kernel-image id or ASID) and drives the stale-stream
+  // behaviour; `taint_owner` is stamped on the fills this training produces.
+  // They differ only during the taint-neutral kernel tick sequence: the
+  // schedule-driven accesses train real streams (simulated behaviour must
+  // not change with taint mode), but the state those streams leave behind
+  // is deterministic and carries no domain secret, so it is stamped 0.
+  PrefetchOutcome OnDemandMiss(std::uint64_t line, std::uint16_t owner, bool instruction,
+                               std::uint16_t taint_owner);
+  PrefetchOutcome OnDemandMiss(std::uint64_t line, std::uint16_t owner, bool instruction) {
+    return OnDemandMiss(line, owner, instruction, owner);
+  }
 
   // MSR-style control: disabling the *data* prefetcher also clears its
   // slots. The instruction slots are untouched (not architected).
@@ -95,12 +118,15 @@ class StreamPrefetcher {
     std::int64_t direction = 1;
     int confidence = 0;
     int credits = 0;
-    std::uint16_t owner = 0;
+    std::uint16_t owner = 0;        // behaviour: stale-stream detection
+    std::uint16_t taint_owner = 0;  // taint stamp on the fills it issues
     bool valid = false;
   };
 
+  std::uint64_t PageOf(std::uint64_t line) const;
+
   PrefetchOutcome HandleMiss(std::vector<Stream>& slots, std::uint64_t line,
-                             std::uint16_t owner, bool enabled);
+                             std::uint16_t owner, std::uint16_t taint_owner, bool enabled);
 
   PrefetcherGeometry geometry_;
   std::vector<Stream> data_slots_;

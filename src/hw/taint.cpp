@@ -1,0 +1,129 @@
+#include "hw/taint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace tp::hw {
+
+namespace {
+
+// -1 = not overridden (read TP_TAINT), else 0/1.
+int g_taint_override = -1;
+
+bool TaintEnv() {
+  static const bool kEnv = [] {
+    const char* q = std::getenv("TP_TAINT");
+    return q != nullptr && q[0] != '\0' && q[0] != '0';
+  }();
+  return kEnv;
+}
+
+}  // namespace
+
+bool TaintTrackingEnabled() {
+  return g_taint_override >= 0 ? g_taint_override != 0 : TaintEnv();
+}
+
+void SetTaintTrackingEnabled(bool enabled) { g_taint_override = enabled ? 1 : 0; }
+
+std::string ToString(const TaintViolation& v) {
+  return v.structure + " " + v.where + ": domain " + std::to_string(v.residual_owner) +
+         " residue visible to incoming domain " + std::to_string(v.incoming) + " at switch " +
+         std::to_string(v.switch_index);
+}
+
+void ContractTally::Merge(const ContractTally& other) {
+  switches += other.switches;
+  dirty_switches += other.dirty_switches;
+  violations += other.violations;
+  whitelisted += other.whitelisted;
+  if (!has_first && other.has_first) {
+    has_first = true;
+    first = other.first;
+  }
+}
+
+ContractTally& ThreadContractTally() {
+  thread_local ContractTally tally;
+  return tally;
+}
+
+ContractCapture::ContractCapture() : saved_(ThreadContractTally()) {
+  ThreadContractTally() = ContractTally{};
+}
+
+ContractCapture::~ContractCapture() {
+  ContractTally captured = ThreadContractTally();
+  ThreadContractTally() = saved_;
+  ThreadContractTally().Merge(captured);
+}
+
+void TaintMap::Enable(std::size_t entries, std::size_t colours) {
+  assert(colours >= 1 && colours <= 64);
+  owner_.assign(entries, 0);
+  colour_.assign(entries, 0);
+  colours_ = colours;
+}
+
+TaintMap::OwnerCount& TaintMap::Slot(TaintTag owner) {
+  for (OwnerCount& c : counts_) {
+    if (c.owner == owner) {
+      return c;
+    }
+  }
+  counts_.push_back(OwnerCount{owner, 0, std::vector<std::uint64_t>(colours_, 0)});
+  return counts_.back();
+}
+
+void TaintMap::Tag(std::size_t index, TaintTag owner, std::size_t colour) {
+  TaintTag old = owner_[index];
+  if (old == owner && (old == 0 || colour_[index] == colour)) {
+    return;
+  }
+  if (old != 0) {
+    OwnerCount& c = Slot(old);
+    --c.total;
+    --c.per_colour[colour_[index]];
+  }
+  owner_[index] = owner;
+  colour_[index] = static_cast<std::uint8_t>(colour);
+  if (owner != 0) {
+    OwnerCount& c = Slot(owner);
+    ++c.total;
+    ++c.per_colour[colour];
+  }
+}
+
+void TaintMap::ClearAll() {
+  std::fill(owner_.begin(), owner_.end(), 0);
+  std::fill(colour_.begin(), colour_.end(), 0);
+  counts_.clear();
+}
+
+std::uint64_t TaintMap::ForeignCount(TaintTag incoming, std::uint64_t colour_mask) const {
+  std::uint64_t n = 0;
+  for (const OwnerCount& c : counts_) {
+    if (c.owner == 0 || c.owner == incoming || c.total == 0) {
+      continue;
+    }
+    for (std::size_t col = 0; col < colours_; ++col) {
+      if ((colour_mask >> col) & 1) {
+        n += c.per_colour[col];
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t TaintMap::FindForeign(TaintTag incoming, std::uint64_t colour_mask) const {
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    TaintTag o = owner_[i];
+    if (o != 0 && o != incoming && (((colour_mask >> colour_[i]) & 1) != 0)) {
+      return i;
+    }
+  }
+  return npos;
+}
+
+}  // namespace tp::hw

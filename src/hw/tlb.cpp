@@ -32,6 +32,10 @@ Tlb::Tlb(std::string name, const TlbGeometry& geometry)
   }
   valid_.assign(sets_, 0);
   global_.assign(sets_, 0);
+
+  if (TaintTrackingEnabled()) {
+    taint_.Enable(geometry_.entries, 1);
+  }
 }
 
 unsigned Tlb::PickVictim(std::size_t set) const {
@@ -53,6 +57,9 @@ void Tlb::Insert(std::uint64_t vpn, Asid asid, bool global) {
     if (vpns_[base + way] == vpn &&
         (((glob >> way) & 1) != 0 || asids_[base + way] == asid)) {
       Promote(set, way);
+      if (taint_.on()) {
+        taint_.Tag(base + way, taint_owner_, 0);
+      }
       return;  // already present
     }
   }
@@ -70,16 +77,28 @@ void Tlb::Insert(std::uint64_t vpn, Asid asid, bool global) {
     global_[set] &= ~bit;
   }
   Promote(set, victim);
+  if (taint_.on()) {
+    taint_.Tag(base + victim, taint_owner_, 0);
+  }
 }
 
 void Tlb::FlushAll() {
   std::fill(valid_.begin(), valid_.end(), 0);
   valid_count_ = 0;
+  if (taint_.on()) {
+    taint_.ClearAll();
+  }
 }
 
 void Tlb::FlushNonGlobal() {
   std::size_t remaining = 0;
   for (std::size_t set = 0; set < sets_; ++set) {
+    if (taint_.on()) {
+      for (std::uint64_t m = valid_[set] & ~global_[set]; m != 0; m &= m - 1) {
+        const unsigned way = static_cast<unsigned>(std::countr_zero(m));
+        taint_.Clear(set * ways_ + way);
+      }
+    }
     valid_[set] &= global_[set];
     remaining += static_cast<std::size_t>(std::popcount(valid_[set]));
   }
@@ -94,6 +113,9 @@ void Tlb::FlushAsid(Asid asid) {
       if (asids_[base + way] == asid) {
         valid_[set] &= ~(std::uint64_t{1} << way);
         --valid_count_;
+        if (taint_.on()) {
+          taint_.Clear(base + way);
+        }
       }
     }
   }

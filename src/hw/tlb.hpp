@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hw/lru.hpp"
+#include "hw/taint.hpp"
 #include "hw/types.hpp"
 
 namespace tp::hw {
@@ -47,6 +48,9 @@ class Tlb {
           (((glob >> way) & 1) != 0 || asids_[base + way] == asid)) {
         Promote(set, way);
         ++hits_;
+        if (taint_.on()) {
+          taint_.Tag(base + way, taint_owner_, 0);
+        }
         return true;
       }
     }
@@ -67,6 +71,13 @@ class Tlb {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   void ResetStats();
+
+  // Taint metadata (active only when tracking was enabled at construction);
+  // TLBs are uncolourable, so every entry uses colour 0. Entry index is
+  // set * ways + way.
+  void SetTaintOwner(TaintTag owner) { taint_owner_ = owner; }
+  const TaintMap& taint() const { return taint_; }
+  std::size_t ways() const { return ways_; }
 
  private:
   // Set selection, shift/mask when the set count is a power of two (every
@@ -99,6 +110,9 @@ class Tlb {
   std::size_t valid_count_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+
+  TaintMap taint_;
+  TaintTag taint_owner_ = 0;
 };
 
 }  // namespace tp::hw

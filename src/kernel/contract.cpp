@@ -1,0 +1,188 @@
+#include "kernel/contract.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "hw/core.hpp"
+#include "hw/machine.hpp"
+#include "kernel/kernel.hpp"
+
+namespace tp::kernel {
+
+namespace {
+
+// Mirrors the clamp the structures apply when enabling their taint maps: a
+// geometry with more page colours than a mask word is tracked as one colour
+// (everything observable, conservative).
+std::size_t ClampColours(std::size_t colours) {
+  return colours >= 1 && colours <= 64 ? colours : 1;
+}
+
+std::string HexAddr(hw::PAddr addr) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(addr));
+  return buf;
+}
+
+void Record(hw::ContractTally& tally, std::string structure, std::string where,
+            hw::TaintTag owner, DomainId incoming) {
+  if (tally.has_first) {
+    return;
+  }
+  tally.has_first = true;
+  tally.first = hw::TaintViolation{std::move(structure), std::move(where), owner,
+                                   static_cast<hw::TaintTag>(incoming), tally.switches};
+}
+
+}  // namespace
+
+ContractChecker::ContractChecker(Kernel& kernel) : kernel_(kernel) {}
+
+void ContractChecker::RegisterDomainColours(DomainId domain,
+                                            const std::set<std::size_t>& colours) {
+  domain_colours_[domain] = std::vector<std::size_t>(colours.begin(), colours.end());
+}
+
+std::uint64_t ContractChecker::ObservableMask(DomainId incoming,
+                                              std::size_t structure_colours) const {
+  auto it = domain_colours_.find(incoming);
+  if (it == domain_colours_.end() || it->second.empty()) {
+    return ~std::uint64_t{0};  // unrestricted domain: every colour reachable
+  }
+  std::uint64_t mask = 0;
+  for (std::size_t llc_colour : it->second) {
+    mask |= std::uint64_t{1} << (llc_colour % structure_colours);
+  }
+  return mask;
+}
+
+void ContractChecker::CheckCache(const hw::SetAssociativeCache& cache, DomainId incoming,
+                                 hw::ContractTally& tally, std::uint64_t& foreign) const {
+  const hw::TaintMap& taint = cache.taint();
+  if (!taint.on()) {
+    return;
+  }
+  const std::size_t colours = ClampColours(cache.geometry().Colours());
+  const std::uint64_t mask = ObservableMask(incoming, colours);
+  const std::uint64_t n = taint.ForeignCount(static_cast<hw::TaintTag>(incoming), mask);
+  if (n == 0) {
+    return;
+  }
+  foreign += n;
+  if (!tally.has_first) {
+    const std::size_t idx = taint.FindForeign(static_cast<hw::TaintTag>(incoming), mask);
+    const std::size_t global_set = idx / cache.ways();
+    std::string where = "slice " + std::to_string(global_set / cache.sets_per_slice()) +
+                        " set " + std::to_string(global_set % cache.sets_per_slice()) +
+                        " way " + std::to_string(idx % cache.ways());
+    if (hw::PAddr line = cache.LinePaddrAt(global_set, idx % cache.ways()); line != 0) {
+      where += " line " + HexAddr(line);
+    }
+    Record(tally, cache.name(), where, taint.OwnerOf(idx), incoming);
+  }
+}
+
+void ContractChecker::CheckTlb(const hw::Tlb& tlb, DomainId incoming,
+                               hw::ContractTally& tally, std::uint64_t& foreign) const {
+  const hw::TaintMap& taint = tlb.taint();
+  if (!taint.on()) {
+    return;
+  }
+  const std::uint64_t mask = ObservableMask(incoming, 1);
+  const std::uint64_t n = taint.ForeignCount(static_cast<hw::TaintTag>(incoming), mask);
+  if (n == 0) {
+    return;
+  }
+  foreign += n;
+  if (!tally.has_first) {
+    const std::size_t idx = taint.FindForeign(static_cast<hw::TaintTag>(incoming), mask);
+    const std::string where = "set " + std::to_string(idx / tlb.ways()) + " way " +
+                              std::to_string(idx % tlb.ways());
+    Record(tally, tlb.name(), where, taint.OwnerOf(idx), incoming);
+  }
+}
+
+void ContractChecker::CheckSwitch(hw::CoreId core, DomainId incoming) {
+  hw::ContractTally& tally = hw::ThreadContractTally();
+  ++tally.switches;
+  std::uint64_t foreign = 0;
+
+  hw::Core& cpu = kernel_.machine_.core(core);
+  const hw::TaintTag in_tag = static_cast<hw::TaintTag>(incoming);
+
+  // Caches first (the paper's primary channels), innermost outwards.
+  CheckCache(cpu.l1i(), incoming, tally, foreign);
+  CheckCache(cpu.l1d(), incoming, tally, foreign);
+  if (cpu.l2() != nullptr) {
+    CheckCache(*cpu.l2(), incoming, tally, foreign);
+  }
+  CheckCache(kernel_.machine_.llc(), incoming, tally, foreign);
+
+  CheckTlb(cpu.itlb(), incoming, tally, foreign);
+  CheckTlb(cpu.dtlb(), incoming, tally, foreign);
+  CheckTlb(cpu.l2tlb(), incoming, tally, foreign);
+
+  hw::BranchPredictor& bp = cpu.branch_predictor();
+  if (bp.btb_taint().on()) {
+    const std::uint64_t mask = ObservableMask(incoming, 1);
+    if (std::uint64_t n = bp.btb_taint().ForeignCount(in_tag, mask); n != 0) {
+      foreign += n;
+      if (!tally.has_first) {
+        const std::size_t idx = bp.btb_taint().FindForeign(in_tag, mask);
+        const std::string where = "set " + std::to_string(idx / bp.btb_associativity()) +
+                                  " way " + std::to_string(idx % bp.btb_associativity());
+        Record(tally, "BTB", where, bp.btb_taint().OwnerOf(idx), incoming);
+      }
+    }
+    if (std::uint64_t n = bp.pht_taint().ForeignCount(in_tag, mask); n != 0) {
+      foreign += n;
+      if (!tally.has_first) {
+        const std::size_t idx = bp.pht_taint().FindForeign(in_tag, mask);
+        Record(tally, "PHT", "counter " + std::to_string(idx), bp.pht_taint().OwnerOf(idx),
+               incoming);
+      }
+    }
+    if (bp.ghr_owner() != 0 && bp.ghr_owner() != in_tag) {
+      ++foreign;
+      Record(tally, "GHR", "global history register", bp.ghr_owner(), incoming);
+    }
+  }
+
+  // Host-side translation memo: stale entries are residual state even
+  // though the memo key prevents their reuse.
+  if (int half = cpu.StaleTranslationMemo(); half >= 0) {
+    ++foreign;
+    Record(tally, "translation-memo", half == 0 ? "user half" : "kernel half", 0, incoming);
+  }
+
+  // Pending interrupts of partitioned-out domains that could still fire
+  // into this slice (the x86 accepted-past-mask race of §4.3).
+  const hw::InterruptController& irqc = kernel_.machine_.irq_controller();
+  auto incoming_image = kernel_.domain_image_.find(incoming);
+  const ObjId incoming_img =
+      incoming_image != kernel_.domain_image_.end() ? incoming_image->second : kNullObj;
+  for (const auto& [domain, image_id] : kernel_.domain_image_) {
+    if (domain == 0 || domain == incoming || image_id == incoming_img) {
+      continue;  // a shared image's lines are not another domain's residue
+    }
+    const KernelImageObj& image = kernel_.objects_.As<KernelImageObj>(image_id);
+    for (hw::IrqLine line : image.irqs) {
+      if (irqc.IsDeliverable(line)) {
+        ++foreign;
+        Record(tally, "IRQ", "line " + std::to_string(line),
+               static_cast<hw::TaintTag>(domain), incoming);
+      }
+    }
+  }
+
+  // Known-unfixable residue (§5.3.2, Table 3): stream-prefetcher slots
+  // survive every architected flush; count them, never flag them.
+  tally.whitelisted += cpu.prefetcher().StaleStreams(in_tag);
+
+  if (foreign != 0) {
+    ++tally.dirty_switches;
+    tally.violations += foreign;
+  }
+}
+
+}  // namespace tp::kernel

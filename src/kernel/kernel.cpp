@@ -7,6 +7,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "hw/taint.hpp"
+#include "kernel/contract.hpp"
+
 namespace tp::kernel {
 
 namespace {
@@ -64,6 +67,22 @@ Kernel::Kernel(hw::Machine& machine, const KernelConfig& config)
   }
   Boot();
 
+  if (hw::TaintTrackingEnabled()) {
+    checker_ = std::make_unique<ContractChecker>(*this);
+    // Taint-neutral physical ranges: the §4.1 shared region (accessed
+    // deterministically by design) and the x86 manual-flush buffers (their
+    // contents are the flush itself, not domain activity).
+    const hw::MachineConfig& mc = machine_.config();
+    const std::size_t flush_span =
+        mc.has_architected_l1_flush
+            ? 0
+            : machine_.num_cores() * 2 * std::max(mc.l1d.size_bytes, mc.l1i.size_bytes);
+    for (std::size_t c = 0; c < machine_.num_cores(); ++c) {
+      machine_.core(c).AddTaintNeutralRange(shared_data_.base, shared_data_.size);
+      machine_.core(c).AddTaintNeutralRange(flush_buffer_base_, flush_span);
+    }
+  }
+
   if (config_.flush_mode == FlushMode::kFull) {
     // §5.2 full-flush scenario: data prefetcher disabled via MSR; on Arm the
     // BP is disabled outright for the duration.
@@ -77,6 +96,12 @@ Kernel::Kernel(hw::Machine& machine, const KernelConfig& config)
 }
 
 Kernel::~Kernel() = default;
+
+void Kernel::RegisterDomainColours(DomainId domain, const std::set<std::size_t>& colours) {
+  if (checker_ != nullptr) {
+    checker_->RegisterDomainColours(domain, colours);
+  }
+}
 
 TcbObj& Kernel::CurrentTcbRef(hw::CoreId core) {
   return objects_.As<TcbObj>(core_state_.at(core).cur_tcb);
@@ -323,7 +348,9 @@ void Kernel::FlushOnCoreState(hw::CoreId core) {
   if (machine_.config().has_architected_l1_flush) {
     // Arm: DCCISW + ICIALLU + TLBIALL + BPIALL.
     cpu.ArchFlushL1D();
-    cpu.InvalidateL1I();
+    if (!config_.skip_l1i_flush) {
+      cpu.InvalidateL1I();
+    }
     cpu.FlushTlbAll();
     if (config_.has_bp_flush) {
       cpu.FlushBranchPredictor();
@@ -336,7 +363,9 @@ void Kernel::FlushOnCoreState(hw::CoreId core) {
     }
     cpu.FlushTlbAll();
     ManualL1DFlush(core);
-    ManualL1IFlush(core);
+    if (!config_.skip_l1i_flush) {
+      ManualL1IFlush(core);
+    }
   }
 }
 
@@ -385,6 +414,17 @@ void Kernel::HandleTick(hw::CoreId core) {
   cs.last_tick_time = t0;
   cpu.preemption_timer().Clear();
 
+  // The whole tick sequence is taint-neutral: which domain runs next (and
+  // every access the switch path makes) is determined by the schedule, not
+  // by any domain's secrets — the same determinism argument the paper makes
+  // for the shared switch code (§4.1). SwitchToThread re-aligns the owner
+  // with the new domain tag, so it is re-zeroed after, and the real owner
+  // is restored at tick exit.
+  const bool contract = checker_ != nullptr;
+  if (contract) {
+    cpu.SetTaintOwner(0);
+  }
+
   ObjId from_image = cs.cur_image;
 
   // Step 1: acquire the kernel lock.
@@ -423,6 +463,9 @@ void Kernel::HandleTick(hw::CoreId core) {
     // Step 5: switch thread context (implicitly the kernel image).
     SwitchToThread(core, next);
     cs.cur_domain = next_domain;
+    if (contract) {
+      cpu.SetTaintOwner(0);  // SetDomainTag re-aligned it; still in the tick
+    }
 
     // Step 6: release the kernel lock.
     TouchData(core, shared_data_.At(SharedDataLayout::kKernelLock), 8, true);
@@ -458,9 +501,18 @@ void Kernel::HandleTick(hw::CoreId core) {
         cpu.AdvanceCycles(target - cpu.now());
       }
     }
+
+    // Contract check: with the switch sequence complete, no observable
+    // state of another domain may remain (hw/taint.hpp).
+    if (contract) {
+      checker_->CheckSwitch(core, cs.cur_domain);
+    }
   } else {
     SwitchToThread(core, next);
     cs.cur_domain = next_domain;
+    if (contract) {
+      cpu.SetTaintOwner(0);
+    }
     TouchData(core, shared_data_.At(SharedDataLayout::kKernelLock), 8, true);
     cs.last_switch_cost = cpu.now() - entry;
   }
@@ -472,6 +524,10 @@ void Kernel::HandleTick(hw::CoreId core) {
   // Step 12: restore the user stack pointer and return.
   ExecText(core, KernelOp::kExit);
   cpu.AdvanceCycles(kTrapOutCycles);
+
+  if (contract) {
+    cpu.SetTaintOwner(cpu.domain_tag());  // back to user execution
+  }
 }
 
 void Kernel::KernelSwitch(hw::CoreId core, ObjId from_image, ObjId to_image,

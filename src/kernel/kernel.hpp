@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +51,10 @@ struct KernelConfig {
   // "the situation was much worse" (paper §6.1). Clearing this models the
   // pre-update hardware for ablation studies.
   bool has_bp_flush = true;
+  // Test-only ablation: omit the L1-I part of the on-core flush (manual
+  // jump chain on x86, ICIALLU on Arm). Exists so the contract checker can
+  // be shown to catch a deliberately broken flush.
+  bool skip_l1i_flush = false;
   hw::Cycles timeslice_cycles = 1'000'000;
 
   // Boot-image geometry (defaults give the paper's ~200 KiB x86 image).
@@ -101,6 +106,7 @@ struct TcbSettings {
 };
 
 class UserApi;
+class ContractChecker;
 
 class Kernel {
  public:
@@ -230,8 +236,17 @@ class Kernel {
   // Used by UserApi: the TCB currently executing on the core.
   TcbObj& CurrentTcbRef(hw::CoreId core);
 
+  // --- time-protection contract checking (taint mode only) ----------------
+
+  // Non-null iff taint tracking was enabled when this kernel was built.
+  ContractChecker* contract_checker() { return checker_.get(); }
+  // Declares a domain's LLC colour allocation to the checker (no-op when
+  // taint tracking is off). Called by the domain manager on CreateDomain.
+  void RegisterDomainColours(DomainId domain, const std::set<std::size_t>& colours);
+
  private:
   friend class UserApi;
+  friend class ContractChecker;
 
   struct CoreState {
     ObjId cur_tcb = kNullObj;
@@ -301,6 +316,7 @@ class Kernel {
   SharedTouchProbe shared_probe_;
   std::vector<std::unique_ptr<UserProgram>> kernel_owned_programs_;  // idle threads
   std::vector<std::unique_ptr<UserApi>> apis_;  // one per core
+  std::unique_ptr<ContractChecker> checker_;    // taint mode only
 };
 
 // The interface user programs see: hardware access plus syscalls, all

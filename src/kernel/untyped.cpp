@@ -184,6 +184,18 @@ SyscallResult Kernel::RetypeInFrame(hw::CoreId core, CSpace& cspace, CapIdx fram
         TouchData(core, base, 64, true);
         break;
       }
+      case ObjectType::kVSpace: {
+        // Root table in a caller-supplied (coloured) frame: every page walk
+        // reads the root PTE line, so an uncoloured root is residual state
+        // any domain can reach. Interior frames come via SetVSpaceAllocator.
+        VSpaceObj v;
+        v.metadata_paddr = base;
+        v.space = std::make_unique<AddressSpace>(next_asid_++, base, nullptr);
+        id = objects_.Create(type, std::move(v));
+        TouchData(core, base, 1024, true);
+        TouchData(core, shared_data_.At(SharedDataLayout::kAsidTable), 64, true);
+        break;
+      }
       default:
         r.error = SyscallError::kInvalidArgument;
         break;

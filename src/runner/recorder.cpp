@@ -60,7 +60,7 @@ std::string FormatDouble(double v) {
 std::string RecordToJson(const std::string& bench, const std::string& label,
                          const BenchRecord& r) {
   std::ostringstream os;
-  os << "{\"schema_version\": 2"
+  os << "{\"schema_version\": 3"
      << ", \"bench\": \"" << JsonEscape(bench) << "\""
      << ", \"label\": \"" << JsonEscape(label) << "\""
      << ", \"cell\": \"" << JsonEscape(r.cell) << "\""
@@ -89,6 +89,15 @@ std::string RecordToJson(const std::string& bench, const std::string& label,
       os << "\"" << JsonEscape(key) << "\": " << FormatDouble(value);
     }
     os << "}";
+  }
+  if (r.contract_clean >= 0) {
+    os << ", \"contract_clean\": " << (r.contract_clean != 0 ? "true" : "false")
+       << ", \"contract_switches\": " << r.contract_switches
+       << ", \"contract_violations\": " << r.contract_violations
+       << ", \"contract_whitelisted\": " << r.contract_whitelisted;
+    if (!r.contract_first.empty()) {
+      os << ", \"contract_first\": \"" << JsonEscape(r.contract_first) << "\"";
+    }
   }
   os << "}";
   return os.str();

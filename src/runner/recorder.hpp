@@ -7,7 +7,7 @@
 // disabled and the benches print their tables exactly as before.
 //
 // File schema (documented in BUILDING.md): a JSON array of flat records,
-//   { "schema_version": 2,
+//   { "schema_version": 3,
 //     "bench": "fig3_kernel_channel",   driver name
 //     "label": "pr2-optimized",         free-form run label (TP_BENCH_LABEL)
 //     "cell": "haswell/raw",            experiment cell within the driver
@@ -23,7 +23,14 @@
 //                                       measured per cell for cost grids
 //                                       too, never amortised)
 //     "unix_time": 1753400000,          record time, seconds since epoch
-//     "metrics": {"clone_us": 79.0} }   bench-specific extras (absent if none)
+//     "metrics": {"clone_us": 79.0},    bench-specific extras (absent if none)
+//     "contract_clean": true,           v3: all checked switches scrubbed
+//     "contract_switches": 128,         v3: domain switches checked
+//     "contract_violations": 0,         v3: foreign entries over dirty switches
+//     "contract_whitelisted": 4,        v3: known-unfixable residue (§5.3.2)
+//     "contract_first": "LLC ..." }     v3: first violating access (if dirty)
+// The contract_* fields appear only when the cell ran with taint tracking
+// enabled (TP_TAINT); v1/v2 readers must keep accepting their absence.
 #ifndef TP_RUNNER_RECORDER_HPP_
 #define TP_RUNNER_RECORDER_HPP_
 
@@ -45,6 +52,13 @@ struct BenchRecord {
   std::size_t threads = 1;
   std::size_t shards = 1;
   std::map<std::string, double> metrics;
+  // Contract-checker observables; contract_clean stays -1 (fields not
+  // emitted) when the cell ran without taint tracking.
+  int contract_clean = -1;
+  std::uint64_t contract_switches = 0;
+  std::uint64_t contract_violations = 0;
+  std::uint64_t contract_whitelisted = 0;
+  std::string contract_first;
 };
 
 class Recorder {

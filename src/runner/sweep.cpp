@@ -101,11 +101,14 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
   struct ShardOut {
     mi::Observations obs;
     std::uint64_t wall_ns = 0;
+    hw::ContractTally contract;
   };
   std::vector<ShardOut> outs = runner_.Map(tasks.size(), [&](std::size_t i) {
     std::uint64_t t0 = bench::Recorder::NowNs();
     ShardOut out;
+    hw::ContractCapture capture;
     out.obs = fn(cells[tasks[i].cell], tasks[i].shard);
+    out.contract = capture.Take();
     out.wall_ns = bench::Recorder::NowNs() - t0;
     return out;
   });
@@ -122,6 +125,7 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
     for (std::size_t i = 0; i < r.shards; ++i, ++next) {
       parts.push_back(std::move(outs[next].obs));
       r.wall_ns += outs[next].wall_ns;
+      r.contract.Merge(outs[next].contract);
     }
     r.observations = MergeObservations(parts);
   }
@@ -146,17 +150,31 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
   return results;
 }
 
+void ApplyContract(bench::BenchRecord& record, const hw::ContractTally& tally) {
+  if (!hw::TaintTrackingEnabled()) {
+    return;
+  }
+  record.contract_clean = tally.clean() ? 1 : 0;
+  record.contract_switches = tally.switches;
+  record.contract_violations = tally.violations;
+  record.contract_whitelisted = tally.whitelisted;
+  record.contract_first = tally.has_first ? hw::ToString(tally.first) : "";
+}
+
 void RecordSweep(bench::Recorder& recorder, const ExperimentRunner& runner,
                  const std::vector<SweepCellResult>& results) {
   for (const SweepCellResult& r : results) {
-    recorder.Add({.cell = r.cell.Name(),
-                  .rounds = r.rounds,
-                  .samples = r.leakage.samples,
-                  .mi_bits = r.leakage.mi_bits,
-                  .m0_bits = r.leakage.m0_bits,
-                  .wall_ns = r.wall_ns,
-                  .threads = runner.threads(),
-                  .shards = r.shards});
+    bench::BenchRecord record;
+    record.cell = r.cell.Name();
+    record.rounds = r.rounds;
+    record.samples = r.leakage.samples;
+    record.mi_bits = r.leakage.mi_bits;
+    record.m0_bits = r.leakage.m0_bits;
+    record.wall_ns = r.wall_ns;
+    record.threads = runner.threads();
+    record.shards = r.shards;
+    ApplyContract(record, r.contract);
+    recorder.Add(std::move(record));
   }
 }
 

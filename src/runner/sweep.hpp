@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/taint.hpp"
 #include "mi/leakage_test.hpp"
 #include "mi/observations.hpp"
 #include "runner/recorder.hpp"
@@ -84,6 +85,7 @@ struct SweepCellResult {
   std::size_t rounds = 0;
   std::size_t shards = 0;
   std::uint64_t wall_ns = 0;
+  hw::ContractTally contract;  // merged over shards; all-zero when taint off
 };
 
 class SweepEngine {
@@ -112,9 +114,10 @@ class SweepEngine {
   struct TimedCell {
     T value{};
     std::uint64_t wall_ns = 0;
+    hw::ContractTally contract;  // all-zero when taint off
   };
 
-  // MapCells with per-cell wall timing.
+  // MapCells with per-cell wall timing and contract capture.
   template <typename Fn>
   auto MapCellsTimed(const GridSpec& spec, Fn&& fn) const {
     std::vector<GridCell> cells = ExpandGrid(spec);
@@ -122,7 +125,9 @@ class SweepEngine {
     return runner_.Map(cells.size(), [&](std::size_t i) {
       const std::uint64_t t0 = bench::Recorder::NowNs();
       TimedCell<R> out;
+      hw::ContractCapture capture;
       out.value = fn(cells[i]);
+      out.contract = capture.Take();
       out.wall_ns = bench::Recorder::NowNs() - t0;
       return out;
     });
@@ -133,6 +138,11 @@ class SweepEngine {
  private:
   const ExperimentRunner& runner_;
 };
+
+// Copies a captured contract tally onto a record's contract_* fields. A
+// no-op when taint tracking is off, so v2-shaped records stay v2-shaped; a
+// zero-switch cell with taint on records as (vacuously) clean.
+void ApplyContract(bench::BenchRecord& record, const hw::ContractTally& tally);
 
 // Feeds one BenchRecord per cell result into the recorder.
 void RecordSweep(bench::Recorder& recorder, const ExperimentRunner& runner,

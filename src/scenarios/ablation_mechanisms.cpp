@@ -134,6 +134,8 @@ const RegisterChannel registrar{{
     .paper = "each §3.2 requirement defeats a specific channel class; removing "
              "any one of them reopens its channel",
     .kind = "channel",
+    .contract = "protected cells clean; each ablated cell flags the exact structure its "
+                "removed mechanism scrubs",
     .grids = Grids,
     .cell_shard = CellShard,
     .leak_options = {.shuffles = 50},

@@ -80,11 +80,11 @@ std::string ListNames(const ChannelRegistry& registry) {
 }
 
 std::string MarkdownTable(const ChannelRegistry& registry) {
-  std::string out = "| channel | kind | reproduces | paper result |\n";
-  out += "| --- | --- | --- | --- |\n";
+  std::string out = "| channel | kind | reproduces | paper result | contract_clean |\n";
+  out += "| --- | --- | --- | --- | --- |\n";
   for (const ChannelSpec* spec : registry.All()) {
     out += "| `" + spec->name + "` | " + spec->kind + " | " + spec->title + " | " +
-           spec->paper + " |\n";
+           spec->paper + " | " + (spec->contract.empty() ? "—" : spec->contract) + " |\n";
   }
   return out;
 }

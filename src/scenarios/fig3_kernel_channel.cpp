@@ -56,6 +56,7 @@ const RegisterChannel registrar{{
     .paper = "x86: raw M=0.79b (n=255790), protected M=0.6mb (M0=0.1mb); "
              "Arm: raw M=20mb, protected 0.0mb",
     .kind = "channel",
+    .contract = "protected cells clean; raw dirty (shared kernel image residue)",
     .grids = Grids,
     .cell_shard = CellShard,
     .leak_options = {.shuffles = 60},

@@ -43,15 +43,17 @@ void Run(RunContext& ctx) {
           r.activity_fraction * 100.0, r.activity_events, r.victim_decryptions);
       std::printf("%s", r.AsciiTrace(100).c_str());
     }
-    ctx.recorder.Add(
-        {.cell = cells[i].Name(),
-         .rounds = slots,
-         .samples = r.trace.size(),
-         .wall_ns = results[i].wall_ns,
-         .threads = ctx.pool.threads(),
-         .metrics = {{"activity_slots", static_cast<double>(r.activity_slots)},
-                     {"activity_events", static_cast<double>(r.activity_events)},
-                     {"activity_fraction", r.activity_fraction}}});
+    bench::BenchRecord rec{
+        .cell = cells[i].Name(),
+        .rounds = slots,
+        .samples = r.trace.size(),
+        .wall_ns = results[i].wall_ns,
+        .threads = ctx.pool.threads(),
+        .metrics = {{"activity_slots", static_cast<double>(r.activity_slots)},
+                    {"activity_events", static_cast<double>(r.activity_events)},
+                    {"activity_fraction", r.activity_fraction}}};
+    runner::ApplyContract(rec, results[i].contract);
+    ctx.recorder.Add(std::move(rec));
   }
   if (ctx.verbose) {
     std::printf(
@@ -66,6 +68,7 @@ const RegisterChannel registrar{{
     .paper = "raw: square-pattern dots at the victim's set; protected: no "
              "activity detectable",
     .kind = "cost",
+    .contract = "all cells clean (cross-core: no shared on-core state)",
     .run = Run,
 }};
 

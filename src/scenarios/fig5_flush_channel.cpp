@@ -76,6 +76,7 @@ const RegisterChannel registrar{{
     .paper = "receiver offline time vs sender dirty footprint; unmitigated "
              "M = 1.4 b at n = 1828; padding closes it",
     .kind = "channel",
+    .contract = "all cells clean (pure timing channel, no residue)",
     .grids = Grids,
     .cell_shard = CellShard,
     .leak_options = {.shuffles = 60},

@@ -54,6 +54,7 @@ const RegisterChannel registrar{{
     .paper = "raw: M = 902 mb (timer 13-17ms, 10ms tick); partitioned: closed "
              "(M = 0.5 mb, M0 = 0.7 mb)",
     .kind = "channel",
+    .contract = "partitioned cells clean; raw dirty (foreign interrupt residue)",
     .grids = Grids,
     .cell_shard = CellShard,
     .leak_options = {.shuffles = 50},

@@ -110,6 +110,7 @@ void Run(RunContext& ctx) {
     rec.threads = ctx.pool.threads();
     rec.metrics["cycles"] = cycles[i];
     rec.metrics["slowdown"] = slowdown;
+    runner::ApplyContract(rec, timed[i].contract);
     ctx.recorder.Add(std::move(rec));
     if (cell.mode == "base" && cell.colour_fraction == 1.0) {
       continue;  // the baseline itself
@@ -156,6 +157,7 @@ const RegisterChannel registrar{{
     .paper = "most benchmarks <2% even at 50% colours; raytrace worst (6.5% at "
              "50% Arm, 2.5% at 75%); cloning adds ~0 on top",
     .kind = "cost",
+    .contract = "all cells clean (full protection throughout)",
     .run = Run,
 }};
 

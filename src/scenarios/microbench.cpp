@@ -156,14 +156,18 @@ void Run(RunContext& ctx) {
   for (const Micro& bench : Benches()) {
     std::size_t n = bench::Scaled(bench.iterations, bench.iterations / 64);
     std::uint64_t t0 = bench::Recorder::NowNs();
+    hw::ContractCapture capture;
     bench.run(n);
+    hw::ContractTally contract = capture.Take();
     std::uint64_t wall = bench::Recorder::NowNs() - t0;
     double ns_per_op = static_cast<double>(wall) / static_cast<double>(n);
     t.AddRow({bench.name, std::to_string(n), Fmt("%.1f", ns_per_op)});
-    ctx.recorder.Add({.cell = bench.name,
-                      .rounds = n,
-                      .wall_ns = wall,
-                      .metrics = {{"ns_per_op", ns_per_op}}});
+    bench::BenchRecord rec{.cell = bench.name,
+                           .rounds = n,
+                           .wall_ns = wall,
+                           .metrics = {{"ns_per_op", ns_per_op}}};
+    runner::ApplyContract(rec, contract);
+    ctx.recorder.Add(std::move(rec));
   }
   if (ctx.verbose) {
     std::printf("\n");
@@ -177,6 +181,7 @@ const RegisterChannel registrar{{
     .title = "Microbenchmarks: host throughput of the simulator's hot paths",
     .paper = "n/a (simulator implementation metric, not a paper figure)",
     .kind = "cost",
+    .contract = "all cells clean",
     .run = Run,
 }};
 

@@ -44,6 +44,10 @@ struct ChannelSpec {
   std::string title;  // one-line heading ("Figure 3: ...")
   std::string paper;  // the paper's numbers for this experiment
   std::string kind;   // "channel" (MI cells, leak-gated) or "cost" (metrics)
+  // What the taint-tracking contract checker proves for this scenario's
+  // cells under TP_TAINT=1 (the `contract_clean` column of the README
+  // table). Empty renders as "—".
+  std::string contract;
 
   // Builds the scenario's grid(s). Called at run time, so TP_QUICK scaling
   // (runner/quick.hpp) applies to the invocation, not to process start-up.

@@ -108,11 +108,13 @@ void Run(RunContext& ctx) {
               Fmt("%.1f", cost.direct_us), Fmt("%.1f", cost.indirect_us),
               Fmt("%.1f", cost.direct_us + cost.indirect_us),
               it != paper.end() ? it->second : "-"});
-    ctx.recorder.Add({.cell = cells[i].Name(),
-                      .wall_ns = costs[i].wall_ns,
-                      .threads = ctx.pool.threads(),
-                      .metrics = {{"direct_us", cost.direct_us},
-                                  {"indirect_us", cost.indirect_us}}});
+    bench::BenchRecord rec{.cell = cells[i].Name(),
+                           .wall_ns = costs[i].wall_ns,
+                           .threads = ctx.pool.threads(),
+                           .metrics = {{"direct_us", cost.direct_us},
+                                       {"indirect_us", cost.indirect_us}}};
+    runner::ApplyContract(rec, costs[i].contract);
+    ctx.recorder.Add(std::move(rec));
   }
   if (ctx.verbose) {
     std::printf("\n");
@@ -131,6 +133,7 @@ const RegisterChannel registrar{{
              "full 380/770/1150. (x86 L1 is the manual flush; ~1us with "
              "hardware support)",
     .kind = "cost",
+    .contract = "all cells clean",
     .run = Run,
 }};
 

@@ -110,6 +110,7 @@ const RegisterChannel registrar{{
     .paper = "all closed on both platforms except x86 L2: 50.5mb residual from "
              "the prefetcher state machine (6.4mb with the data prefetcher off)",
     .kind = "channel",
+    .contract = "full-flush and protected cells clean; raw dirty by design",
     .grids = Grids,
     .cell_shard = CellShard,
     .leak_options = {.shuffles = 50},

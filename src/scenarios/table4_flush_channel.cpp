@@ -75,6 +75,7 @@ const RegisterChannel registrar{{
     .paper = "x86: 8.4/8.3mb -> 0.5/0.6mb (pad 58.8us); Arm: 1400/1400mb -> "
              "closed (pad 62.5us)",
     .kind = "channel",
+    .contract = "all cells clean (pure timing channel, no residue)",
     .grids = Grids,
     .cell_shard = CellShard,
     .leak_options = {.shuffles = 50},

@@ -169,11 +169,14 @@ void Run(RunContext& ctx) {
     for (std::size_t i = p; i < p + grid.variants.size(); ++i) {
       double slowdown = (cycles[i] / base - 1.0) * 100.0;
       t.AddRow({cells[i].variant, Fmt("%.0f", cycles[i]), Fmt("%+.1f%%", slowdown)});
-      ctx.recorder.Add({.cell = cells[i].Name(),
-                        .rounds = rounds,
-                        .wall_ns = timed[i].wall_ns,
-                        .threads = ctx.pool.threads(),
-                        .metrics = {{"ipc_cycles", cycles[i]}, {"slowdown_pct", slowdown}}});
+      bench::BenchRecord rec{
+          .cell = cells[i].Name(),
+          .rounds = rounds,
+          .wall_ns = timed[i].wall_ns,
+          .threads = ctx.pool.threads(),
+          .metrics = {{"ipc_cycles", cycles[i]}, {"slowdown_pct", slowdown}}};
+      runner::ApplyContract(rec, timed[i].contract);
+      ctx.recorder.Add(std::move(rec));
     }
     if (ctx.verbose) {
       t.Print();
@@ -192,6 +195,7 @@ const RegisterChannel registrar{{
     .paper = "x86: 381 cycles, ~0-1% slowdown for all versions. Arm: 344 cycles, "
              "13-15% for clone-capable versions (2-way L2 TLB conflicts)",
     .kind = "cost",
+    .contract = "all cells clean",
     .run = Run,
 }};
 

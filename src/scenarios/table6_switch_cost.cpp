@@ -138,11 +138,13 @@ void Run(RunContext& ctx) {
     std::map<std::string, double> by_key;  // variant|mode -> us
     for (std::size_t i = 0; i < cells.size(); ++i) {
       by_key[cells[i].variant + "|" + cells[i].mode] = costs[i].value;
-      ctx.recorder.Add({.cell = cells[i].Name(),
-                        .rounds = switches,
-                        .wall_ns = costs[i].wall_ns,
-                        .threads = ctx.pool.threads(),
-                        .metrics = {{"switch_us", costs[i].value}}});
+      bench::BenchRecord rec{.cell = cells[i].Name(),
+                             .rounds = switches,
+                             .wall_ns = costs[i].wall_ns,
+                             .threads = ctx.pool.threads(),
+                             .metrics = {{"switch_us", costs[i].value}}};
+      runner::ApplyContract(rec, costs[i].contract);
+      ctx.recorder.Add(std::move(rec));
     }
     if (ctx.verbose) {
       const std::string& platform = grid.platforms.front();
@@ -174,6 +176,7 @@ const RegisterChannel registrar{{
     .paper = "x86: raw 0.18-0.5, full 271, protected 30. Arm: raw 0.7-1.6, "
              "full 414, protected 27-31",
     .kind = "cost",
+    .contract = "full-flush and protected cells clean; raw dirty above trivial working sets",
     .run = Run,
 }};
 

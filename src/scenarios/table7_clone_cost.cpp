@@ -73,20 +73,33 @@ CloneCosts Measure(const hw::MachineConfig& mc, std::size_t reps) {
 // Shards the reps across the pool (every shard boots its own machine) and
 // averages over the total.
 CloneCosts MeasureSharded(const hw::MachineConfig& mc, std::size_t reps,
-                          const runner::ExperimentRunner& pool, std::size_t* shards_out) {
+                          const runner::ExperimentRunner& pool, std::size_t* shards_out,
+                          hw::ContractTally* contract_out) {
   runner::ShardPlan plan =
       runner::PlanShards(reps, /*root_seed=*/0, /*min_shard_rounds=*/2);
   if (shards_out != nullptr) {
     *shards_out = plan.num_shards();
   }
-  std::vector<CloneCosts> parts = pool.Map(plan.num_shards(), [&](std::size_t i) {
-    return Measure(mc, plan.shard_rounds[i]);
+  struct ShardOut {
+    CloneCosts costs;
+    hw::ContractTally contract;
+  };
+  std::vector<ShardOut> parts = pool.Map(plan.num_shards(), [&](std::size_t i) {
+    ShardOut out;
+    hw::ContractCapture capture;
+    out.costs = Measure(mc, plan.shard_rounds[i]);
+    out.contract = capture.Take();
+    return out;
   });
   CloneCosts total;
-  for (const CloneCosts& part : parts) {
+  for (const ShardOut& shard : parts) {
+    const CloneCosts& part = shard.costs;
     total.clone_us += part.clone_us;
     total.destroy_us += part.destroy_us;
     total.spawn_us += part.spawn_us;
+    if (contract_out != nullptr) {
+      contract_out->Merge(shard.contract);
+    }
   }
   total.clone_us /= static_cast<double>(reps);
   total.destroy_us /= static_cast<double>(reps);
@@ -107,18 +120,22 @@ void Run(RunContext& ctx) {
   for (const std::string& platform : {std::string(kHaswell), std::string(kSabre)}) {
     std::uint64_t t0 = bench::Recorder::NowNs();
     std::size_t shards = 1;
-    CloneCosts c = MeasureSharded(PlatformConfig(platform, 4), reps, ctx.pool, &shards);
+    hw::ContractTally contract;
+    CloneCosts c =
+        MeasureSharded(PlatformConfig(platform, 4), reps, ctx.pool, &shards, &contract);
     auto it = paper.find(platform);
     t.AddRow({platform, Fmt("%.1f", c.clone_us), Fmt("%.2f", c.destroy_us),
               Fmt("%.1f", c.spawn_us), it != paper.end() ? it->second : "-"});
-    ctx.recorder.Add({.cell = platform,
-                      .rounds = reps,
-                      .wall_ns = bench::Recorder::NowNs() - t0,
-                      .threads = ctx.pool.threads(),
-                      .shards = shards,
-                      .metrics = {{"clone_us", c.clone_us},
-                                  {"destroy_us", c.destroy_us},
-                                  {"spawn_us", c.spawn_us}}});
+    bench::BenchRecord rec{.cell = platform,
+                           .rounds = reps,
+                           .wall_ns = bench::Recorder::NowNs() - t0,
+                           .threads = ctx.pool.threads(),
+                           .shards = shards,
+                           .metrics = {{"clone_us", c.clone_us},
+                                       {"destroy_us", c.destroy_us},
+                                       {"spawn_us", c.spawn_us}}};
+    runner::ApplyContract(rec, contract);
+    ctx.recorder.Add(std::move(rec));
   }
   if (ctx.verbose) {
     std::printf("\n");
@@ -136,6 +153,7 @@ const RegisterChannel registrar{{
     .paper = "x86: clone 79, destroy 0.6, fork+exec 257. Arm: clone 608, "
              "destroy 67, fork+exec 4300",
     .kind = "cost",
+    .contract = "all cells clean",
     .run = Run,
 }};
 

@@ -65,6 +65,7 @@ std::uint64_t RunTimeShared(const hw::MachineConfig& mc, workloads::SplashKind k
 struct CellOut {
   std::uint64_t accesses = 0;
   std::uint64_t wall_ns = 0;
+  hw::ContractTally contract;
 };
 
 struct PlatformSummary {
@@ -114,10 +115,12 @@ void Run(RunContext& ctx) {
   auto run_cell = [&](const runner::GridCell& cell) {
     CellOut out;
     std::uint64_t t0 = bench::Recorder::NowNs();
+    hw::ContractCapture capture;
     out.accesses = RunTimeShared(
         PlatformConfig(cell.platform), SplashKindByName(cell.variant),
         cell.mode == "raw" ? core::Scenario::kRaw : core::Scenario::kProtected,
         cell.mode == "protected", cell.colour_fraction, slices);
+    out.contract = capture.Take();
     out.wall_ns = bench::Recorder::NowNs() - t0;
     return out;
   };
@@ -130,11 +133,14 @@ void Run(RunContext& ctx) {
   std::map<std::string, std::uint64_t> baseline;
   for (std::size_t i = 0; i < base_cells.size(); ++i) {
     baseline[base_cells[i].platform + "/" + base_cells[i].variant] = base_out[i].accesses;
-    ctx.recorder.Add({.cell = base_cells[i].Name(),
-                      .rounds = slices,
-                      .wall_ns = base_out[i].wall_ns,
-                      .threads = ctx.pool.threads(),
-                      .metrics = {{"accesses", static_cast<double>(base_out[i].accesses)}}});
+    bench::BenchRecord rec{
+        .cell = base_cells[i].Name(),
+        .rounds = slices,
+        .wall_ns = base_out[i].wall_ns,
+        .threads = ctx.pool.threads(),
+        .metrics = {{"accesses", static_cast<double>(base_out[i].accesses)}}};
+    runner::ApplyContract(rec, base_out[i].contract);
+    ctx.recorder.Add(std::move(rec));
   }
 
   // platform -> mode/fraction summary tables keyed like "nopad cf=1".
@@ -143,12 +149,15 @@ void Run(RunContext& ctx) {
     const runner::GridCell& cell = prot_cells[i];
     std::uint64_t base = baseline.at(cell.platform + "/" + cell.variant);
     double over = static_cast<double>(base) / static_cast<double>(prot_out[i].accesses) - 1.0;
-    ctx.recorder.Add({.cell = cell.Name(),
-                      .rounds = slices,
-                      .wall_ns = prot_out[i].wall_ns,
-                      .threads = ctx.pool.threads(),
-                      .metrics = {{"overhead", over},
-                                  {"accesses", static_cast<double>(prot_out[i].accesses)}}});
+    bench::BenchRecord rec{
+        .cell = cell.Name(),
+        .rounds = slices,
+        .wall_ns = prot_out[i].wall_ns,
+        .threads = ctx.pool.threads(),
+        .metrics = {{"overhead", over},
+                    {"accesses", static_cast<double>(prot_out[i].accesses)}}};
+    runner::ApplyContract(rec, prot_out[i].contract);
+    ctx.recorder.Add(std::move(rec));
     summaries[cell.platform][cell.mode + Fmt(" cf=%.3g", cell.colour_fraction)].Fold(
         cell.variant, over);
   }
@@ -174,6 +183,7 @@ const RegisterChannel registrar{{
     .title = "Table 8: time-shared Splash-2 under full time protection",
     .paper = "50% colours: x86 mean 2.76% (no pad) / 3.38% (pad); Arm 0.75% / 1.09%",
     .kind = "cost",
+    .contract = "protected and nopad cells clean; raw dirty by design",
     .run = Run,
 }};
 

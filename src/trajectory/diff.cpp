@@ -19,11 +19,13 @@ bool HasLeakMetric(const TrajectoryRecord& r, const DiffOptions& options) {
   return false;
 }
 
-// Last record per (bench, cell) for one label; duplicates noted (reruns
-// append, the latest run wins).
+// One record per (bench, cell) for one label. A duplicate is a hard error:
+// "latest wins" used to paper over a label appended twice (e.g. a rerun
+// into a committed baseline file), and whichever run happened to come last
+// silently became the gated truth.
 std::map<std::string, const TrajectoryRecord*> IndexLabel(const Trajectory& t,
                                                           std::string_view label,
-                                                          std::vector<std::string>* notes) {
+                                                          std::string* error) {
   std::map<std::string, const TrajectoryRecord*> index;
   for (const TrajectoryRecord& r : t.records) {
     if (r.label != label) {
@@ -31,8 +33,9 @@ std::map<std::string, const TrajectoryRecord*> IndexLabel(const Trajectory& t,
     }
     std::string key = Key(r);
     if (auto it = index.find(key); it != index.end()) {
-      notes->push_back("duplicate record for '" + key + "' in label '" + std::string(label) +
-                       "', using the last one");
+      *error = "duplicate record for '" + key + "' in label '" + std::string(label) +
+               "'; one record per (bench, cell) per label — rerun under a fresh label";
+      return index;
     }
     index[key] = &r;
   }
@@ -121,8 +124,14 @@ DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view base
     return outcome;
   }
 
-  auto base = IndexLabel(trajectory, baseline, &result.notes);
-  auto cand = IndexLabel(trajectory, candidate, &result.notes);
+  auto base = IndexLabel(trajectory, baseline, &outcome.error);
+  if (!outcome.error.empty()) {
+    return outcome;
+  }
+  auto cand = IndexLabel(trajectory, candidate, &outcome.error);
+  if (!outcome.error.empty()) {
+    return outcome;
+  }
 
   for (const auto& [key, b] : base) {
     if (cand.find(key) == cand.end()) {
@@ -224,10 +233,25 @@ DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view base
         }
       }
     }
+    d.base_contract = b != nullptr ? b->contract_clean : -1;
+    d.cand_contract = c->contract_clean;
+    if (options.require_contract && d.protected_mode) {
+      if (d.cand_contract == 0 && d.base_contract != 0) {
+        // Newly dirty (baseline clean, or held to clean when absent/new).
+        d.contract_regression = true;
+        if (!c->contract_first.empty()) {
+          result.notes.push_back("contract violation in '" + key + "': " + c->contract_first);
+        }
+      } else if (d.base_contract >= 0 && d.cand_contract < 0) {
+        result.notes.push_back("contract_clean vanished from protected cell '" + key + "'");
+        d.contract_regression = true;
+      }
+    }
     result.leak_regressions += d.leak_regression ? 1 : 0;
     result.wall_regressions += d.wall_regression ? 1 : 0;
     result.mi_delta_regressions += d.mi_delta_regression ? 1 : 0;
     result.missing_wall += d.missing_wall ? 1 : 0;
+    result.contract_regressions += d.contract_regression ? 1 : 0;
     result.cells.push_back(std::move(d));
   }
   if (result.cells.empty()) {
@@ -249,7 +273,9 @@ std::string ReportJson(const DiffOutcome& outcome) {
          ", \"min_wall_ns\": " + std::to_string(r.options.min_wall_ns) +
          ", \"mi_eps_bits\": " + FormatDouble(r.options.mi_eps_bits) +
          ", \"require_cell_wall\": " +
-         std::string(r.options.require_cell_wall ? "true" : "false") + "},\n";
+         std::string(r.options.require_cell_wall ? "true" : "false") +
+         ", \"require_contract\": " +
+         std::string(r.options.require_contract ? "true" : "false") + "},\n";
   if (!outcome.error.empty()) {
     out += "  \"error\": \"" + JsonEscape(outcome.error) + "\",\n";
   }
@@ -259,6 +285,7 @@ std::string ReportJson(const DiffOutcome& outcome) {
   out += "  \"mi_delta_regressions\": " + std::to_string(r.mi_delta_regressions) + ",\n";
   out += "  \"missing_protected\": " + std::to_string(r.missing_protected) + ",\n";
   out += "  \"missing_wall\": " + std::to_string(r.missing_wall) + ",\n";
+  out += "  \"contract_regressions\": " + std::to_string(r.contract_regressions) + ",\n";
   out += "  \"cells_compared\": " + std::to_string(r.cells.size()) + ",\n";
   AppendStringArray(out, "missing_in_candidate", r.missing_in_candidate);
   out += ",\n";
@@ -289,6 +316,15 @@ std::string ReportJson(const DiffOutcome& outcome) {
            std::string(d.mi_delta_regression ? "true" : "false");
     if (d.missing_wall) {
       out += ", \"missing_wall\": true";
+    }
+    if (d.base_contract >= 0) {
+      out += ", \"base_contract_clean\": " + std::string(d.base_contract != 0 ? "true" : "false");
+    }
+    if (d.cand_contract >= 0) {
+      out += ", \"cand_contract_clean\": " + std::string(d.cand_contract != 0 ? "true" : "false");
+    }
+    if (d.contract_regression) {
+      out += ", \"contract_regression\": true";
     }
     out += "}";
   }

@@ -12,8 +12,15 @@
 //  * wall-clock — candidate/baseline wall_ns beyond `max_wall_ratio` on
 //    cells expensive enough to time meaningfully (>= min_wall_ns).
 //
-// Cells present on only one side, quick/full-mode mismatches and duplicate
-// records are surfaced as notes.
+//  * contract (opt-in, `require_contract`) — a protected cell whose
+//    candidate reports contract_clean=false where the baseline was clean
+//    (or absent), or whose candidate dropped the observable the baseline
+//    carried. Catches residual state that is MI-quiet on the sampled
+//    inputs but structurally present.
+//
+// Cells present on only one side and quick/full-mode mismatches are
+// surfaced as notes. A duplicate (bench, cell) within one label is a hard
+// error: "latest wins" silently masked double-appended runs.
 #ifndef TP_TRAJECTORY_DIFF_HPP_
 #define TP_TRAJECTORY_DIFF_HPP_
 
@@ -58,6 +65,13 @@ struct DiffOptions {
   // whose candidate records none (wall_ns == 0): per-cell timing that
   // silently vanishes would exempt the cell from every future wall gate.
   bool require_cell_wall = false;
+  // Gate protected cells on the v3 contract_clean observable: a candidate
+  // reported dirty where the baseline was clean or absent fails, as does a
+  // candidate that lost the observable the baseline carried (same
+  // disarm-the-gate rule as require_cell_wall). Cells the baseline already
+  // shows dirty (the paper's residual x86 private-L2 state) pass as long as
+  // they stay no worse.
+  bool require_contract = false;
 };
 
 // True when one of the cell name's "/" segments is exactly "protected"
@@ -80,6 +94,11 @@ struct CellDiff {
   bool wall_regression = false;
   bool mi_delta_regression = false;
   bool missing_wall = false;  // baseline timed this cell, candidate did not
+  // Contract observable on each side (-1 = not recorded, 0 = dirty,
+  // 1 = clean) and the require_contract verdict.
+  int base_contract = -1;
+  int cand_contract = -1;
+  bool contract_regression = false;
 };
 
 struct DiffResult {
@@ -96,9 +115,10 @@ struct DiffResult {
   std::size_t mi_delta_regressions = 0;
   std::size_t missing_protected = 0;  // protected baseline cells gone from candidate
   std::size_t missing_wall = 0;       // cells whose candidate lost per-cell timing
+  std::size_t contract_regressions = 0;  // protected cells newly contract-dirty
   bool ok() const {
     return leak_regressions == 0 && wall_regressions == 0 && mi_delta_regressions == 0 &&
-           missing_protected == 0 && missing_wall == 0;
+           missing_protected == 0 && missing_wall == 0 && contract_regressions == 0;
   }
 };
 

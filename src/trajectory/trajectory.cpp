@@ -96,10 +96,25 @@ bool ParseRecord(const JsonValue& v, TrajectoryRecord& r, std::string* why) {
   read_size("shards", &r.shards);
   read_size("rounds", &r.rounds);
   read_size("samples", &r.samples);
-  ReadNumber(v, "mi_bits", &r.mi_bits, &type_error);
-  ReadNumber(v, "m0_bits", &r.m0_bits, &type_error);
-  if (ReadNumber(v, "wall_ns", &num, &type_error) && num >= 0) {
-    r.wall_ns = static_cast<std::uint64_t>(num);
+  // The gated observables must be finite: a NaN/Inf that slipped into the
+  // file would sail through every threshold comparison and turn the gate
+  // into a silent pass, so these are hard skips, not warnings-and-keep.
+  if (ReadNumber(v, "mi_bits", &r.mi_bits, &type_error) && !std::isfinite(r.mi_bits)) {
+    *why = "non-finite mi_bits";
+    return false;
+  }
+  if (ReadNumber(v, "m0_bits", &r.m0_bits, &type_error) && !std::isfinite(r.m0_bits)) {
+    *why = "non-finite m0_bits";
+    return false;
+  }
+  if (ReadNumber(v, "wall_ns", &num, &type_error)) {
+    if (!std::isfinite(num)) {
+      *why = "non-finite wall_ns";
+      return false;
+    }
+    if (num >= 0) {
+      r.wall_ns = static_cast<std::uint64_t>(num);
+    }
   }
   if (ReadNumber(v, "unix_time", &num, &type_error)) {
     r.unix_time = static_cast<std::int64_t>(num);
@@ -117,6 +132,22 @@ bool ParseRecord(const JsonValue& v, TrajectoryRecord& r, std::string* why) {
       }
     }
   }
+  if (const JsonValue* c = v.Find("contract_clean"); c != nullptr) {
+    if (c->is(JsonValue::Type::kBool)) {
+      r.contract_clean = c->boolean ? 1 : 0;
+    } else {
+      type_error = true;
+    }
+  }
+  auto read_u64 = [&](std::string_view key, std::uint64_t* out) {
+    if (ReadNumber(v, key, &num, &type_error) && num >= 0) {
+      *out = static_cast<std::uint64_t>(num);
+    }
+  };
+  read_u64("contract_switches", &r.contract_switches);
+  read_u64("contract_violations", &r.contract_violations);
+  read_u64("contract_whitelisted", &r.contract_whitelisted);
+  ReadString(v, "contract_first", &r.contract_first, &type_error);
   if (type_error) {
     *why = "field with unexpected type";
     return false;

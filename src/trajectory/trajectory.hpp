@@ -22,10 +22,12 @@ namespace tp::trajectory {
 // The schema range this tooling understands (see BUILDING.md and
 // runner/recorder.hpp, which writes the current version). v1 records carry
 // amortised wall_ns on cost-grid cells; v2 wall_ns is always a per-cell
-// measurement. The fields are otherwise identical, so both versions load
-// into the same record type and diff against each other.
+// measurement; v3 adds the optional contract_* observables of taint-on
+// runs. Every version loads into the same record type (absent contract
+// fields stay at their "not recorded" defaults), so all versions diff
+// against each other.
 inline constexpr int kMinSchemaVersion = 1;
-inline constexpr int kSchemaVersion = 2;
+inline constexpr int kSchemaVersion = 3;
 
 struct TrajectoryRecord {
   int schema_version = 0;
@@ -43,8 +45,16 @@ struct TrajectoryRecord {
   std::uint64_t wall_ns = 0;
   std::int64_t unix_time = 0;
   std::map<std::string, double> metrics;
+  // Contract-checker observables (v3); contract_clean -1 = not recorded
+  // (pre-v3 file or taint tracking off), 0 = dirty, 1 = clean.
+  int contract_clean = -1;
+  std::uint64_t contract_switches = 0;
+  std::uint64_t contract_violations = 0;
+  std::uint64_t contract_whitelisted = 0;
+  std::string contract_first;
 
   bool has_mi() const { return !std::isnan(mi_bits); }
+  bool has_contract() const { return contract_clean >= 0; }
 };
 
 struct Trajectory {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "hw/core.hpp"
 #include "hw/machine.hpp"
 #include "support/test_support.hpp"
@@ -121,6 +123,95 @@ TEST_F(CoreTest, DeviceTimerRaisesIrq) {
 TEST_F(CoreTest, FaultWithoutContextThrows) {
   Machine m(MachineConfig::Haswell(1));
   EXPECT_THROW(m.core(0).Access(0x1000, AccessKind::kRead), std::runtime_error);
+}
+
+// A context whose mappings change after construction, bumping its
+// generation on every change — the contract the core's host-side
+// translation memo is keyed on.
+class MutableTranslationContext : public TranslationContext {
+ public:
+  explicit MutableTranslationContext(Asid asid) : asid_(asid) {}
+  std::optional<Translation> Translate(VAddr vaddr) const override {
+    auto it = pages_.find(PageNumber(vaddr));
+    if (it == pages_.end()) {
+      return std::nullopt;
+    }
+    return Translation{it->second, false};
+  }
+  const std::uint64_t* generation() const override { return &gen_; }
+  void WalkPath(VAddr vaddr, std::vector<PAddr>& out) const override {
+    out.push_back(0x7000000 + (PageNumber(vaddr) % 512) * 8);
+  }
+  Asid asid() const override { return asid_; }
+  void Map(VAddr va, PAddr pa) {
+    pages_[PageNumber(va)] = pa;
+    ++gen_;
+  }
+  void Unmap(VAddr va) {
+    pages_.erase(PageNumber(va));
+    ++gen_;
+  }
+
+ private:
+  Asid asid_;
+  std::map<std::uint64_t, PAddr> pages_;
+  std::uint64_t gen_ = 1;
+};
+
+TEST(TranslationMemoTest, RemapAndUnmapAreVisibleImmediately) {
+  Machine m(MachineConfig::Haswell(1));
+  Core& core = m.core(0);
+  MutableTranslationContext ctx(1);
+  FlatTranslationContext kctx(99, {.pt_base = 0x7100000});
+  core.SetUserContext(&ctx);
+  core.SetKernelContext(&kctx, true);
+
+  ctx.Map(0x5000, 0x40000);
+  core.Access(0x5000, AccessKind::kRead);
+  Cycles warm = core.Access(0x5000, AccessKind::kRead);
+  EXPECT_EQ(warm, m.config().lat.base_op + m.config().lat.l1_hit);
+
+  // Remap to a different frame: the next access must fetch the new frame
+  // (cold), even though the TLB entry for the page is still warm. A stale
+  // memo would hit the old frame's L1 line.
+  ctx.Map(0x5000, 0x99000);
+  Cycles after_remap = core.Access(0x5000, AccessKind::kRead);
+  EXPECT_GT(after_remap, warm);
+
+  // Unmap: the next access must fault, not translate through the memo.
+  ctx.Unmap(0x5000);
+  EXPECT_THROW(core.Access(0x5000, AccessKind::kRead), std::runtime_error);
+}
+
+TEST(TranslationMemoTest, StaleMemoIsDetectedAndClearedOnContextSwitch) {
+  Machine m(MachineConfig::Haswell(1));
+  Core& core = m.core(0);
+  MutableTranslationContext ctx1(1);
+  FlatTranslationContext kctx(99, {.pt_base = 0x7100000});
+  core.SetUserContext(&ctx1);
+  core.SetKernelContext(&kctx, true);
+
+  EXPECT_EQ(core.StaleTranslationMemo(), -1) << "no memo yet";
+  ctx1.Map(0x5000, 0x40000);
+  core.Access(0x5000, AccessKind::kRead);
+  EXPECT_EQ(core.StaleTranslationMemo(), -1) << "memo fresh after the access";
+
+  // Any map/unmap bumps the generation, leaving the memo stale until the
+  // next translation refreshes it.
+  ctx1.Map(0x6000, 0x41000);
+  EXPECT_EQ(core.StaleTranslationMemo(), 0) << "user half must read as stale";
+  core.Access(0x5000, AccessKind::kRead);
+  EXPECT_EQ(core.StaleTranslationMemo(), -1);
+
+  // A context switch (domain switch) clears the memo outright; the next
+  // access must use the new context's frame, not the old one's.
+  MutableTranslationContext ctx2(2);
+  ctx2.Map(0x5000, 0x80000);
+  core.SetUserContext(&ctx2);
+  EXPECT_EQ(core.StaleTranslationMemo(), -1);
+  Cycles fresh = core.Access(0x5000, AccessKind::kRead);
+  EXPECT_GT(fresh, m.config().lat.base_op + m.config().lat.l1_hit)
+      << "reusing the old domain's translation would hit its warm line";
 }
 
 TEST(MachineTest, CycleConversionRoundTrips) {

@@ -101,6 +101,23 @@ TEST(Prefetcher, DisabledDoesNotTrain) {
   EXPECT_EQ(pf.ActiveDataStreams(), 0u);
 }
 
+TEST(Prefetcher, OverflowingGeometryThrowsAtConstruction) {
+  // The per-miss fill list is a fixed inline array; a geometry that could
+  // overflow it must fail loudly at construction, not drop fills mid-miss.
+  PrefetcherGeometry g = TestGeometry();
+  g.max_stale_issues_per_miss = 2;
+  g.prefetch_degree = 7;  // 2 + 7 > kCapacity (8)
+  EXPECT_THROW(StreamPrefetcher{g}, std::invalid_argument);
+  g.prefetch_degree = 6;  // exactly at capacity: fine
+  EXPECT_NO_THROW(StreamPrefetcher{g});
+  // A negative degree clamps to 0 instead of wrapping to a huge unsigned.
+  g.prefetch_degree = -1;
+  g.max_stale_issues_per_miss = PrefetchFillList::kCapacity;
+  EXPECT_NO_THROW(StreamPrefetcher{g});
+  g.max_stale_issues_per_miss = PrefetchFillList::kCapacity + 1;
+  EXPECT_THROW(StreamPrefetcher{g}, std::invalid_argument);
+}
+
 TEST(Prefetcher, ZeroSlotGeometryIsInert) {
   // Sabre configuration: no stream retention at all.
   PrefetcherGeometry g{};

@@ -1,0 +1,106 @@
+// Taint-metadata primitives: the per-structure owner map with incremental
+// per-colour counts, and the thread-local tally capture the sharded sweeps
+// rely on.
+#include "hw/taint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tp::hw {
+namespace {
+
+TEST(TaintMap, OffByDefaultAndFree) {
+  TaintMap map;
+  EXPECT_FALSE(map.on());
+}
+
+TEST(TaintMap, CountsForeignEntriesByOwnerAndColour) {
+  TaintMap map;
+  map.Enable(8, 4);
+  ASSERT_TRUE(map.on());
+  map.Tag(0, 1, 0);
+  map.Tag(1, 1, 1);
+  map.Tag(2, 2, 2);
+  map.Tag(3, 0, 3);  // neutral: never foreign
+
+  EXPECT_EQ(map.ForeignCount(2, ~0ull), 2u) << "owner 1's two entries";
+  EXPECT_EQ(map.ForeignCount(1, ~0ull), 1u) << "owner 2's entry";
+  EXPECT_EQ(map.ForeignCount(1, 1ull << 2), 1u);
+  EXPECT_EQ(map.ForeignCount(1, 1ull << 3), 0u) << "colour 3 holds only neutral state";
+  EXPECT_EQ(map.ForeignCount(0, 0ull), 0u);
+
+  EXPECT_EQ(map.FindForeign(2, ~0ull), 0u);
+  EXPECT_EQ(map.FindForeign(1, 1ull << 2), 2u);
+  EXPECT_EQ(map.FindForeign(1, 1ull << 1), TaintMap::npos)
+      << "colour 1 holds only the incoming domain's own entry";
+
+  // Retag and clear keep the counts consistent.
+  map.Tag(0, 2, 3);
+  EXPECT_EQ(map.ForeignCount(1, ~0ull), 2u);
+  EXPECT_EQ(map.OwnerOf(0), 2);
+  map.Clear(2);
+  EXPECT_EQ(map.ForeignCount(1, ~0ull), 1u);
+  map.ClearAll();
+  EXPECT_EQ(map.ForeignCount(1, ~0ull), 0u);
+  EXPECT_EQ(map.FindForeign(1, ~0ull), TaintMap::npos);
+}
+
+TEST(ContractTally, MergeAccumulatesAndKeepsTheFirstViolation) {
+  ContractTally a;
+  a.switches = 1;
+  ContractTally b;
+  b.switches = 2;
+  b.dirty_switches = 1;
+  b.violations = 4;
+  b.whitelisted = 3;
+  b.has_first = true;
+  b.first.structure = "L1-D";
+  a.Merge(b);
+  EXPECT_EQ(a.switches, 3u);
+  EXPECT_EQ(a.dirty_switches, 1u);
+  EXPECT_EQ(a.violations, 4u);
+  EXPECT_EQ(a.whitelisted, 3u);
+  EXPECT_FALSE(a.clean());
+  ASSERT_TRUE(a.has_first);
+  EXPECT_EQ(a.first.structure, "L1-D");
+
+  ContractTally c;
+  c.switches = 1;
+  c.dirty_switches = 1;
+  c.violations = 1;
+  c.has_first = true;
+  c.first.structure = "BTB";
+  a.Merge(c);
+  EXPECT_EQ(a.first.structure, "L1-D") << "an existing first violation must not be replaced";
+}
+
+TEST(ContractCapture, ScopesTheThreadTallyAndFoldsBack) {
+  ThreadContractTally() = ContractTally{};
+  ThreadContractTally().switches = 3;
+  {
+    ContractCapture cap;
+    EXPECT_EQ(ThreadContractTally().switches, 0u) << "capture starts from zero";
+    ThreadContractTally().switches = 2;
+    ThreadContractTally().dirty_switches = 1;
+    EXPECT_EQ(cap.Take().switches, 2u);
+  }
+  EXPECT_EQ(ThreadContractTally().switches, 5u) << "captured counts fold into the ambient tally";
+  EXPECT_EQ(ThreadContractTally().dirty_switches, 1u);
+  ThreadContractTally() = ContractTally{};
+}
+
+TEST(TaintViolation, ToStringNamesTheAccess) {
+  TaintViolation v;
+  v.structure = "L1-D";
+  v.where = "slice 0 set 5 way 2";
+  v.residual_owner = 2;
+  v.incoming = 1;
+  v.switch_index = 7;
+  std::string s = ToString(v);
+  EXPECT_NE(s.find("L1-D slice 0 set 5 way 2"), std::string::npos);
+  EXPECT_NE(s.find("domain 2"), std::string::npos);
+  EXPECT_NE(s.find("incoming domain 1"), std::string::npos);
+  EXPECT_NE(s.find("switch 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tp::hw

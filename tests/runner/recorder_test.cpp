@@ -72,11 +72,15 @@ TEST_F(RecorderTest, WritesSchemaFieldsAndTotalRecord) {
            .m0_bits = 0.01,
            .wall_ns = 1234,
            .threads = 4,
-           .shards = 8});
+           .shards = 8,
+           .contract_clean = 1,
+           .contract_switches = 128});
   }  // destructor appends the "total" record and flushes
   std::string text = ReadFile();
   EXPECT_EQ(text.front(), '[');
-  EXPECT_EQ(Count(text, "\"schema_version\": 2"), 2u);  // cell + total
+  EXPECT_EQ(Count(text, "\"schema_version\": 3"), 2u);  // cell + total
+  EXPECT_NE(text.find("\"contract_clean\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"contract_switches\": 128"), std::string::npos);
   EXPECT_NE(text.find("\"bench\": \"mybench\""), std::string::npos);
   EXPECT_NE(text.find("\"label\": \"unit-test\""), std::string::npos);
   EXPECT_NE(text.find("\"cell\": \"haswell/raw\""), std::string::npos);

@@ -150,8 +150,11 @@ TEST(ListSurfaces, ListNamesAndMarkdownCoverEverySpec) {
   EXPECT_EQ(ListNames(registry), "alpha\nbeta\n");
   std::string md = MarkdownTable(registry);
   EXPECT_NE(md.find("| channel |"), std::string::npos);
+  EXPECT_NE(md.find("| contract_clean |"), std::string::npos);
   EXPECT_NE(md.find("`alpha`"), std::string::npos);
   EXPECT_NE(md.find("`beta`"), std::string::npos);
+  // A spec without a contract note renders the placeholder, not an empty cell.
+  EXPECT_NE(md.find("| — |"), std::string::npos);
 }
 
 TEST(RunSpecTest, ChannelExpandingToNoCellsThrows) {

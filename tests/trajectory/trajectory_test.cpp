@@ -88,7 +88,12 @@ TEST(Trajectory, ParsesFullRecord) {
 }
 
 TEST(Trajectory, MiAbsentMeansNaN) {
-  std::optional<Trajectory> t = ParseTrajectory("[" + Rec("") + "]");
+  // Built with += : GCC 12's -Wrestrict misanalyses `"[" + Rec("") + "]"`
+  // here (bogus "may overlap" at PTRDIFF_MAX offsets) under -Werror.
+  std::string doc = "[";
+  doc += Rec("");
+  doc += "]";
+  std::optional<Trajectory> t = ParseTrajectory(doc);
   ASSERT_TRUE(t.has_value());
   EXPECT_FALSE(t->records[0].has_mi());
 }
@@ -109,6 +114,47 @@ TEST(Trajectory, SkipsMalformedRecordsWithWarnings) {
     unknown_schema = unknown_schema || w.find("unknown schema_version 99") != std::string::npos;
   }
   EXPECT_TRUE(unknown_schema);
+}
+
+TEST(Trajectory, NonFiniteObservablesAreHardSkips) {
+  // An Inf that slipped into the file would sail through every threshold
+  // comparison; such records are dropped with a warning, not kept.
+  std::optional<Trajectory> t = ParseTrajectory(
+      "[" + Rec(R"("mi_bits": 1e999)") + "," + Rec(R"("m0_bits": -1e999)") + "," +
+      Rec(R"("wall_ns": 1e999)") + "," + Rec(R"("mi_bits": 0.5)") + "]");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->records.size(), 1u);
+  EXPECT_EQ(t->records[0].mi_bits, 0.5);
+  ASSERT_EQ(t->warnings.size(), 3u);
+  EXPECT_NE(t->warnings[0].find("non-finite mi_bits"), std::string::npos);
+  EXPECT_NE(t->warnings[1].find("non-finite m0_bits"), std::string::npos);
+  EXPECT_NE(t->warnings[2].find("non-finite wall_ns"), std::string::npos);
+}
+
+TEST(Trajectory, ParsesContractFields) {
+  std::optional<Trajectory> t = ParseTrajectory(
+      "[" +
+      Rec(R"("contract_clean": false, "contract_switches": 520,
+           "contract_violations": 2, "contract_whitelisted": 7,
+           "contract_first": "L1-D slice 0 set 0 way 0")") +
+      "," + Rec(R"("contract_clean": true)") + "," + Rec("") + "]");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->records.size(), 3u);
+  EXPECT_TRUE(t->records[0].has_contract());
+  EXPECT_EQ(t->records[0].contract_clean, 0);
+  EXPECT_EQ(t->records[0].contract_switches, 520u);
+  EXPECT_EQ(t->records[0].contract_violations, 2u);
+  EXPECT_EQ(t->records[0].contract_whitelisted, 7u);
+  EXPECT_NE(t->records[0].contract_first.find("L1-D"), std::string::npos);
+  EXPECT_EQ(t->records[1].contract_clean, 1);
+  // Pre-v3 records simply lack the observable.
+  EXPECT_FALSE(t->records[2].has_contract());
+  // A non-bool contract_clean is a type error, not a silent coercion.
+  t = ParseTrajectory("[" + Rec(R"("contract_clean": "yes")") + "]");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->records.empty());
+  ASSERT_EQ(t->warnings.size(), 1u);
+  EXPECT_NE(t->warnings[0].find("unexpected type"), std::string::npos);
 }
 
 TEST(Trajectory, WholeFileGarbageIsAnErrorNotACrash) {
@@ -448,18 +494,106 @@ TEST(Diff, MaxMiDeltaGatesEveryCell) {
   EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
 }
 
-TEST(Diff, DuplicateRecordsUseTheLastAndNote) {
+TEST(Diff, DuplicateRecordsWithinOneLabelAreAHardError) {
+  // "Latest wins" silently masked double-appended runs: whichever record
+  // happened to land last decided the gate. A duplicate (bench, cell)
+  // within one label now refuses to compare anything.
   Trajectory t;
   t.records.push_back(MakeRecord("base", "x/protected", 0.5, 1e8));
-  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));  // rerun, clean
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));  // double-appended rerun
   t.records.push_back(MakeRecord("cand", "x/protected", 0.0, 1e8));
   DiffOutcome o = DiffTrajectories(t, "base", "cand");
-  EXPECT_TRUE(o.ok());
-  bool noted = false;
-  for (const std::string& n : o.result.notes) {
-    noted = noted || n.find("duplicate record") != std::string::npos;
-  }
-  EXPECT_TRUE(noted);
+  EXPECT_FALSE(o.ok());
+  EXPECT_NE(o.error.find("duplicate record"), std::string::npos);
+  // A duplicate in the candidate label fails identically.
+  Trajectory t2;
+  t2.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t2.records.push_back(MakeRecord("cand", "x/protected", 0.0, 1e8));
+  t2.records.push_back(MakeRecord("cand", "x/protected", 0.0, 1e8));
+  EXPECT_NE(DiffTrajectories(t2, "base", "cand").error.find("duplicate record"),
+            std::string::npos);
+  // The same (bench, cell) under *different* labels is the normal case.
+  Trajectory t3;
+  t3.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t3.records.push_back(MakeRecord("cand", "x/protected", 0.0, 1e8));
+  EXPECT_TRUE(DiffTrajectories(t3, "base", "cand").ok());
+}
+
+TEST(Diff, RequireContractGatesProtectedCells) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", 0.0, 1e8));
+  t.records[0].contract_clean = 1;
+  t.records[1].contract_clean = 0;
+  t.records[1].contract_first = "L1-I slice 0 set 3 way 1";
+  // Off by default: an MI-quiet dirty cell passes without the flag.
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand").ok());
+  DiffOptions opt;
+  opt.require_contract = true;
+  DiffOutcome o = DiffTrajectories(t, "base", "cand", opt);
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.contract_regressions, 1u);
+  ASSERT_EQ(o.result.notes.size(), 1u);
+  EXPECT_NE(o.result.notes[0].find("L1-I slice 0 set 3 way 1"), std::string::npos);
+  // A baseline already dirty (the paper's residual x86 private-L2 state)
+  // passes as long as the candidate is no worse.
+  t.records[0].contract_clean = 0;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
+  // A cell with no baseline contract record is held to clean.
+  t.records[0].contract_clean = -1;
+  EXPECT_FALSE(DiffTrajectories(t, "base", "cand", opt).ok());
+  // A clean candidate always passes; unprotected cells are never gated.
+  t.records[0].contract_clean = 1;
+  t.records[1].contract_clean = 1;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
+  t.records[0].cell = t.records[1].cell = "x/raw";
+  t.records[1].contract_clean = 0;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
+}
+
+TEST(Diff, RequireContractFailsWhenObservableVanishes) {
+  // Dropping the observable would disarm the gate, same rule as
+  // require_cell_wall: baseline carried contract_clean, candidate lost it.
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", 0.0, 1e8));
+  t.records[0].contract_clean = 1;
+  DiffOptions opt;
+  opt.require_contract = true;
+  DiffOutcome o = DiffTrajectories(t, "base", "cand", opt);
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.contract_regressions, 1u);
+  ASSERT_EQ(o.result.notes.size(), 1u);
+  EXPECT_NE(o.result.notes[0].find("vanished"), std::string::npos);
+  // Observable absent on both sides: nothing to gate (taint-off runs).
+  t.records[0].contract_clean = -1;
+  EXPECT_TRUE(DiffTrajectories(t, "base", "cand", opt).ok());
+}
+
+TEST(Diff, ReportJsonCarriesContractFields) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", 0.0, 1e8));
+  t.records[0].contract_clean = 1;
+  t.records[1].contract_clean = 0;
+  DiffOptions opt;
+  opt.require_contract = true;
+  DiffOutcome o = DiffTrajectories(t, "base", "cand", opt);
+  std::string report = ReportJson(o);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(report, &error);
+  ASSERT_TRUE(parsed.has_value()) << error << "\n" << report;
+  EXPECT_EQ(parsed->Find("contract_regressions")->number, 1.0);
+  const JsonValue* cells = parsed->Find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->array.size(), 1u);
+  const JsonValue& cell = cells->array[0];
+  ASSERT_NE(cell.Find("base_contract_clean"), nullptr);
+  EXPECT_TRUE(cell.Find("base_contract_clean")->boolean);
+  ASSERT_NE(cell.Find("cand_contract_clean"), nullptr);
+  EXPECT_FALSE(cell.Find("cand_contract_clean")->boolean);
+  ASSERT_NE(cell.Find("contract_regression"), nullptr);
+  EXPECT_TRUE(cell.Find("contract_regression")->boolean);
 }
 
 TEST(Diff, ReportJsonRoundTripsThroughTheParser) {
