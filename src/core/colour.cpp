@@ -33,12 +33,19 @@ std::vector<std::set<std::size_t>> SplitColours(const hw::MachineConfig& config,
       out[p].insert(p * share + c);
     }
   }
+  // colour.mask fault site: partition 1's mask gains one of partition 0's
+  // colours, so two supposedly-disjoint domains share a cache partition.
+  faults::FaultSite fault_mask = faults::FaultSite::For("colour.mask");
+  if (fault_mask.FireAlways() && parts >= 2 && !out[0].empty()) {
+    out[1].insert(*out[0].begin());
+  }
   return out;
 }
 
 ColourPool::ColourPool(kernel::Kernel& kernel, CSpacePtr cspace, kernel::CapIdx untyped)
     : kernel_(kernel), cspace_(std::move(cspace)), untyped_(untyped) {
   buckets_.resize(NumColours(kernel_.machine().config()));
+  fault_frame_ = faults::FaultSite::For("colour.frame");
 }
 
 std::size_t ColourPool::Refill(std::size_t frames) {
@@ -58,6 +65,45 @@ std::size_t ColourPool::Refill(std::size_t frames) {
 }
 
 std::optional<kernel::CapIdx> ColourPool::TakeFrame(const std::set<std::size_t>& colours) {
+  if (fault_frame_.armed() && !colours.empty()) {
+    // An eligible event is a constrained request made after some *other*
+    // colour set has been served: the mis-placed frame then lands in a
+    // partition another domain actually owns.
+    std::size_t wrong = buckets_.size();
+    for (const std::set<std::size_t>& earlier : request_sets_) {
+      if (earlier == colours) {
+        continue;
+      }
+      for (std::size_t c : earlier) {
+        if (c < buckets_.size() && colours.find(c) == colours.end()) {
+          wrong = c;
+          break;
+        }
+      }
+      if (wrong < buckets_.size()) {
+        break;
+      }
+    }
+    if (wrong < buckets_.size() && fault_frame_.FireOnce()) {
+      if (buckets_[wrong].empty()) {
+        Refill(4 * buckets_.size());
+      }
+      if (!buckets_[wrong].empty()) {
+        kernel::CapIdx cap = buckets_[wrong].front();
+        buckets_[wrong].pop_front();
+        return cap;
+      }
+    }
+  }
+  if (fault_frame_.armed() && !colours.empty()) {
+    bool seen = false;
+    for (const std::set<std::size_t>& earlier : request_sets_) {
+      seen = seen || earlier == colours;
+    }
+    if (!seen) {
+      request_sets_.push_back(colours);
+    }
+  }
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (colours.empty()) {
       for (auto& bucket : buckets_) {

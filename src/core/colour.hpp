@@ -14,6 +14,7 @@
 #include <set>
 #include <vector>
 
+#include "faults/fault.hpp"
 #include "hw/machine.hpp"
 #include "kernel/kernel.hpp"
 
@@ -56,6 +57,14 @@ class ColourPool {
   CSpacePtr cspace_;
   kernel::CapIdx untyped_;
   std::vector<std::deque<kernel::CapIdx>> buckets_;
+
+  // colour.frame fault site: the pool remembers the distinct colour sets
+  // it has served, and when armed serves the Nth constrained request from
+  // an *earlier* requester's colours instead (a frame outside the
+  // requesting domain's partition — exactly the allocator bug page
+  // colouring exists to prevent).
+  faults::FaultSite fault_frame_;
+  std::vector<std::set<std::size_t>> request_sets_;
 };
 
 }  // namespace tp::core

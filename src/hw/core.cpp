@@ -37,6 +37,7 @@ Core::Core(CoreId id, Machine* machine) : id_(id), machine_(machine) {
   bp_ = std::make_unique<BranchPredictor>(cfg.bp);
   prefetcher_ = std::make_unique<StreamPrefetcher>(cfg.prefetcher);
   taint_on_ = TaintTrackingEnabled();
+  fault_memo_stale_ = faults::FaultSite::For("memo.stale");
 }
 
 void Core::SetTaintOwner(std::uint16_t owner) {
@@ -73,7 +74,9 @@ const Latencies& Core::lat() const { return machine_->config().lat; }
 void Core::SetUserContext(const TranslationContext* user_ctx) {
   user_ctx_ = user_ctx;
   user_gen_ = user_ctx != nullptr ? user_ctx->generation() : &kStaticTranslationGeneration;
-  trans_memo_[0] = TranslationMemo{};
+  if (!fault_memo_stale_.armed()) {
+    trans_memo_[0] = TranslationMemo{};
+  }
 }
 
 void Core::SetKernelContext(const TranslationContext* kernel_ctx, bool kernel_global) {
@@ -81,7 +84,9 @@ void Core::SetKernelContext(const TranslationContext* kernel_ctx, bool kernel_gl
   kernel_global_ = kernel_global;
   kernel_gen_ =
       kernel_ctx != nullptr ? kernel_ctx->generation() : &kStaticTranslationGeneration;
-  trans_memo_[1] = TranslationMemo{};
+  if (!fault_memo_stale_.armed()) {
+    trans_memo_[1] = TranslationMemo{};
+  }
 }
 
 const TranslationContext* Core::ContextFor(VAddr vaddr) const {
@@ -135,6 +140,10 @@ Translation Core::TranslateCharged(VAddr vaddr, bool instruction, Cycles& cost) 
   const std::uint64_t gen = *(kernel_addr ? kernel_gen_ : user_gen_);
   if (memo.ctx == ctx && memo.vpn == vpn && memo.gen == gen) {
     return memo.tr;
+  }
+  if (fault_memo_stale_.armed() && memo.ctx != nullptr && memo.vpn == vpn &&
+      fault_memo_stale_.FireOnce()) {
+    return memo.tr;  // injected fault: reuse the stale cross-context entry
   }
   std::optional<Translation> tr = ctx->Translate(vaddr);
   if (!tr.has_value()) {
@@ -351,7 +360,7 @@ Cycles Core::FlushBranchPredictor() {
   return cost;
 }
 
-Cycles Core::FullCacheFlush() {
+Cycles Core::FullCacheFlush(bool include_llc) {
   const Latencies& L = lat();
   Cycles cost = 0;
 
@@ -368,11 +377,13 @@ Cycles Core::FullCacheFlush() {
             static_cast<Cycles>(l2_dirty) * L.flush_dirty_extra;
   }
 
-  SetAssociativeCache& llc = machine_->llc();
-  std::size_t llc_lines = llc.geometry().TotalLines();
-  std::size_t llc_dirty = llc.FlushAll();
-  cost += static_cast<Cycles>(llc_lines) * L.flush_per_line +
-          static_cast<Cycles>(llc_dirty) * L.flush_dirty_extra;
+  if (include_llc) {
+    SetAssociativeCache& llc = machine_->llc();
+    std::size_t llc_lines = llc.geometry().TotalLines();
+    std::size_t llc_dirty = llc.FlushAll();
+    cost += static_cast<Cycles>(llc_lines) * L.flush_per_line +
+            static_cast<Cycles>(llc_dirty) * L.flush_dirty_extra;
+  }
 
   cycles_ += cost;
   return cost;

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "faults/fault.hpp"
 #include "hw/branch_predictor.hpp"
 #include "hw/cache.hpp"
 #include "hw/perf_counter.hpp"
@@ -135,7 +136,10 @@ class Core {
   Cycles FlushTlbNonGlobal();
   Cycles FlushBranchPredictor();  // BPIALL / IBC barrier
   // wbinvd-style: L1s + private L2 + this core's view of the shared LLC.
-  Cycles FullCacheFlush();
+  // `include_llc=false` is the flush.llc fault-injection path: the private
+  // levels flush but the shared LLC keeps (and keeps charging nothing for)
+  // its lines.
+  Cycles FullCacheFlush(bool include_llc = true);
 
   // --- component access ----------------------------------------------------
 
@@ -212,6 +216,10 @@ class Core {
   TranslationMemo trans_memo_[2];  // [user, kernel]
   const std::uint64_t* user_gen_ = &kStaticTranslationGeneration;
   const std::uint64_t* kernel_gen_ = &kStaticTranslationGeneration;
+
+  // memo.stale fault site: when armed, context switches keep the memo and
+  // the Nth cross-context lookup of a memoised page reuses the stale entry.
+  faults::FaultSite fault_memo_stale_;
 };
 
 }  // namespace tp::hw

@@ -160,19 +160,28 @@ std::size_t StreamPrefetcher::ActiveInstructionStreams() const {
   return n;
 }
 
-std::size_t StreamPrefetcher::StaleStreams(std::uint16_t owner) const {
+std::size_t StreamPrefetcher::StaleDataStreams(std::uint16_t owner) const {
   std::size_t n = 0;
   for (const Stream& s : data_slots_) {
     if (s.valid && s.owner != owner && s.credits > 0) {
       ++n;
     }
   }
+  return n;
+}
+
+std::size_t StreamPrefetcher::StaleInstructionStreams(std::uint16_t owner) const {
+  std::size_t n = 0;
   for (const Stream& s : instruction_slots_) {
     if (s.valid && s.owner != owner && s.credits > 0) {
       ++n;
     }
   }
   return n;
+}
+
+std::size_t StreamPrefetcher::StaleStreams(std::uint16_t owner) const {
+  return StaleDataStreams(owner) + StaleInstructionStreams(owner);
 }
 
 }  // namespace tp::hw

@@ -108,7 +108,12 @@ class StreamPrefetcher {
   std::size_t ActiveDataStreams() const;
   std::size_t ActiveInstructionStreams() const;
   // Streams whose owner differs from `owner` and that still hold credits.
+  // The data/instruction split matters to the contract checker: under a
+  // full-flush configuration the data prefetcher is supposed to be off, so
+  // a stale *data* stream is a violation there, not §5.3.2 residue.
   std::size_t StaleStreams(std::uint16_t owner) const;
+  std::size_t StaleDataStreams(std::uint16_t owner) const;
+  std::size_t StaleInstructionStreams(std::uint16_t owner) const;
 
   const PrefetcherGeometry& geometry() const { return geometry_; }
 

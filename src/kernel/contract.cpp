@@ -176,8 +176,23 @@ void ContractChecker::CheckSwitch(hw::CoreId core, DomainId incoming) {
   }
 
   // Known-unfixable residue (§5.3.2, Table 3): stream-prefetcher slots
-  // survive every architected flush; count them, never flag them.
-  tally.whitelisted += cpu.prefetcher().StaleStreams(in_tag);
+  // survive every architected flush; count them, never flag them — with
+  // one exception. Under the full-flush configuration the data prefetcher
+  // is supposed to be disabled (MSR 0x1A4), so a live stale data stream
+  // there means the reset mechanism itself is broken (the prefetch.reset
+  // fault site): that is a violation the whitelist must not absorb.
+  const std::size_t stale_data = cpu.prefetcher().StaleDataStreams(in_tag);
+  const std::size_t stale_instr = cpu.prefetcher().StaleInstructionStreams(in_tag);
+  if (kernel_.config_.flush_mode == FlushMode::kFull && stale_data > 0) {
+    foreign += stale_data;
+    Record(tally, "prefetcher",
+           std::to_string(stale_data) + " live data stream(s) with the data "
+           "prefetcher configured off",
+           0, incoming);
+    tally.whitelisted += stale_instr;
+  } else {
+    tally.whitelisted += stale_data + stale_instr;
+  }
 
   if (foreign != 0) {
     ++tally.dirty_switches;

@@ -83,11 +83,22 @@ Kernel::Kernel(hw::Machine& machine, const KernelConfig& config)
     }
   }
 
+  fault_flush_l1d_ = faults::FaultSite::For("flush.l1d");
+  fault_flush_l1i_ = faults::FaultSite::For("flush.l1i");
+  fault_flush_tlb_ = faults::FaultSite::For("flush.tlb");
+  fault_flush_bp_ = faults::FaultSite::For("flush.bp");
+  fault_flush_llc_ = faults::FaultSite::For("flush.llc");
+  fault_pad_truncate_ = faults::FaultSite::For("pad.truncate");
+
   if (config_.flush_mode == FlushMode::kFull) {
     // §5.2 full-flush scenario: data prefetcher disabled via MSR; on Arm the
-    // BP is disabled outright for the duration.
+    // BP is disabled outright for the duration. prefetch.reset fault: the
+    // MSR write is "forgotten" and the prefetcher keeps training.
+    faults::FaultSite fault_prefetch = faults::FaultSite::For("prefetch.reset");
     for (std::size_t c = 0; c < machine_.num_cores(); ++c) {
-      machine_.core(c).prefetcher().SetDataPrefetcherEnabled(false);
+      if (!fault_prefetch.FireAlways()) {
+        machine_.core(c).prefetcher().SetDataPrefetcherEnabled(false);
+      }
       if (machine_.config().arch == hw::Arch::kArm) {
         machine_.core(c).branch_predictor().set_enabled(false);
       }
@@ -347,23 +358,31 @@ void Kernel::FlushOnCoreState(hw::CoreId core) {
   hw::Core& cpu = machine_.core(core);
   if (machine_.config().has_architected_l1_flush) {
     // Arm: DCCISW + ICIALLU + TLBIALL + BPIALL.
-    cpu.ArchFlushL1D();
-    if (!config_.skip_l1i_flush) {
+    if (!fault_flush_l1d_.FireOnce()) {
+      cpu.ArchFlushL1D();
+    }
+    if (!config_.skip_l1i_flush && !fault_flush_l1i_.FireOnce()) {
       cpu.InvalidateL1I();
     }
-    cpu.FlushTlbAll();
-    if (config_.has_bp_flush) {
+    if (!fault_flush_tlb_.FireOnce()) {
+      cpu.FlushTlbAll();
+    }
+    if (config_.has_bp_flush && !fault_flush_bp_.FireOnce()) {
       cpu.FlushBranchPredictor();
     }
   } else {
     // x86: IBC for the BP (post-Spectre microcode only), invpcid for TLBs,
     // manual loads/jumps for L1.
-    if (config_.has_bp_flush) {
+    if (config_.has_bp_flush && !fault_flush_bp_.FireOnce()) {
       cpu.FlushBranchPredictor();
     }
-    cpu.FlushTlbAll();
-    ManualL1DFlush(core);
-    if (!config_.skip_l1i_flush) {
+    if (!fault_flush_tlb_.FireOnce()) {
+      cpu.FlushTlbAll();
+    }
+    if (!fault_flush_l1d_.FireOnce()) {
+      ManualL1DFlush(core);
+    }
+    if (!config_.skip_l1i_flush && !fault_flush_l1i_.FireOnce()) {
       ManualL1IFlush(core);
     }
   }
@@ -371,9 +390,13 @@ void Kernel::FlushOnCoreState(hw::CoreId core) {
 
 void Kernel::FullFlush(hw::CoreId core) {
   hw::Core& cpu = machine_.core(core);
-  cpu.FullCacheFlush();
-  cpu.FlushTlbAll();
-  cpu.FlushBranchPredictor();
+  cpu.FullCacheFlush(/*include_llc=*/!fault_flush_llc_.FireOnce());
+  if (!fault_flush_tlb_.FireOnce()) {
+    cpu.FlushTlbAll();
+  }
+  if (!fault_flush_bp_.FireOnce()) {
+    cpu.FlushBranchPredictor();
+  }
 }
 
 hw::Cycles Kernel::MeasureOnCoreFlush(hw::CoreId core) {
@@ -496,8 +519,15 @@ void Kernel::HandleTick(hw::CoreId core) {
     // from the kernel that was active before the switch.
     if (config_.pad_switches) {
       const KernelImageObj& src = objects_.As<KernelImageObj>(from_image);
-      hw::Cycles target = t0 + src.pad_cycles;
-      if (src.pad_cycles > 0 && cpu.now() < target) {
+      hw::Cycles pad = src.pad_cycles;
+      if (fault_pad_truncate_.FireAlways()) {
+        // Injected fault: keep only a fraction (default none) of the
+        // worst-case window, re-exposing the switch-duration channel.
+        pad = static_cast<hw::Cycles>(static_cast<double>(pad) *
+                                      fault_pad_truncate_.ParamOr(0.0));
+      }
+      hw::Cycles target = t0 + pad;
+      if (pad > 0 && cpu.now() < target) {
         cpu.AdvanceCycles(target - cpu.now());
       }
     }

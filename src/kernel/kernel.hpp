@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "faults/fault.hpp"
 #include "hw/machine.hpp"
 #include "kernel/objects.hpp"
 #include "kernel/scheduler.hpp"
@@ -301,6 +302,16 @@ class Kernel {
 
   hw::Machine& machine_;
   KernelConfig config_;
+
+  // Fault-injection latches (src/faults): disarmed no-ops unless a plan
+  // naming the site was installed before this kernel was constructed.
+  faults::FaultSite fault_flush_l1d_;
+  faults::FaultSite fault_flush_l1i_;
+  faults::FaultSite fault_flush_tlb_;
+  faults::FaultSite fault_flush_bp_;
+  faults::FaultSite fault_flush_llc_;
+  faults::FaultSite fault_pad_truncate_;
+
   ObjectTable objects_;
   Scheduler scheduler_;
   SharedDataLayout shared_data_;

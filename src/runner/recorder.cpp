@@ -99,6 +99,12 @@ std::string RecordToJson(const std::string& bench, const std::string& label,
       os << ", \"contract_first\": \"" << JsonEscape(r.contract_first) << "\"";
     }
   }
+  if (!r.cell_status.empty()) {
+    os << ", \"cell_status\": \"" << JsonEscape(r.cell_status) << "\"";
+    if (!r.cell_error.empty()) {
+      os << ", \"cell_error\": \"" << JsonEscape(r.cell_error) << "\"";
+    }
+  }
   os << "}";
   return os.str();
 }
@@ -145,22 +151,22 @@ void Recorder::Flush() {
   }
   // Append into the existing JSON array by splicing before the trailing
   // ']'; a missing or malformed file is restarted as a fresh array. An
-  // exclusive flock serialises concurrent sweeps appending to one file.
-  int fd = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
-    std::fprintf(stderr, "recorder: cannot open %s\n", path_.c_str());
-    pending_.clear();
-    return;
+  // exclusive flock on a .lock sidecar serialises concurrent sweeps (the
+  // data file itself is replaced by rename, so a lock on its fd would not
+  // survive the swap).
+  int lock_fd = ::open((path_ + ".lock").c_str(), O_RDWR | O_CREAT, 0644);
+  if (lock_fd >= 0) {
+    ::flock(lock_fd, LOCK_EX);
   }
-  ::flock(fd, LOCK_EX);
 
   std::string existing;
-  {
+  if (int fd = ::open(path_.c_str(), O_RDONLY); fd >= 0) {
     char buf[4096];
     ssize_t n;
     while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
       existing.append(buf, static_cast<std::size_t>(n));
     }
+    ::close(fd);
   }
   std::size_t open_bracket = existing.find_first_of('[');
   std::size_t close = existing.find_last_of(']');
@@ -191,20 +197,34 @@ void Recorder::Flush() {
     needs_comma = true;
   }
   content += "\n]\n";
-  bool ok = ::lseek(fd, 0, SEEK_SET) == 0 && ::ftruncate(fd, 0) == 0;
-  for (std::size_t off = 0; ok && off < content.size();) {
-    ssize_t n = ::write(fd, content.data() + off, content.size() - off);
-    if (n <= 0) {
-      ok = false;
-      break;
+  // Atomic replace: write the whole updated array to a temp file in the
+  // same directory, fsync, then rename over the target. A crash at any
+  // point leaves either the old file or the new one, never a torn write.
+  const std::string tmp_path = path_ + ".tmp." + std::to_string(::getpid());
+  bool ok = false;
+  if (int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      fd >= 0) {
+    ok = true;
+    for (std::size_t off = 0; ok && off < content.size();) {
+      ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
     }
-    off += static_cast<std::size_t>(n);
+    ok = ok && ::fsync(fd) == 0;
+    ::close(fd);
+    ok = ok && std::rename(tmp_path.c_str(), path_.c_str()) == 0;
   }
   if (!ok) {
     std::fprintf(stderr, "recorder: cannot write %s\n", path_.c_str());
+    ::unlink(tmp_path.c_str());
   }
-  ::flock(fd, LOCK_UN);
-  ::close(fd);
+  if (lock_fd >= 0) {
+    ::flock(lock_fd, LOCK_UN);
+    ::close(lock_fd);
+  }
   pending_.clear();
 }
 

@@ -28,9 +28,20 @@
 //     "contract_switches": 128,         v3: domain switches checked
 //     "contract_violations": 0,         v3: foreign entries over dirty switches
 //     "contract_whitelisted": 4,        v3: known-unfixable residue (§5.3.2)
-//     "contract_first": "LLC ..." }     v3: first violating access (if dirty)
+//     "contract_first": "LLC ...",      v3: first violating access (if dirty)
+//     "cell_status": "failed",          v3: "failed" (shard threw) or
+//                                       "timeout" (per-cell watchdog); the
+//                                       field is absent for healthy cells
+//     "cell_error": "..." }             v3: first error message (if failed)
 // The contract_* fields appear only when the cell ran with taint tracking
 // enabled (TP_TAINT); v1/v2 readers must keep accepting their absence.
+// cell_status/cell_error appear only on unhealthy cells, so a clean run's
+// records are byte-compatible with earlier v3 writers.
+//
+// The file is written atomically: the updated array goes to a temp file in
+// the same directory which is then renamed over TP_BENCH_JSON, so a crash
+// mid-write can never corrupt a committed trajectory. Concurrent sweeps
+// serialise on a .lock sidecar.
 #ifndef TP_RUNNER_RECORDER_HPP_
 #define TP_RUNNER_RECORDER_HPP_
 
@@ -59,6 +70,10 @@ struct BenchRecord {
   std::uint64_t contract_violations = 0;
   std::uint64_t contract_whitelisted = 0;
   std::string contract_first;
+  // Crash-isolation outcome: "" (healthy, fields not emitted), "failed"
+  // (a shard body threw) or "timeout" (per-cell watchdog tripped).
+  std::string cell_status;
+  std::string cell_error;
 };
 
 class Recorder {

@@ -1,6 +1,14 @@
 #include "runner/sweep.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "faults/fault.hpp"
 
 namespace tp::runner {
 
@@ -11,6 +19,28 @@ std::string FormatAxisValue(double v) {
   std::snprintf(buf, sizeof(buf), "%.4g", v);
   return buf;
 }
+
+// Effective per-cell watchdog budget: the explicit option wins, else the
+// TP_CELL_BUDGET_MS environment variable, else off.
+std::uint64_t EffectiveCellBudgetNs(const SweepOptions& options) {
+  if (options.cell_budget_ns != 0) {
+    return options.cell_budget_ns;
+  }
+  if (const char* ms = std::getenv("TP_CELL_BUDGET_MS");
+      ms != nullptr && ms[0] != '\0') {
+    return static_cast<std::uint64_t>(std::strtoull(ms, nullptr, 10)) * 1000000ull;
+  }
+  return 0;
+}
+
+// Per-cell crash-isolation state shared by that cell's shards. code uses
+// first-wins CAS so the earliest failure names the cell's status; later
+// shards of a doomed cell early-return without running their bodies.
+struct CellState {
+  std::atomic<int> code{0};  // 0 ok, 1 failed, 2 timeout
+  std::atomic<std::uint64_t> wall{0};
+  std::string error;  // guarded by the owning sweep's error mutex
+};
 
 }  // namespace
 
@@ -77,8 +107,21 @@ std::vector<GridCell> ExpandGrid(const GridSpec& spec) {
 }
 
 std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
-    const GridSpec& spec, const CellShardFn& fn, const mi::LeakageOptions& leak_options) const {
+    const GridSpec& spec, const CellShardFn& fn, const mi::LeakageOptions& leak_options,
+    const SweepOptions& options) const {
   std::vector<GridCell> cells = ExpandGrid(spec);
+  if (options.skip_cells != nullptr && !options.skip_cells->empty()) {
+    std::vector<GridCell> kept;
+    kept.reserve(cells.size());
+    for (GridCell& cell : cells) {
+      if (options.skip_cells->find(cell.Name()) == options.skip_cells->end()) {
+        kept.push_back(std::move(cell));
+      }
+    }
+    cells = std::move(kept);
+  }
+  const std::uint64_t budget_ns = EffectiveCellBudgetNs(options);
+
   std::vector<ShardPlan> plans;
   plans.reserve(cells.size());
   for (const GridCell& cell : cells) {
@@ -103,13 +146,58 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
     std::uint64_t wall_ns = 0;
     hw::ContractTally contract;
   };
+  std::vector<CellState> states(cells.size());
+  std::mutex error_mu;
+  auto mark = [&](std::size_t c, int code, const std::string& message) {
+    int expected = 0;
+    if (states[c].code.compare_exchange_strong(expected, code)) {
+      std::lock_guard<std::mutex> lk(error_mu);
+      states[c].error = message;
+    }
+  };
   std::vector<ShardOut> outs = runner_.Map(tasks.size(), [&](std::size_t i) {
-    std::uint64_t t0 = bench::Recorder::NowNs();
+    const std::size_t c = tasks[i].cell;
     ShardOut out;
-    hw::ContractCapture capture;
-    out.obs = fn(cells[tasks[i].cell], tasks[i].shard);
-    out.contract = capture.Take();
+    if (states[c].code.load() != 0) {
+      return out;  // the cell already failed or timed out; don't pile on
+    }
+    std::uint64_t t0 = bench::Recorder::NowNs();
+    // Publish the cell's coordinate-keyed seed so fault sites latched by
+    // structures this shard builds fire deterministically per (site, cell)
+    // at any host thread count.
+    faults::ScopedCellSeed ambient(cells[c].seed);
+    const std::string cell_name = cells[c].Name();
+    try {
+      // Harness self-test sites: a deliberate shard exception and a
+      // deliberate budget overrun, used by the mutation sweep and tests to
+      // prove the crash-isolation path itself works.
+      faults::FaultSite fault_throw = faults::FaultSite::For("harness.cell_throw");
+      if (fault_throw.MatchesCell(cell_name) && fault_throw.FireAlways()) {
+        throw std::runtime_error("injected fault: harness.cell_throw");
+      }
+      faults::FaultSite fault_stall = faults::FaultSite::For("harness.cell_stall");
+      if (budget_ns > 0 && fault_stall.MatchesCell(cell_name) &&
+          fault_stall.FireAlways()) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(budget_ns + 20'000'000ull));
+      }
+      hw::ContractCapture capture;
+      out.obs = fn(cells[c], tasks[i].shard);
+      out.contract = capture.Take();
+    } catch (const std::exception& e) {
+      out = ShardOut{};
+      mark(c, 1, e.what());
+    } catch (...) {
+      out = ShardOut{};
+      mark(c, 1, "unknown exception");
+    }
     out.wall_ns = bench::Recorder::NowNs() - t0;
+    const std::uint64_t total = states[c].wall.fetch_add(out.wall_ns) + out.wall_ns;
+    if (budget_ns > 0 && total > budget_ns) {
+      mark(c, 2,
+           "cell exceeded its " + std::to_string(budget_ns / 1000000ull) +
+               " ms wall-time budget");
+    }
     return out;
   });
 
@@ -120,31 +208,45 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
     r.cell = cells[c];
     r.rounds = spec.rounds;
     r.shards = plans[c].num_shards();
+    const int code = states[c].code.load();
     std::vector<mi::Observations> parts;
     parts.reserve(r.shards);
     for (std::size_t i = 0; i < r.shards; ++i, ++next) {
-      parts.push_back(std::move(outs[next].obs));
+      if (code == 0) {
+        parts.push_back(std::move(outs[next].obs));
+      }
       r.wall_ns += outs[next].wall_ns;
       r.contract.Merge(outs[next].contract);
     }
-    r.observations = MergeObservations(parts);
+    if (code == 0) {
+      r.observations = MergeObservations(parts);
+    } else {
+      r.status = code == 2 ? "timeout" : "failed";
+      r.error = states[c].error;
+    }
   }
 
   // The per-cell leakage tests are independent too; fan them out and fold
-  // their work time into the owning cell.
+  // their work time into the owning cell. Non-ok cells have no
+  // observations to test.
   struct LeakOut {
     mi::LeakageResult leakage;
     std::uint64_t wall_ns = 0;
   };
   std::vector<LeakOut> leaks = runner_.Map(results.size(), [&](std::size_t c) {
-    std::uint64_t t0 = bench::Recorder::NowNs();
     LeakOut out;
+    if (!results[c].ok()) {
+      return out;
+    }
+    std::uint64_t t0 = bench::Recorder::NowNs();
     out.leakage = mi::TestLeakage(results[c].observations, leak_options);
     out.wall_ns = bench::Recorder::NowNs() - t0;
     return out;
   });
   for (std::size_t c = 0; c < results.size(); ++c) {
-    results[c].leakage = leaks[c].leakage;
+    if (results[c].ok()) {
+      results[c].leakage = leaks[c].leakage;
+    }
     results[c].wall_ns += leaks[c].wall_ns;
   }
   return results;
@@ -167,13 +269,19 @@ void RecordSweep(bench::Recorder& recorder, const ExperimentRunner& runner,
     bench::BenchRecord record;
     record.cell = r.cell.Name();
     record.rounds = r.rounds;
-    record.samples = r.leakage.samples;
-    record.mi_bits = r.leakage.mi_bits;
-    record.m0_bits = r.leakage.m0_bits;
     record.wall_ns = r.wall_ns;
     record.threads = runner.threads();
     record.shards = r.shards;
-    ApplyContract(record, r.contract);
+    if (r.ok()) {
+      record.samples = r.leakage.samples;
+      record.mi_bits = r.leakage.mi_bits;
+      record.m0_bits = r.leakage.m0_bits;
+      ApplyContract(record, r.contract);
+    } else {
+      // Crash-isolated cell: no leakage verdict; mi/m0 stay NaN (absent).
+      record.cell_status = r.status;
+      record.cell_error = r.error;
+    }
     recorder.Add(std::move(record));
   }
 }

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,26 @@ struct SweepCellResult {
   std::size_t shards = 0;
   std::uint64_t wall_ns = 0;
   hw::ContractTally contract;  // merged over shards; all-zero when taint off
+  // Crash-isolation outcome: "ok", "failed" (a shard body threw) or
+  // "timeout" (the per-cell wall-time budget was exceeded). Non-ok cells
+  // carry no observations/leakage; `error` holds the first failure message.
+  std::string status = "ok";
+  std::string error;
+
+  bool ok() const { return status == "ok"; }
+};
+
+// Sweep-wide controls for crash isolation and resumption.
+struct SweepOptions {
+  // Cells (by display Name()) to skip entirely — they are absent from the
+  // result vector. Used by tp_bench --resume to complete only the cells a
+  // crashed or interrupted run never recorded.
+  const std::set<std::string>* skip_cells = nullptr;
+  // Per-cell watchdog: when a cell's summed shard work time exceeds this
+  // budget, remaining shards are abandoned and the cell is recorded with
+  // cell_status "timeout". 0 disables the watchdog (the TP_CELL_BUDGET_MS
+  // environment variable supplies a process-wide default).
+  std::uint64_t cell_budget_ns = 0;
 };
 
 class SweepEngine {
@@ -95,9 +116,14 @@ class SweepEngine {
   using CellShardFn = std::function<mi::Observations(const GridCell&, const Shard&)>;
 
   // Channel sweeps: every shard of every cell joins one flat task pool;
-  // per-cell leakage tests then fan out over the same pool.
+  // per-cell leakage tests then fan out over the same pool. Each shard body
+  // runs under the cell's ambient fault seed and inside a crash-isolation
+  // harness: an exception (or a tripped per-cell watchdog) marks that cell
+  // "failed"/"timeout" and the sweep keeps going — it never throws out of a
+  // single cell's failure.
   std::vector<SweepCellResult> RunChannelGrid(const GridSpec& spec, const CellShardFn& fn,
-                                              const mi::LeakageOptions& leak_options = {}) const;
+                                              const mi::LeakageOptions& leak_options = {},
+                                              const SweepOptions& options = {}) const;
 
   // Cost sweeps: one task per cell, driver-defined result type.
   template <typename Fn>

@@ -34,7 +34,8 @@ std::vector<const ChannelSpec*> SelectSpecs(const ChannelRegistry& registry,
 
 std::vector<runner::SweepCellResult> RunSpec(const ChannelSpec& spec,
                                              const runner::ExperimentRunner& pool,
-                                             bool verbose) {
+                                             const RunSpecOptions& options) {
+  const bool verbose = options.verbose;
   if (verbose) {
     Header(spec.title, spec.paper);
   }
@@ -47,14 +48,21 @@ std::vector<runner::SweepCellResult> RunSpec(const ChannelSpec& spec,
     return {};
   }
 
+  const bool resuming =
+      options.sweep.skip_cells != nullptr && !options.sweep.skip_cells->empty();
+  std::size_t expanded = 0;
   std::vector<runner::SweepCellResult> results;
   for (const runner::GridSpec& grid : spec.grids()) {
+    expanded += grid.num_cells();
     std::vector<runner::SweepCellResult> part =
-        engine.RunChannelGrid(grid, spec.cell_shard, spec.leak_options);
+        engine.RunChannelGrid(grid, spec.cell_shard, spec.leak_options, options.sweep);
     results.insert(results.end(), std::make_move_iterator(part.begin()),
                    std::make_move_iterator(part.end()));
   }
   if (results.empty()) {
+    if (expanded > 0 && resuming) {
+      return {};  // every cell was already recorded; nothing to rerun
+    }
     // A channel that expands to zero cells would pass every downstream
     // gate (only the "total" record exists) — refuse instead.
     throw std::runtime_error("channel '" + spec.name + "' expanded to no grid cells");
@@ -64,10 +72,20 @@ std::vector<runner::SweepCellResult> RunSpec(const ChannelSpec& spec,
     PrintSweepResults(results);
   }
   runner::RecordSweep(recorder, pool, results);
-  if (spec.report && verbose) {
+  // The spec's extra report expects the full grid; a resumed partial rerun
+  // skips it (the numbers are already in the results file).
+  if (spec.report && verbose && !resuming) {
     spec.report(ctx, results);
   }
   return results;
+}
+
+std::vector<runner::SweepCellResult> RunSpec(const ChannelSpec& spec,
+                                             const runner::ExperimentRunner& pool,
+                                             bool verbose) {
+  RunSpecOptions options;
+  options.verbose = verbose;
+  return RunSpec(spec, pool, options);
 }
 
 std::string ListNames(const ChannelRegistry& registry) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "runner/runner.hpp"
+#include "runner/sweep.hpp"
 #include "scenarios/scenario.hpp"
 
 namespace tp::scenarios {
@@ -20,11 +21,26 @@ std::vector<const ChannelSpec*> SelectSpecs(const ChannelRegistry& registry,
                                             const std::vector<std::string>& only,
                                             std::string* error);
 
+// Per-run controls for RunSpec beyond the shared pool.
+struct RunSpecOptions {
+  bool verbose = true;
+  // Crash isolation / resume controls, forwarded to RunChannelGrid. When
+  // the skip set leaves a spec with zero cells to run, RunSpec returns
+  // empty instead of treating the spec as mis-registered; when any cell
+  // was skipped the spec's extra report is suppressed (report callbacks
+  // expect the full grid).
+  runner::SweepOptions sweep;
+};
+
 // Runs one spec end to end on the shared pool. Channel specs expand each of
 // their grids through SweepEngine::RunChannelGrid, print the uniform sweep
 // table, record every cell and then invoke the spec's extra report; cost
 // specs run their custom body. Returns the channel-grid cell results (empty
-// for cost specs).
+// for cost specs). Cell failures are crash-isolated into the results'
+// status fields, not thrown.
+std::vector<runner::SweepCellResult> RunSpec(const ChannelSpec& spec,
+                                             const runner::ExperimentRunner& pool,
+                                             const RunSpecOptions& options);
 std::vector<runner::SweepCellResult> RunSpec(const ChannelSpec& spec,
                                              const runner::ExperimentRunner& pool,
                                              bool verbose = true);

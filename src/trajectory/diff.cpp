@@ -163,6 +163,31 @@ DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view base
     d.protected_mode = IsProtectedCell(c->cell);
     d.cand_mi = c->mi_bits;
     d.cand_wall_ns = c->wall_ns;
+    if (!c->cell_ok()) {
+      // A crash-isolated candidate cell has no observables to compare:
+      // report it (gated only under require_cells) instead of letting the
+      // leak/wall/contract gates misread its absent MI and timing.
+      d.cand_status = c->cell_status;
+      d.base_contract = b != nullptr ? b->contract_clean : -1;
+      std::string note = "candidate cell '" + key + "' " + c->cell_status;
+      if (!c->cell_error.empty()) {
+        note += ": " + c->cell_error;
+      }
+      result.notes.push_back(std::move(note));
+      if (options.require_cells) {
+        d.cell_failure = true;
+        ++result.failed_cells;
+      }
+      result.cells.push_back(std::move(d));
+      continue;
+    }
+    if (b != nullptr && !b->cell_ok()) {
+      // A failed baseline cell carries no floors; compare the candidate as
+      // if the cell were new to the trajectory.
+      result.notes.push_back("baseline cell '" + key + "' " + b->cell_status +
+                             ", candidate held to a fresh-cell floor");
+      b = nullptr;
+    }
     double base_mi_floor = 0.0;
     if (b != nullptr) {
       if (b->quick != c->quick) {
@@ -275,7 +300,9 @@ std::string ReportJson(const DiffOutcome& outcome) {
          ", \"require_cell_wall\": " +
          std::string(r.options.require_cell_wall ? "true" : "false") +
          ", \"require_contract\": " +
-         std::string(r.options.require_contract ? "true" : "false") + "},\n";
+         std::string(r.options.require_contract ? "true" : "false") +
+         ", \"require_cells\": " +
+         std::string(r.options.require_cells ? "true" : "false") + "},\n";
   if (!outcome.error.empty()) {
     out += "  \"error\": \"" + JsonEscape(outcome.error) + "\",\n";
   }
@@ -286,6 +313,7 @@ std::string ReportJson(const DiffOutcome& outcome) {
   out += "  \"missing_protected\": " + std::to_string(r.missing_protected) + ",\n";
   out += "  \"missing_wall\": " + std::to_string(r.missing_wall) + ",\n";
   out += "  \"contract_regressions\": " + std::to_string(r.contract_regressions) + ",\n";
+  out += "  \"failed_cells\": " + std::to_string(r.failed_cells) + ",\n";
   out += "  \"cells_compared\": " + std::to_string(r.cells.size()) + ",\n";
   AppendStringArray(out, "missing_in_candidate", r.missing_in_candidate);
   out += ",\n";
@@ -325,6 +353,10 @@ std::string ReportJson(const DiffOutcome& outcome) {
     }
     if (d.contract_regression) {
       out += ", \"contract_regression\": true";
+    }
+    if (d.cand_status != "ok") {
+      out += ", \"cell_status\": \"" + JsonEscape(d.cand_status) + "\"";
+      out += ", \"cell_failure\": " + std::string(d.cell_failure ? "true" : "false");
     }
     out += "}";
   }

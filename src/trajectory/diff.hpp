@@ -72,6 +72,12 @@ struct DiffOptions {
   // shows dirty (the paper's residual x86 private-L2 state) pass as long as
   // they stay no worse.
   bool require_contract = false;
+  // Gate on crash-isolated cells: any candidate record whose cell_status is
+  // not "ok" fails. Off by default so a diff against a partially-failed run
+  // still reports the healthy cells; failed cells are always surfaced as
+  // notes either way (and exempted from the leak/wall/contract gates — a
+  // crashed cell has no observables to compare).
+  bool require_cells = false;
 };
 
 // True when one of the cell name's "/" segments is exactly "protected"
@@ -99,6 +105,10 @@ struct CellDiff {
   int base_contract = -1;
   int cand_contract = -1;
   bool contract_regression = false;
+  // Candidate crash-isolation status ("ok", "failed", "timeout") and the
+  // require_cells verdict.
+  std::string cand_status = "ok";
+  bool cell_failure = false;
 };
 
 struct DiffResult {
@@ -116,9 +126,11 @@ struct DiffResult {
   std::size_t missing_protected = 0;  // protected baseline cells gone from candidate
   std::size_t missing_wall = 0;       // cells whose candidate lost per-cell timing
   std::size_t contract_regressions = 0;  // protected cells newly contract-dirty
+  std::size_t failed_cells = 0;       // candidate cells gated by require_cells
   bool ok() const {
     return leak_regressions == 0 && wall_regressions == 0 && mi_delta_regressions == 0 &&
-           missing_protected == 0 && missing_wall == 0 && contract_regressions == 0;
+           missing_protected == 0 && missing_wall == 0 && contract_regressions == 0 &&
+           failed_cells == 0;
   }
 };
 

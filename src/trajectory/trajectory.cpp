@@ -1,5 +1,6 @@
 #include "trajectory/trajectory.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -148,6 +149,11 @@ bool ParseRecord(const JsonValue& v, TrajectoryRecord& r, std::string* why) {
   read_u64("contract_violations", &r.contract_violations);
   read_u64("contract_whitelisted", &r.contract_whitelisted);
   ReadString(v, "contract_first", &r.contract_first, &type_error);
+  ReadString(v, "cell_status", &r.cell_status, &type_error);
+  if (r.cell_status.empty()) {
+    r.cell_status = "ok";
+  }
+  ReadString(v, "cell_error", &r.cell_error, &type_error);
   if (type_error) {
     *why = "field with unexpected type";
     return false;
@@ -206,6 +212,99 @@ std::optional<Trajectory> ParseTrajectory(std::string_view json_text, std::strin
     t.records.push_back(std::move(r));
   }
   return t;
+}
+
+std::optional<std::vector<std::string>> SplitRecordTexts(std::string_view json_text,
+                                                         std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<std::vector<std::string>> {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return std::nullopt;
+  };
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < json_text.size() &&
+           std::isspace(static_cast<unsigned char>(json_text[i]))) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= json_text.size() || json_text[i] != '[') {
+    return fail("top-level value is not a JSON array of records");
+  }
+  ++i;
+  std::vector<std::string> records;
+  while (true) {
+    skip_ws();
+    if (i >= json_text.size()) {
+      return fail("unterminated array");
+    }
+    if (json_text[i] == ']') {
+      return records;
+    }
+    if (!records.empty()) {
+      if (json_text[i] != ',') {
+        return fail("expected ',' between records");
+      }
+      ++i;
+      skip_ws();
+    }
+    // One element: scan to its end with brace/bracket depth and string
+    // awareness, preserving its bytes exactly.
+    const std::size_t start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < json_text.size(); ++i) {
+      const char c = json_text[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) {
+          break;  // the enclosing array's ']'
+        }
+        --depth;
+        if (depth == 0 && (json_text[start] == '{' || json_text[start] == '[')) {
+          ++i;
+          break;
+        }
+      } else if (c == ',' && depth == 0) {
+        break;  // scalar element ends at the separator
+      }
+    }
+    if (depth != 0 || in_string) {
+      return fail("unbalanced record");
+    }
+    std::string_view element = json_text.substr(start, i - start);
+    while (!element.empty() &&
+           std::isspace(static_cast<unsigned char>(element.back()))) {
+      element.remove_suffix(1);
+    }
+    if (element.empty()) {
+      return fail("empty record");
+    }
+    records.emplace_back(element);
+  }
+}
+
+std::string JoinRecordTexts(const std::vector<std::string>& records) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += records[i];
+  }
+  out += "\n]\n";
+  return out;
 }
 
 std::optional<Trajectory> LoadTrajectory(const std::string& path, std::string* error) {

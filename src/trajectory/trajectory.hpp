@@ -52,9 +52,14 @@ struct TrajectoryRecord {
   std::uint64_t contract_violations = 0;
   std::uint64_t contract_whitelisted = 0;
   std::string contract_first;
+  // Crash-isolation outcome (v3): "ok" (field absent in the file), or the
+  // recorded "failed"/"timeout" status with its first error message.
+  std::string cell_status = "ok";
+  std::string cell_error;
 
   bool has_mi() const { return !std::isnan(mi_bits); }
   bool has_contract() const { return contract_clean >= 0; }
+  bool cell_ok() const { return cell_status == "ok"; }
 };
 
 struct Trajectory {
@@ -75,6 +80,18 @@ std::optional<Trajectory> ParseTrajectory(std::string_view json_text,
 // ParseTrajectory over a file's contents; missing/unreadable file is an
 // error.
 std::optional<Trajectory> LoadTrajectory(const std::string& path, std::string* error = nullptr);
+
+// Splits the top-level JSON array into the raw text of each element,
+// byte-for-byte (trimmed of surrounding whitespace). Resume and merge
+// tooling rewrites result files by recombining these texts, so records the
+// tool does not understand — future schema fields included — survive
+// untouched. Returns nullopt when the document is not an array.
+std::optional<std::vector<std::string>> SplitRecordTexts(std::string_view json_text,
+                                                         std::string* error = nullptr);
+
+// Reassembles record texts into a results document (the Recorder's framing:
+// one record per line inside one array).
+std::string JoinRecordTexts(const std::vector<std::string>& records);
 
 }  // namespace tp::trajectory
 

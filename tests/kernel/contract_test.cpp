@@ -13,6 +13,7 @@
 
 #include "core/domain.hpp"
 #include "core/time_protection.hpp"
+#include "faults/fault.hpp"
 #include "hw/machine.hpp"
 #include "hw/taint.hpp"
 #include "kernel/contract.hpp"
@@ -176,6 +177,24 @@ TEST_F(ContractTest, MissingBpFlushIsReportedExactly) {
   EXPECT_TRUE(t.first.structure == "BTB" || t.first.structure == "PHT" ||
               t.first.structure == "GHR")
       << FirstOf(t);
+}
+
+TEST_F(ContractTest, PrefetcherWhitelistDoesNotMaskAnInjectedResetFault) {
+  // §5.3.2 whitelists stream-prefetcher residue as known-unfixable — but
+  // only while the residue is genuinely unfixable. Under the full-flush
+  // configuration the data prefetcher is supposed to be off; when the
+  // prefetch.reset fault leaves it enabled, the surviving data streams must
+  // be flagged as violations, not absorbed into the whitelist.
+  faults::InstallFaultPlan({.site = "prefetch.reset"});
+  hw::ContractTally t = RunTimeShared(
+      hw::MachineConfig::Haswell(1), core::Scenario::kProtected,
+      [](kernel::KernelConfig& kc) { kc.flush_mode = kernel::FlushMode::kFull; });
+  faults::ClearFaultPlan();
+  EXPECT_GT(t.switches, 4u);
+  EXPECT_FALSE(t.clean());
+  ASSERT_TRUE(t.has_first);
+  EXPECT_EQ(t.first.structure, "prefetcher") << FirstOf(t);
+  EXPECT_NE(t.first.where.find("data"), std::string::npos) << FirstOf(t);
 }
 
 TEST_F(ContractTest, OverlappingColourAllocationIsCaught) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <random>
@@ -13,7 +14,9 @@
 
 #include "attacks/channel_experiment.hpp"
 #include "attacks/kernel_channel.hpp"
+#include "faults/fault.hpp"
 #include "mi/leakage_test.hpp"
+#include "trajectory/trajectory.hpp"
 
 namespace tp::runner {
 namespace {
@@ -176,6 +179,122 @@ TEST(SweepEngine, MapCellsDeliversCellsInGridOrder) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     EXPECT_EQ(names[i], cells[i].Name());
   }
+}
+
+TEST(SweepEngine, ThrowingCellIsIsolatedAndOthersComplete) {
+  faults::InstallFaultPlan({.site = "harness.cell_throw", .param = "quiet"});
+  GridSpec spec;
+  spec.rounds = 64;
+  spec.platforms = {"p0"};
+  spec.modes = {"leaky", "quiet"};
+  ExperimentRunner pool(2);
+  std::vector<SweepCellResult> results =
+      SweepEngine(pool).RunChannelGrid(spec, SyntheticShard);
+  faults::ClearFaultPlan();
+  ASSERT_EQ(results.size(), 2u);
+  const SweepCellResult* leaky = &results[0];
+  const SweepCellResult* quiet = &results[1];
+  ASSERT_EQ(leaky->cell.mode, "leaky");
+  ASSERT_EQ(quiet->cell.mode, "quiet");
+  // The healthy cell still produced a full result...
+  EXPECT_TRUE(leaky->ok());
+  EXPECT_GT(leaky->observations.size(), 0u);
+  // ...while the poisoned one carries the failure instead of observations.
+  EXPECT_FALSE(quiet->ok());
+  EXPECT_EQ(quiet->status, "failed");
+  EXPECT_NE(quiet->error.find("harness.cell_throw"), std::string::npos);
+  EXPECT_EQ(quiet->observations.size(), 0u);
+  EXPECT_FALSE(quiet->leakage.leak);
+  EXPECT_EQ(quiet->leakage.samples, 0u);
+}
+
+TEST(SweepEngine, StalledCellTripsTheWallTimeBudget) {
+  faults::InstallFaultPlan({.site = "harness.cell_stall", .param = "quiet"});
+  GridSpec spec;
+  spec.rounds = 64;
+  spec.platforms = {"p0"};
+  spec.modes = {"leaky", "quiet"};
+  ExperimentRunner pool(2);
+  SweepOptions options;
+  options.cell_budget_ns = 40'000'000;  // 40 ms; the stall sleeps past it
+  std::vector<SweepCellResult> results =
+      SweepEngine(pool).RunChannelGrid(spec, SyntheticShard, {}, options);
+  faults::ClearFaultPlan();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status, "timeout");
+  EXPECT_NE(results[1].error.find("budget"), std::string::npos);
+}
+
+TEST(SweepEngine, SkipCellsRerunsOnlyTheRestBitIdentically) {
+  GridSpec spec;
+  spec.root_seed = 0x5EED;
+  spec.rounds = 96;
+  spec.platforms = {"p0"};
+  spec.modes = {"leaky", "quiet"};
+  mi::LeakageOptions lopt;
+  lopt.shuffles = 20;
+  ExperimentRunner pool(2);
+  std::vector<SweepCellResult> full =
+      SweepEngine(pool).RunChannelGrid(spec, SyntheticShard, lopt);
+  ASSERT_EQ(full.size(), 2u);
+
+  std::set<std::string> skip = {full[0].cell.Name()};
+  SweepOptions options;
+  options.skip_cells = &skip;
+  std::vector<SweepCellResult> rest =
+      SweepEngine(pool).RunChannelGrid(spec, SyntheticShard, lopt, options);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].cell.Name(), full[1].cell.Name());
+  // The resume contract: a partial rerun reproduces the uninterrupted
+  // run's numbers exactly (coordinate-keyed seeds, not index-keyed).
+  EXPECT_EQ(rest[0].observations.inputs(), full[1].observations.inputs());
+  EXPECT_EQ(rest[0].observations.outputs(), full[1].observations.outputs());
+  EXPECT_EQ(rest[0].leakage.mi_bits, full[1].leakage.mi_bits);
+}
+
+TEST(RecordSweep, FailedCellRoundTripsThroughTheTrajectory) {
+  std::string path = ::testing::TempDir() + "sweep_failed_cell_test.json";
+  std::remove(path.c_str());
+  setenv("TP_BENCH_JSON", path.c_str(), 1);
+  setenv("TP_BENCH_LABEL", "crash-test", 1);
+  faults::InstallFaultPlan({.site = "harness.cell_throw", .param = "quiet"});
+  {
+    GridSpec spec;
+    spec.rounds = 64;
+    spec.platforms = {"p0"};
+    spec.modes = {"leaky", "quiet"};
+    ExperimentRunner pool(2);
+    std::vector<SweepCellResult> results =
+        SweepEngine(pool).RunChannelGrid(spec, SyntheticShard);
+    bench::Recorder recorder("sweep_test");
+    RecordSweep(recorder, pool, results);
+  }
+  faults::ClearFaultPlan();
+  unsetenv("TP_BENCH_JSON");
+  unsetenv("TP_BENCH_LABEL");
+
+  std::string error;
+  std::optional<trajectory::Trajectory> t = trajectory::LoadTrajectory(path, &error);
+  ASSERT_TRUE(t.has_value()) << error;
+  const trajectory::TrajectoryRecord* failed = nullptr;
+  const trajectory::TrajectoryRecord* healthy = nullptr;
+  for (const trajectory::TrajectoryRecord& r : t->records) {
+    if (r.cell == "p0/quiet") {
+      failed = &r;
+    } else if (r.cell == "p0/leaky") {
+      healthy = &r;
+    }
+  }
+  ASSERT_NE(failed, nullptr);
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_TRUE(healthy->cell_ok());
+  EXPECT_TRUE(healthy->has_mi());
+  EXPECT_FALSE(failed->cell_ok());
+  EXPECT_EQ(failed->cell_status, "failed");
+  EXPECT_NE(failed->cell_error.find("harness.cell_throw"), std::string::npos);
+  EXPECT_FALSE(failed->has_mi());
+  std::remove(path.c_str());
 }
 
 TEST(RecordSweep, WritesOneRecordPerCell) {

@@ -613,5 +613,112 @@ TEST(Diff, ReportJsonRoundTripsThroughTheParser) {
   EXPECT_EQ(parsed->Find("missing_in_candidate")->array.size(), 1u);
 }
 
+// ---- crash-isolated cells ----
+
+TEST(Trajectory, ParsesCellStatusFields) {
+  std::optional<Trajectory> t = ParseTrajectory(
+      "[" + Rec(R"("cell_status": "failed", "cell_error": "boom")") + "," +
+      Rec(R"("cell_status": "timeout")") + "," + Rec(R"("wall_ns": 5)") + "]");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->records.size(), 3u);
+  EXPECT_FALSE(t->records[0].cell_ok());
+  EXPECT_EQ(t->records[0].cell_status, "failed");
+  EXPECT_EQ(t->records[0].cell_error, "boom");
+  EXPECT_EQ(t->records[1].cell_status, "timeout");
+  EXPECT_TRUE(t->records[1].cell_error.empty());
+  // Absent field (every pre-crash-isolation record) reads as "ok".
+  EXPECT_TRUE(t->records[2].cell_ok());
+}
+
+TEST(SplitRecords, RoundTripsRecordsByteForByte) {
+  // Includes a record this build cannot parse (future fields, nested
+  // structures, "]" and escaped quotes inside strings): resume/merge must
+  // carry it through untouched.
+  const std::string rec1 = Rec(R"("mi_bits": 0.25)");
+  const std::string rec2 =
+      R"({"future_field": {"nested": [1, {"deep": "a ] \" , b"}]}, "x": "y"})";
+  const std::string doc = "[\n" + rec1 + ",\n" + rec2 + "\n]\n";
+  std::string error;
+  std::optional<std::vector<std::string>> records = SplitRecordTexts(doc, &error);
+  ASSERT_TRUE(records.has_value()) << error;
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0], rec1);
+  EXPECT_EQ((*records)[1], rec2);
+
+  // Join -> split is the identity on the record texts.
+  std::optional<std::vector<std::string>> again =
+      SplitRecordTexts(JoinRecordTexts(*records), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(*again, *records);
+
+  // An empty array survives the round trip too.
+  ASSERT_TRUE(SplitRecordTexts("[]").has_value());
+  EXPECT_TRUE(SplitRecordTexts("[]")->empty());
+
+  // Non-arrays and unbalanced documents are errors, not crashes.
+  EXPECT_FALSE(SplitRecordTexts(R"({"not": "array"})", &error).has_value());
+  EXPECT_FALSE(SplitRecordTexts("[{\"a\": 1}", &error).has_value());
+  EXPECT_FALSE(SplitRecordTexts("[{\"a\": 1} {\"b\": 2}]", &error).has_value());
+}
+
+TEST(Diff, FailedCandidateCellIsNotedButNotGatedByDefault) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", -1, 0));
+  t.records[1].cell_status = "failed";
+  t.records[1].cell_error = "shard threw";
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok()) << ReportJson(o);
+  EXPECT_EQ(o.result.failed_cells, 0u);
+  ASSERT_EQ(o.result.cells.size(), 1u);
+  EXPECT_EQ(o.result.cells[0].cand_status, "failed");
+  EXPECT_FALSE(o.result.cells[0].cell_failure);
+  // The failure is exempt from the leak/wall gates but always surfaced.
+  ASSERT_EQ(o.result.notes.size(), 1u);
+  EXPECT_NE(o.result.notes[0].find("failed"), std::string::npos);
+  EXPECT_NE(o.result.notes[0].find("shard threw"), std::string::npos);
+}
+
+TEST(Diff, RequireCellsGatesOnFailedCandidateCells) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", -1, 0));
+  t.records[1].cell_status = "timeout";
+  DiffOptions opt;
+  opt.require_cells = true;
+  DiffOutcome o = DiffTrajectories(t, "base", "cand", opt);
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.failed_cells, 1u);
+  ASSERT_EQ(o.result.cells.size(), 1u);
+  EXPECT_TRUE(o.result.cells[0].cell_failure);
+  // The report carries the status for machine consumers.
+  std::string report = ReportJson(o);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(report, &error);
+  ASSERT_TRUE(parsed.has_value()) << error << "\n" << report;
+  EXPECT_EQ(parsed->Find("failed_cells")->number, 1.0);
+  const JsonValue& cell = parsed->Find("cells")->array[0];
+  ASSERT_NE(cell.Find("cell_status"), nullptr);
+  EXPECT_EQ(cell.Find("cell_status")->string, "timeout");
+}
+
+TEST(Diff, FailedBaselineCellHoldsCandidateToAFreshCellFloor) {
+  // A baseline cell that crashed has no trustworthy observables: the
+  // candidate is compared as if the baseline cell were absent (protected
+  // cells held to MI = 0), instead of inheriting a vacuous pass.
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.9, 1e8));
+  t.records.push_back(MakeRecord("cand", "x/protected", 0.01, 1e8));
+  t.records[0].cell_status = "failed";
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.leak_regressions, 1u);
+  bool noted = false;
+  for (const std::string& note : o.result.notes) {
+    noted = noted || note.find("fresh-cell floor") != std::string::npos;
+  }
+  EXPECT_TRUE(noted) << ReportJson(o);
+}
+
 }  // namespace
 }  // namespace tp::trajectory

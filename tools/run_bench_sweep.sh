@@ -10,6 +10,12 @@
 # fails. The script prints a per-channel pass/fail summary and exits
 # non-zero if any channel failed.
 #
+# The sweep records into a private temp file and merges it into the final
+# results file (tp_results_merge, atomic rename) only after every channel
+# passed — a failed run can never leave a half-recorded label in
+# BENCH_results.json. On failure the temp file is kept for inspection and
+# `tp_bench --resume` (point TP_BENCH_JSON at it).
+#
 # Knobs (environment):
 #   TP_QUICK        non-empty/non-0: 8x fewer rounds (CI smoke scale)
 #   TP_THREADS      host threads per channel (default: all cores)
@@ -20,27 +26,33 @@ set -euo pipefail
 
 BUILD_DIR=${1:-build}
 TP_BENCH="$BUILD_DIR/bench/tp_bench"
-: "${TP_BENCH_JSON:=$PWD/BENCH_results.json}"
-export TP_BENCH_JSON
+TP_MERGE="$BUILD_DIR/tools/tp_results_merge"
+FINAL_JSON=${TP_BENCH_JSON:-$PWD/BENCH_results.json}
 
 if [ -z "${TP_BENCH_LABEL:-}" ]; then
-  echo "error: TP_BENCH_LABEL must be set — it names this run inside $TP_BENCH_JSON" >&2
+  echo "error: TP_BENCH_LABEL must be set — it names this run inside $FINAL_JSON" >&2
   exit 2
 fi
 export TP_BENCH_LABEL
 
 # Refuse to append a rerun under an existing label: the trajectory differ
 # would see duplicate (bench, cell) records and silently prefer the rerun.
-if [ -f "$TP_BENCH_JSON" ] && grep -qF "\"label\": \"$TP_BENCH_LABEL\"" "$TP_BENCH_JSON"; then
-  echo "error: label '$TP_BENCH_LABEL' already present in $TP_BENCH_JSON" \
+# (tp_results_merge re-checks this at merge time.)
+if [ -f "$FINAL_JSON" ] && grep -qF "\"label\": \"$TP_BENCH_LABEL\"" "$FINAL_JSON"; then
+  echo "error: label '$TP_BENCH_LABEL' already present in $FINAL_JSON" \
        "— pick a fresh label or remove the old records" >&2
   exit 2
 fi
 
-if [ ! -x "$TP_BENCH" ]; then
-  echo "no $TP_BENCH — build first" >&2
+if [ ! -x "$TP_BENCH" ] || [ ! -x "$TP_MERGE" ]; then
+  echo "no $TP_BENCH or $TP_MERGE — build first" >&2
   exit 1
 fi
+
+# Record into a private temp file; merge into $FINAL_JSON only on success.
+TP_BENCH_JSON="$FINAL_JSON.sweep.$$"
+export TP_BENCH_JSON
+rm -f "$TP_BENCH_JSON"
 
 mapfile -t channels < <("$TP_BENCH" --list)
 if [ "${#channels[@]}" -eq 0 ]; then
@@ -66,11 +78,17 @@ done
 
 echo
 echo "sweep '${TP_BENCH_LABEL}' finished in $(( $(date +%s) - start ))s" \
-     "(${#channels[@]} channels) -> $TP_BENCH_JSON"
+     "(${#channels[@]} channels)"
 for i in "${!names[@]}"; do
   printf '  %-32s %s\n' "${names[$i]}" "${verdicts[$i]}"
 done
 if [ "$failed" -ne 0 ]; then
-  echo "error: at least one channel failed" >&2
+  echo "error: at least one channel failed;" \
+       "partial results kept in $TP_BENCH_JSON (resume with" \
+       "TP_BENCH_JSON=$TP_BENCH_JSON $TP_BENCH --resume);" \
+       "$FINAL_JSON untouched" >&2
   exit 1
 fi
+"$TP_MERGE" "$TP_BENCH_JSON" "$FINAL_JSON"
+rm -f "$TP_BENCH_JSON"
+echo "-> $FINAL_JSON"

@@ -40,6 +40,9 @@ constexpr const char* kUsage =
     "                   fail any protected cell whose candidate reports\n"
     "                   contract_clean=false where the baseline was clean or\n"
     "                   absent, or whose candidate dropped the observable\n"
+    "  --require-cells  fail any candidate cell recorded with a non-ok\n"
+    "                   cell_status (crash-isolated \"failed\"/\"timeout\"\n"
+    "                   cells are otherwise reported but not gated)\n"
     "  --list-labels    print the labels present in the file and exit\n"
     "  --quiet          suppress the per-cell table, print the verdict only\n";
 
@@ -110,6 +113,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->options.require_cell_wall = true;
     } else if (arg == "--require-contract") {
       args->options.require_contract = true;
+    } else if (arg == "--require-cells") {
+      args->options.require_cells = true;
     } else if (arg == "--list-labels") {
       args->list_labels = true;
     } else if (arg == "--quiet" || arg == "-q") {
@@ -185,12 +190,14 @@ int main(int argc, char** argv) {
                 "prot", "verdict");
     for (const tp::trajectory::CellDiff& d : r.cells) {
       std::string key = d.bench + "/" + d.cell;
-      const char* verdict = d.leak_regression        ? "LEAK"
-                            : d.wall_regression      ? "SLOW"
-                            : d.mi_delta_regression  ? "MI-DRIFT"
-                            : d.missing_wall         ? "NO-WALL"
-                            : d.contract_regression  ? "DIRTY"
-                                                     : "ok";
+      const char* verdict = d.cell_failure             ? "FAILED"
+                            : d.cand_status != "ok"    ? "failed (not gated)"
+                            : d.leak_regression        ? "LEAK"
+                            : d.wall_regression        ? "SLOW"
+                            : d.mi_delta_regression    ? "MI-DRIFT"
+                            : d.missing_wall           ? "NO-WALL"
+                            : d.contract_regression    ? "DIRTY"
+                                                       : "ok";
       std::printf("%-58s  %+10.4g  %10.3f  %6s  %s\n", key.c_str(), d.mi_delta, d.wall_ratio,
                   d.protected_mode ? "yes" : "-", verdict);
     }
@@ -209,9 +216,11 @@ int main(int argc, char** argv) {
   std::printf(
       "tp_bench_diff: %s vs %s — %zu cells compared, %zu leak regression(s), "
       "%zu wall regression(s), %zu MI drift(s), %zu missing protected cell(s), "
-      "%zu missing wall record(s), %zu contract regression(s) -> %s\n",
+      "%zu missing wall record(s), %zu contract regression(s), "
+      "%zu failed cell(s) -> %s\n",
       r.baseline_label.c_str(), r.candidate_label.c_str(), r.cells.size(),
       r.leak_regressions, r.wall_regressions, r.mi_delta_regressions, r.missing_protected,
-      r.missing_wall, r.contract_regressions, outcome.ok() ? "PASS" : "FAIL");
+      r.missing_wall, r.contract_regressions, r.failed_cells,
+      outcome.ok() ? "PASS" : "FAIL");
   return outcome.ok() ? 0 : 1;
 }

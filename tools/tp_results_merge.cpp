@@ -1,0 +1,139 @@
+// Merges the records of one results file into another, atomically.
+//
+//   tp_results_merge SRC DEST
+//
+// Every record of SRC is appended to DEST byte-for-byte (via
+// trajectory::SplitRecordTexts, so records with fields this build does not
+// understand survive untouched). The merge refuses to run when any label in
+// SRC already exists in DEST — duplicate (bench, label, cell) records would
+// make the trajectory differ silently prefer one of them — and DEST is
+// replaced via temp-file + rename so a crash mid-merge can never leave a
+// truncated file. run_bench_sweep.sh records each sweep into a private temp
+// file and merges it here only after every channel passed, so a failed
+// sweep can never poison the committed results file.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trajectory/trajectory.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: tp_results_merge SRC DEST\n"
+    "\n"
+    "Appends every record of results file SRC to results file DEST\n"
+    "(created if missing). Fails without touching DEST when a label in SRC\n"
+    "is already present in DEST. The rewrite is atomic (temp file +\n"
+    "rename).\n";
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n%s", argv[i], kUsage);
+      return 2;
+    }
+    paths.emplace_back(argv[i]);
+  }
+  if (paths.size() != 2) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string& src_path = paths[0];
+  const std::string& dest_path = paths[1];
+
+  std::optional<std::string> src_text = ReadFile(src_path);
+  if (!src_text) {
+    std::fprintf(stderr, "tp_results_merge: cannot read %s\n", src_path.c_str());
+    return 1;
+  }
+  std::string error;
+  std::optional<std::vector<std::string>> src_records =
+      tp::trajectory::SplitRecordTexts(*src_text, &error);
+  if (!src_records) {
+    std::fprintf(stderr, "tp_results_merge: %s: %s\n", src_path.c_str(), error.c_str());
+    return 1;
+  }
+  std::optional<tp::trajectory::Trajectory> src =
+      tp::trajectory::ParseTrajectory(*src_text, &error);
+  if (!src) {
+    std::fprintf(stderr, "tp_results_merge: %s: %s\n", src_path.c_str(), error.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> merged;
+  std::optional<std::string> dest_text = ReadFile(dest_path);
+  if (dest_text) {
+    std::optional<std::vector<std::string>> dest_records =
+        tp::trajectory::SplitRecordTexts(*dest_text, &error);
+    if (!dest_records) {
+      std::fprintf(stderr, "tp_results_merge: %s: %s\n", dest_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::optional<tp::trajectory::Trajectory> dest =
+        tp::trajectory::ParseTrajectory(*dest_text, &error);
+    if (!dest) {
+      std::fprintf(stderr, "tp_results_merge: %s: %s\n", dest_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::set<std::string> dest_labels;
+    for (const tp::trajectory::TrajectoryRecord& r : dest->records) {
+      dest_labels.insert(r.label);
+    }
+    for (const std::string& label : src->Labels()) {
+      if (dest_labels.count(label) != 0) {
+        std::fprintf(stderr,
+                     "tp_results_merge: label '%s' already present in %s — pick a "
+                     "fresh label or remove the old records\n",
+                     label.c_str(), dest_path.c_str());
+        return 1;
+      }
+    }
+    merged = std::move(*dest_records);
+  }
+  merged.insert(merged.end(), src_records->begin(), src_records->end());
+
+  const std::string out = tp::trajectory::JoinRecordTexts(merged);
+  const std::string tmp_path = dest_path + ".tmp.merge";
+  {
+    std::ofstream tmp(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!tmp || !(tmp << out) || !tmp.flush()) {
+      std::fprintf(stderr, "tp_results_merge: cannot write %s\n", tmp_path.c_str());
+      std::remove(tmp_path.c_str());
+      return 1;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), dest_path.c_str()) != 0) {
+    std::fprintf(stderr, "tp_results_merge: rename %s -> %s failed\n",
+                 tmp_path.c_str(), dest_path.c_str());
+    std::remove(tmp_path.c_str());
+    return 1;
+  }
+  std::printf("tp_results_merge: %zu record(s) from %s merged into %s\n",
+              src_records->size(), src_path.c_str(), dest_path.c_str());
+  return 0;
+}
