@@ -50,19 +50,22 @@ class SliceSync {
 class SymbolSender : public kernel::UserProgram {
  public:
   SymbolSender(int num_symbols, std::uint64_t seed, hw::Cycles slice_gap)
-      : sync_(slice_gap), rng_(seed), dist_(0, num_symbols - 1) {}
+      : sync_(slice_gap), num_symbols_(num_symbols), rng_(seed), dist_(0, num_symbols - 1) {}
 
   void Step(kernel::UserApi& api) final;
 
   const std::vector<int>& symbols_sent() const { return symbols_; }
 
  protected:
+  int num_symbols() const { return num_symbols_; }
+
   // Transmit a short burst encoding `symbol`; called repeatedly during the
   // slice with `burst` counting up from 0 at the slice start.
   virtual void Transmit(kernel::UserApi& api, int symbol, std::size_t burst) = 0;
 
  private:
   SliceSync sync_;
+  int num_symbols_;
   std::mt19937_64 rng_;
   std::uniform_int_distribution<int> dist_;
   std::vector<int> symbols_;

@@ -87,7 +87,9 @@ class CacheSetSender final : public SymbolSender {
   std::size_t line_size_;
   bool writes_;
   bool instruction_side_;
-  std::vector<hw::VAddr> scratch_;  // per-burst batch buffer
+  // Per-symbol replay traces: the address list depends only on the symbol,
+  // so it is recorded on first use and replayed on every later burst.
+  std::vector<std::vector<hw::VAddr>> traces_;
 };
 
 // Trains `symbol` *distinct* sequential streams per burst (several spaced
@@ -110,7 +112,12 @@ class PrefetchTrainSender final : public SymbolSender {
   hw::VAddr base_;
   std::size_t buffer_bytes_;
   std::size_t line_size_;
-  std::vector<hw::VAddr> scratch_;  // per-burst batch buffer
+  // Replay trace for the current (symbol, burst): rebuilt from scratch on a
+  // symbol change, advanced in place by the per-burst stream delta when the
+  // burst index just increments (the common case within a slice).
+  std::vector<hw::VAddr> trace_;
+  int trace_symbol_ = -1;
+  std::size_t trace_burst_ = 0;
 };
 
 // --- TLB channel ------------------------------------------------------------
@@ -145,7 +152,8 @@ class TlbSender final : public SymbolSender {
   hw::VAddr base_;
   std::size_t buffer_bytes_;
   std::size_t pages_per_symbol_;
-  std::vector<hw::VAddr> scratch_;  // per-burst batch buffer
+  // Per-symbol replay traces (see CacheSetSender).
+  std::vector<std::vector<hw::VAddr>> traces_;
 };
 
 // --- branch-predictor channels (BTB, BHB) -----------------------------------

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "hw/digest.hpp"
+
 namespace tp::hw {
 
 SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& geometry,
@@ -43,6 +45,7 @@ SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& 
       ages_[set * age_stride_ + w] = static_cast<std::uint8_t>(w);
     }
   }
+  sigs_.assign(sets * age_stride_, 0);
   valid_.assign(sets, 0);
   dirty_.assign(sets, 0);
 
@@ -51,46 +54,6 @@ SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& 
     taint_colours_ = colours >= 1 && colours <= 64 ? colours : 1;
     taint_.Enable(lines, taint_colours_);
   }
-}
-
-unsigned SetAssociativeCache::PickVictim(std::size_t set) const {
-  const std::uint64_t invalid = ~valid_[set] & full_mask_;
-  if (invalid != 0) {
-    // Highest-numbered invalid way.
-    return static_cast<unsigned>(std::bit_width(invalid) - 1);
-  }
-  return LruOldestWay(ages_.data() + set * age_stride_, age_stride_,
-                      static_cast<std::uint8_t>(ways_ - 1));
-}
-
-AccessResult SetAssociativeCache::MissFill(const Decoded& d, bool write) {
-  ++misses_;
-  AccessResult result;
-  const unsigned victim = PickVictim(d.set);
-  const std::uint64_t bit = std::uint64_t{1} << victim;
-  if ((valid_[d.set] & bit) != 0) {
-    result.evicted_valid = true;
-    result.evicted_line_addr = tags_[d.set * ways_ + victim];
-    if ((dirty_[d.set] & bit) != 0) {
-      result.writeback = true;
-      ++writebacks_;
-      dirty_[d.set] &= ~bit;
-      --dirty_count_;
-    }
-  } else {
-    valid_[d.set] |= bit;
-    ++valid_count_;
-  }
-  tags_[d.set * ways_ + victim] = d.tag;
-  if (write) {
-    SetDirty(d.set, victim);
-  }
-  Promote(d.set, victim);
-  if (taint_.on()) {
-    taint_.Tag(d.set * ways_ + victim, taint_owner_, TaintColourOfTag(d.tag));
-  }
-  result.fill = true;
-  return result;
 }
 
 AccessRunResult SetAssociativeCache::AccessRun(VAddr base_for_index, PAddr base_for_tag,
@@ -134,6 +97,7 @@ bool SetAssociativeCache::Insert(VAddr addr_for_index, PAddr addr_for_tag, bool 
     ++valid_count_;
   }
   tags_[d.set * ways_ + victim] = d.tag;
+  sigs_[d.set * age_stride_ + victim] = TagSignature(d.tag);
   if (dirty) {
     SetDirty(d.set, victim);
   }
@@ -203,6 +167,14 @@ std::size_t SetAssociativeCache::InvalidateAll() {
     taint_.ClearAll();
   }
   return valid;
+}
+
+void SetAssociativeCache::DigestState(std::uint64_t& h) const {
+  DigestVec(h, tags_);
+  DigestVec(h, ages_);
+  DigestVec(h, valid_);
+  DigestVec(h, dirty_);
+  taint_.DigestState(h);
 }
 
 void SetAssociativeCache::ResetStats() {

@@ -79,25 +79,23 @@ class SetAssociativeCache {
   // both; the cache picks per its indexing mode.
   AccessResult Access(VAddr addr_for_index, PAddr addr_for_tag, bool write) {
     const Decoded d = Decode(addr_for_index, addr_for_tag);
-    const std::uint64_t* tags = tags_.data() + d.set * ways_;
-    for (std::uint64_t m = valid_[d.set]; m != 0; m &= m - 1) {
-      const unsigned way = static_cast<unsigned>(std::countr_zero(m));
-      if (tags[way] == d.tag) {
-        Promote(d.set, way);
-        if (write) {
-          SetDirty(d.set, way);
-        }
-        ++hits_;
-        if (taint_.on()) {
-          // Retag on hit: the line now reflects this owner's activity at
-          // *this* level only (a deterministic L1 re-touch must not launder
-          // a secret-dependent LLC copy).
-          taint_.Tag(d.set * ways_ + way, taint_owner_, TaintColourOfTag(d.tag));
-        }
-        AccessResult result;
-        result.hit = true;
-        return result;
+    const int way = FindWay(d.set, d.tag);
+    if (way >= 0) {
+      Promote(d.set, static_cast<unsigned>(way));
+      if (write) {
+        SetDirty(d.set, static_cast<unsigned>(way));
       }
+      ++hits_;
+      if (taint_.on()) {
+        // Retag on hit: the line now reflects this owner's activity at
+        // *this* level only (a deterministic L1 re-touch must not launder
+        // a secret-dependent LLC copy).
+        taint_.Tag(d.set * ways_ + static_cast<std::size_t>(way), taint_owner_,
+                   TaintColourOfTag(d.tag));
+      }
+      AccessResult result;
+      result.hit = true;
+      return result;
     }
     return MissFill(d, write);
   }
@@ -160,7 +158,26 @@ class SetAssociativeCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  // Batch-replay accounting (Core::AccessBatch): credits the stats an
+  // elided fixpoint replay would have recorded. State is already at the
+  // batch's fixpoint, so only the counters move.
+  void AddReplayStats(std::uint64_t hits, std::uint64_t misses, std::uint64_t writebacks) {
+    hits_ += hits;
+    misses_ += misses;
+    writebacks_ += writebacks;
+  }
   std::uint64_t writebacks() const { return writebacks_; }
+
+  // Folds the behavioural state (tags, LRU ages, valid/dirty masks, taint
+  // stamps) into a batch-replay digest. The signature array is a pure
+  // per-slot function of the tag array and is skipped.
+  void DigestState(std::uint64_t& h) const;
+  // Bytes DigestState folds — drives the replay memo's digest-cost gate.
+  std::size_t DigestSizeBytes() const {
+    return tags_.size() * sizeof(std::uint64_t) + ages_.size() +
+           (valid_.size() + dirty_.size()) * sizeof(std::uint64_t) +
+           taint_.DigestSizeBytes();
+  }
   void ResetStats();
 
   // Taint metadata (active only when taint tracking was enabled at
@@ -231,15 +248,39 @@ class SetAssociativeCache {
     return static_cast<std::size_t>(slice_mask_ != 0 ? h & slice_mask_ : h % num_slices_);
   }
 
+  // 8-bit signature of a tag, kept per way in an age-stride array so a whole
+  // set compares in one SWAR word op. A strong multiplicative mix: tags in
+  // one set differ only above the index bits, which a truncated low byte
+  // would mostly discard.
+  static std::uint8_t TagSignature(std::uint64_t tag) {
+    return static_cast<std::uint8_t>((tag * 0x9E3779B97F4A7C15ull) >> 56);
+  }
+
   // Way holding (set, tag), or -1. The single tag-match used by the hit
-  // path, Contains and InvalidateLine alike; scans set bits of the valid
-  // mask in ascending way order, matching the previous way-0-first scan.
+  // path, Contains and InvalidateLine alike. The signature scan visits
+  // candidate ways in ascending order and confirms each against the valid
+  // mask and the full tag, so the first confirmed way matches the previous
+  // way-0-first scan exactly; stale signatures (invalidated or replaced
+  // ways) and SWAR borrow artefacts die at the confirm.
   int FindWay(std::size_t set, std::uint64_t tag) const {
+    const std::uint64_t valid = valid_[set];
+    if (valid == 0) {
+      return -1;
+    }
     const std::uint64_t* tags = tags_.data() + set * ways_;
-    for (std::uint64_t m = valid_[set]; m != 0; m &= m - 1) {
-      const unsigned way = static_cast<unsigned>(std::countr_zero(m));
-      if (tags[way] == tag) {
-        return static_cast<int>(way);
+    const std::uint8_t* sigs = sigs_.data() + set * age_stride_;
+    const std::uint64_t broadcast = kSwarLo * TagSignature(tag);
+    for (std::size_t off = 0; off < age_stride_; off += 8) {
+      std::uint64_t word;
+      std::memcpy(&word, sigs + off, 8);
+      std::uint64_t match = SwarByteMatch(word, broadcast);
+      while (match != 0) {
+        const unsigned way = static_cast<unsigned>(off) +
+                             static_cast<unsigned>(std::countr_zero(match)) / 8;
+        match &= match - 1;
+        if (((valid >> way) & 1) != 0 && tags[way] == tag) {
+          return static_cast<int>(way);
+        }
       }
     }
     return -1;
@@ -261,9 +302,48 @@ class SetAssociativeCache {
 
   // The way a fill replaces: the last invalid way when the set has room
   // (matching the previous scan, where a later invalid way overwrote an
-  // earlier choice), else the LRU-oldest way.
-  unsigned PickVictim(std::size_t set) const;
-  AccessResult MissFill(const Decoded& d, bool write);
+  // earlier choice), else the LRU-oldest way. In the header (with MissFill)
+  // so the demand-miss path inlines into Access.
+  unsigned PickVictim(std::size_t set) const {
+    const std::uint64_t invalid = ~valid_[set] & full_mask_;
+    if (invalid != 0) {
+      // Highest-numbered invalid way.
+      return static_cast<unsigned>(std::bit_width(invalid) - 1);
+    }
+    return LruOldestWay(ages_.data() + set * age_stride_, age_stride_,
+                        static_cast<std::uint8_t>(ways_ - 1));
+  }
+
+  AccessResult MissFill(const Decoded& d, bool write) {
+    ++misses_;
+    AccessResult result;
+    const unsigned victim = PickVictim(d.set);
+    const std::uint64_t bit = std::uint64_t{1} << victim;
+    if ((valid_[d.set] & bit) != 0) {
+      result.evicted_valid = true;
+      result.evicted_line_addr = tags_[d.set * ways_ + victim];
+      if ((dirty_[d.set] & bit) != 0) {
+        result.writeback = true;
+        ++writebacks_;
+        dirty_[d.set] &= ~bit;
+        --dirty_count_;
+      }
+    } else {
+      valid_[d.set] |= bit;
+      ++valid_count_;
+    }
+    tags_[d.set * ways_ + victim] = d.tag;
+    sigs_[d.set * age_stride_ + victim] = TagSignature(d.tag);
+    if (write) {
+      SetDirty(d.set, victim);
+    }
+    Promote(d.set, victim);
+    if (taint_.on()) {
+      taint_.Tag(d.set * ways_ + victim, taint_owner_, TaintColourOfTag(d.tag));
+    }
+    result.fill = true;
+    return result;
+  }
 
   std::string name_;
   CacheGeometry geometry_;
@@ -280,9 +360,10 @@ class SetAssociativeCache {
   std::uint64_t slice_mask_ = 0;
   std::uint64_t full_mask_ = 1;  // low `ways_` bits set
 
-  std::size_t age_stride_ = 8;       // per-set age bytes, padded for SWAR
+  std::size_t age_stride_ = 8;       // per-set age/signature bytes, padded for SWAR
   std::vector<std::uint64_t> tags_;  // [slice][set][way] flattened
   std::vector<std::uint8_t> ages_;   // LRU rank per line, 0 = MRU
+  std::vector<std::uint8_t> sigs_;   // TagSignature per line (stale until valid)
   std::vector<std::uint64_t> valid_;  // per-set way bitmask
   std::vector<std::uint64_t> dirty_;  // per-set way bitmask
   std::size_t valid_count_ = 0;

@@ -1,9 +1,11 @@
 #include "hw/core.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
+#include "hw/digest.hpp"
 #include "hw/machine.hpp"
 
 namespace tp::hw {
@@ -11,6 +13,12 @@ namespace tp::hw {
 namespace {
 std::atomic<std::uint64_t> g_sim_accesses{0};
 std::atomic<std::uint64_t> g_sim_branches{0};
+
+// Same convention as TP_QUICK / TP_TAINT: unset, "" and "0" mean off.
+bool EnvFlagSet(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
 }  // namespace
 
 SimTally SimTallySnapshot() {
@@ -38,6 +46,13 @@ Core::Core(CoreId id, Machine* machine) : id_(id), machine_(machine) {
   prefetcher_ = std::make_unique<StreamPrefetcher>(cfg.prefetcher);
   taint_on_ = TaintTrackingEnabled();
   fault_memo_stale_ = faults::FaultSite::For("memo.stale");
+  // Replay elides whole runs, which would starve FireOnce event counts on
+  // any armed site, so it stands down for the entire process under fault
+  // injection (same construct-time pattern as the sites themselves).
+  // TP_NO_REPLAY forces every batch down the live path — the A/B switch
+  // for localising a suspected replay divergence (results must be
+  // bit-identical either way; see tests/hw/batch_replay_test.cpp).
+  batch_replay_on_ = !faults::FaultInjectionEnabled() && !EnvFlagSet("TP_NO_REPLAY");
 }
 
 void Core::SetTaintOwner(std::uint16_t owner) {
@@ -252,7 +267,24 @@ Cycles Core::CachePath(VAddr vaddr, PAddr paddr, AccessKind kind) {
   return cost;
 }
 
+namespace {
+
+// Content fingerprint for the batch-replay memo (FNV-1a over the address
+// words): senders advance their traces in place, so pointer+size identity
+// alone cannot prove the list is unchanged.
+std::uint64_t HashBatch(std::span<const VAddr> vaddrs) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (VAddr va : vaddrs) {
+    h ^= va;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 Cycles Core::Access(VAddr vaddr, AccessKind kind) {
+  machine_->BumpStateGen();
   Cycles cost = lat().base_op;
   switch (kind) {
     case AccessKind::kRead:
@@ -272,19 +304,346 @@ Cycles Core::Access(VAddr vaddr, AccessKind kind) {
   return cost;
 }
 
+// The batch loops hoist the per-op dispatch out of Access(): perf counters
+// bulk-increment once, the base-op latency loads once, and the cycle counter
+// updates once at the end. Nothing inside TranslateCharged/CachePath reads
+// cycles_ or the counters mid-run, so every simulated state mutation and the
+// total cost are bit-identical to the per-call loop.
+//
+// On top of that sits the replay memo. A batch re-run from the exact state
+// it last left the machine in is at a fixpoint: it repeats the same hits
+// and misses, rebuilds the same tags, LRU ages and taint stamps, and
+// charges the same cycles — so the recorded counter deltas can be applied
+// in place of the per-op loop. Two proofs establish the fixpoint. An
+// all-hit run is one analytically: residency is what makes an op hit
+// (tags, not ages), final LRU ages depend only on the touch order, and
+// dirty bits and taint stamps are idempotent writes of the same values.
+// Any other batch — e.g. a probe streaming an eviction set much larger
+// than the L1 — is proven once two consecutive live runs end in the same
+// machine state digest: digest(S2) == digest(S3) with S3 = B(S2) means
+// B(S3) = S3, and the third run's deltas are the steady-state deltas every
+// later run repeats. The machine state generation (bumped by every live
+// access run and every flush, machine-wide) guarantees nothing touched a
+// cache or TLB between the runs being compared. The prime/probe/traverse
+// inner loops of the attacks re-issue the same trace many times per
+// timeslice, which is where the sweep's wall time goes.
+// BatchScope mask of a live run, from its stat deltas: a structure moved a
+// tally iff the run probed it (see BatchScope). Prefetcher slots and the
+// DRAM row memo are only read on LLC demand misses; a back-invalidate may
+// have reached any core's private caches without a stat moving there.
+std::uint32_t Core::ScopeOf(const ReplayDeltas& d) {
+  auto touched = [](const StructStats& s) {
+    return (s.hits | s.misses | s.writebacks) != 0;
+  };
+  std::uint32_t scope = 0;
+  if (touched(d.l1i)) scope |= kScopeL1I;
+  if (touched(d.l1d)) scope |= kScopeL1D;
+  if (touched(d.l2)) scope |= kScopeL2;
+  if (touched(d.llc)) scope |= kScopeLlc;
+  if (touched(d.itlb)) scope |= kScopeItlb;
+  if (touched(d.dtlb)) scope |= kScopeDtlb;
+  if (touched(d.l2tlb)) scope |= kScopeL2Tlb;
+  if (d.llc.misses != 0) scope |= kScopePrefetch;
+  if (d.back_invals != 0) {
+    scope |= kScopeL1I | kScopeL1D | kScopeL2 | kScopeXCores;
+  }
+  return scope;
+}
+
 Cycles Core::AccessBatch(std::span<const VAddr> vaddrs, AccessKind kind) {
+  if (vaddrs.empty()) {
+    return 0;
+  }
+  switch (kind) {
+    case AccessKind::kRead:
+      counters_.reads += vaddrs.size();
+      break;
+    case AccessKind::kWrite:
+      counters_.writes += vaddrs.size();
+      break;
+    case AccessKind::kFetch:
+      counters_.fetches += vaddrs.size();
+      break;
+  }
+  const bool instruction = kind == AccessKind::kFetch;
+  BatchMemo* memo = nullptr;       // record slot whose pre-state is known
+  BatchMemo* keymate = nullptr;    // same batch, pre-state unrecognised
+  bool keymate_viable = false;     // keymate can still be rendezvoused with
+  if (batch_replay_on_) {
+    std::uint64_t hash = 0;
+    bool hashed = false;
+    for (BatchMemo& m : batch_memos_) {
+      if (m.data != vaddrs.data() || m.size != vaddrs.size() || m.kind != kind ||
+          m.user_ctx != user_ctx_ || m.kernel_ctx != kernel_ctx_ ||
+          m.user_gen != *user_gen_ || m.kernel_gen != *kernel_gen_ ||
+          m.taint_owner != taint_owner_ || m.domain_tag != domain_tag_ ||
+          m.kernel_global != kernel_global_) {
+        continue;
+      }
+      if (!hashed) {
+        hash = HashBatch(vaddrs);
+        hashed = true;
+      }
+      if (m.content_hash != hash) {
+        continue;
+      }
+      if (m.state_gen == machine_->state_gen()) {
+        // Nothing touched a cache or TLB since the recorded run: the
+        // machine still sits at that run's post-state.
+        if (m.verified) {
+          ApplyReplay(m.deltas);
+          return m.deltas.total;
+        }
+        memo = &m;
+        break;
+      }
+      // Cross-timeslice rendezvous: intervening work moved the generation,
+      // but if the scoped digest of the current state matches the memo's
+      // post-state digest, the run's entire visible state is back where the
+      // recorded run left it (a probe kernel re-entered after a switch).
+      // Only worth a fold when it is cheaper than the run it may elide, and
+      // damped once the pre-state stops recurring.
+      keymate = &m;
+      keymate_viable = m.digest_post != 0 && m.fail_streak < kMaxFailStreak &&
+                       machine_->ScopedDigestBytes(m.scope, id_) <=
+                           m.deltas.total * kDigestBytesPerCycle;
+      if (!keymate_viable) {
+        break;
+      }
+      if (machine_->ScopedDigest(m.scope, id_) != m.digest_post) {
+        ++m.fail_streak;
+        break;
+      }
+      m.fail_streak = 0;
+      m.state_gen = machine_->state_gen();
+      if (m.verified) {
+        ApplyReplay(m.deltas);
+        return m.deltas.total;
+      }
+      memo = &m;
+      keymate = nullptr;
+      break;
+    }
+  }
+  machine_->BumpStateGen();
+  const StatSnapshot before = TakeStats();
+  const Cycles base = lat().base_op;
   Cycles total = 0;
   for (VAddr va : vaddrs) {
-    total += Access(va, kind);
+    Cycles cost = base;
+    Translation tr = TranslateCharged(va, instruction, cost);
+    total += cost + CachePath(va, tr.paddr + PageOffset(va), kind);
   }
+  cycles_ += total;
+  if (!batch_replay_on_) {
+    return total;
+  }
+  const ReplayDeltas deltas = DiffStats(before, total);
+  const std::uint32_t scope = ScopeOf(deltas);
+  const bool state_known = memo != nullptr;
+  if (memo == nullptr) {
+    if (keymate != nullptr) {
+      if (keymate->verified && keymate_viable && keymate->fail_streak <= 1) {
+        // The batch ran from an unrecognised state (e.g. the warm-up probe
+        // right after a domain switch perturbed the scope) while a fixpoint
+        // memo the next probe can rendezvous with exists for it: keep the
+        // fixpoint. Only the first miss is forgiven — two in a row mean the
+        // stored fixpoint went stale (the steady state drifted), and the
+        // memo is refreshed below so convergence re-anchors to the state
+        // that actually recurs.
+        return total;
+      }
+      memo = keymate;  // stale or unrecognisable record: refresh in place
+    } else {
+      // Claim a slot, preferring one not holding a proven fixpoint.
+      for (std::size_t i = 0; i < kBatchMemos; ++i) {
+        const std::size_t idx = (batch_memo_next_ + i) % kBatchMemos;
+        if (!batch_memos_[idx].verified) {
+          batch_memo_next_ = idx;
+          break;
+        }
+      }
+      memo = &batch_memos_[batch_memo_next_];
+      batch_memo_next_ = (batch_memo_next_ + 1) % kBatchMemos;
+    }
+    memo->data = vaddrs.data();
+    memo->size = vaddrs.size();
+    memo->kind = kind;
+    memo->content_hash = HashBatch(vaddrs);
+    memo->user_ctx = user_ctx_;
+    memo->kernel_ctx = kernel_ctx_;
+    memo->user_gen = *user_gen_;
+    memo->kernel_gen = *kernel_gen_;
+    memo->taint_owner = taint_owner_;
+    memo->domain_tag = domain_tag_;
+    memo->kernel_global = kernel_global_;
+    memo->digest_post = 0;
+    memo->verified = false;
+  }
+  const bool all_hit = deltas.itlb.misses + deltas.dtlb.misses == 0 &&
+                       deltas.l1i.misses + deltas.l1d.misses == 0;
+  if (all_hit) {
+    // All-hit run: fixpoint by the analytic argument, no digest needed (no
+    // miss anywhere implies no fill, insert, writeback, walk or prefetch
+    // train; promotes and dirty/taint writes are idempotent).
+    memo->verified = true;
+    memo->digest_post = 0;
+  } else if (state_known) {
+    // Fold the touched scope. Only convergence candidates (known
+    // pre-state) digest: the batch demonstrably re-runs, and one fold can
+    // unlock a whole timeslice of replays. First sightings never digest —
+    // a batch whose pre-state is only ever seen once cannot rendezvous,
+    // and the fold would be pure cost.
+    const std::uint64_t digest = machine_->ScopedDigest(scope, id_);
+    memo->verified = state_known && memo->digest_post != 0 &&
+                     memo->scope == scope && memo->digest_post == digest;
+    memo->digest_post = digest;
+  } else {
+    memo->verified = false;
+    memo->digest_post = 0;
+  }
+  memo->scope = scope;
+  memo->fail_streak = 0;
+  memo->deltas = deltas;
+  memo->state_gen = machine_->state_gen();
   return total;
 }
 
+Core::StatSnapshot Core::TakeStats() const {
+  StatSnapshot s;
+  s.c[0] = counters_.l1d_misses;
+  s.c[1] = counters_.l1i_misses;
+  s.c[2] = counters_.l2_misses;
+  s.c[3] = counters_.llc_misses;
+  s.c[4] = counters_.tlb_misses;
+  s.c[5] = counters_.page_walks;
+  s.c[6] = machine_->back_invalidate_count();
+  const SetAssociativeCache* caches[4] = {l1i_.get(), l1d_.get(), l2_.get(),
+                                          &machine_->llc()};
+  for (int i = 0; i < 4; ++i) {
+    if (caches[i] != nullptr) {
+      s.s[i] = StructStats{caches[i]->hits(), caches[i]->misses(),
+                           caches[i]->writebacks()};
+    } else {
+      s.s[i] = StructStats{};
+    }
+  }
+  const Tlb* tlbs[3] = {itlb_.get(), dtlb_.get(), l2tlb_.get()};
+  for (int i = 0; i < 3; ++i) {
+    s.s[4 + i] = StructStats{tlbs[i]->hits(), tlbs[i]->misses(), 0};
+  }
+  return s;
+}
+
+Core::ReplayDeltas Core::DiffStats(const StatSnapshot& before, Cycles total) const {
+  const StatSnapshot after = TakeStats();
+  ReplayDeltas d;
+  d.l1d_misses = after.c[0] - before.c[0];
+  d.l1i_misses = after.c[1] - before.c[1];
+  d.l2_misses = after.c[2] - before.c[2];
+  d.llc_misses = after.c[3] - before.c[3];
+  d.tlb_misses = after.c[4] - before.c[4];
+  d.page_walks = after.c[5] - before.c[5];
+  d.back_invals = after.c[6] - before.c[6];
+  StructStats* out[7] = {&d.l1i, &d.l1d, &d.l2, &d.llc, &d.itlb, &d.dtlb, &d.l2tlb};
+  for (int i = 0; i < 7; ++i) {
+    out[i]->hits = after.s[i].hits - before.s[i].hits;
+    out[i]->misses = after.s[i].misses - before.s[i].misses;
+    out[i]->writebacks = after.s[i].writebacks - before.s[i].writebacks;
+  }
+  d.total = total;
+  return d;
+}
+
+void Core::ApplyReplay(const ReplayDeltas& d) {
+  counters_.l1d_misses += d.l1d_misses;
+  counters_.l1i_misses += d.l1i_misses;
+  counters_.l2_misses += d.l2_misses;
+  counters_.llc_misses += d.llc_misses;
+  counters_.tlb_misses += d.tlb_misses;
+  counters_.page_walks += d.page_walks;
+  l1i_->AddReplayStats(d.l1i.hits, d.l1i.misses, d.l1i.writebacks);
+  l1d_->AddReplayStats(d.l1d.hits, d.l1d.misses, d.l1d.writebacks);
+  if (l2_ != nullptr) {
+    l2_->AddReplayStats(d.l2.hits, d.l2.misses, d.l2.writebacks);
+  }
+  machine_->llc().AddReplayStats(d.llc.hits, d.llc.misses, d.llc.writebacks);
+  itlb_->AddReplayStats(d.itlb.hits, d.itlb.misses);
+  dtlb_->AddReplayStats(d.dtlb.hits, d.dtlb.misses);
+  l2tlb_->AddReplayStats(d.l2tlb.hits, d.l2tlb.misses);
+  cycles_ += d.total;
+}
+
+void Core::DigestState(std::uint64_t& h) const {
+  l1i_->DigestState(h);
+  l1d_->DigestState(h);
+  if (l2_ != nullptr) {
+    l2_->DigestState(h);
+  }
+  itlb_->DigestState(h);
+  dtlb_->DigestState(h);
+  l2tlb_->DigestState(h);
+  prefetcher_->DigestState(h);
+  DigestWord(h, last_miss_line_);
+}
+
+void Core::DigestScoped(std::uint64_t& h, std::uint32_t scope) const {
+  if ((scope & kScopeL1I) != 0) l1i_->DigestState(h);
+  if ((scope & kScopeL1D) != 0) l1d_->DigestState(h);
+  if ((scope & kScopeL2) != 0 && l2_ != nullptr) l2_->DigestState(h);
+  if ((scope & kScopeItlb) != 0) itlb_->DigestState(h);
+  if ((scope & kScopeDtlb) != 0) dtlb_->DigestState(h);
+  if ((scope & kScopeL2Tlb) != 0) l2tlb_->DigestState(h);
+  if ((scope & kScopePrefetch) != 0) {
+    prefetcher_->DigestState(h);
+    DigestWord(h, last_miss_line_);
+  }
+}
+
+void Core::DigestPrivateCaches(std::uint64_t& h) const {
+  l1i_->DigestState(h);
+  l1d_->DigestState(h);
+  if (l2_ != nullptr) {
+    l2_->DigestState(h);
+  }
+}
+
+std::size_t Core::DigestBytesScoped(std::uint32_t scope) const {
+  std::size_t bytes = 0;
+  if ((scope & kScopeL1I) != 0) bytes += l1i_->DigestSizeBytes();
+  if ((scope & kScopeL1D) != 0) bytes += l1d_->DigestSizeBytes();
+  if ((scope & kScopeL2) != 0 && l2_ != nullptr) bytes += l2_->DigestSizeBytes();
+  if ((scope & kScopeItlb) != 0) bytes += itlb_->DigestSizeBytes();
+  if ((scope & kScopeDtlb) != 0) bytes += dtlb_->DigestSizeBytes();
+  if ((scope & kScopeL2Tlb) != 0) bytes += l2tlb_->DigestSizeBytes();
+  if ((scope & kScopePrefetch) != 0) bytes += prefetcher_->DigestSizeBytes();
+  return bytes;
+}
+
 Cycles Core::AccessBatch(std::span<const MemOp> ops) {
+  if (ops.empty()) {
+    return 0;
+  }
+  machine_->BumpStateGen();
+  const Cycles base = lat().base_op;
   Cycles total = 0;
   for (const MemOp& op : ops) {
-    total += Access(op.va, op.kind);
+    switch (op.kind) {
+      case AccessKind::kRead:
+        ++counters_.reads;
+        break;
+      case AccessKind::kWrite:
+        ++counters_.writes;
+        break;
+      case AccessKind::kFetch:
+        ++counters_.fetches;
+        break;
+    }
+    Cycles cost = base;
+    Translation tr = TranslateCharged(op.va, op.kind == AccessKind::kFetch, cost);
+    total += cost + CachePath(op.va, tr.paddr + PageOffset(op.va), op.kind);
   }
+  cycles_ += total;
   return total;
 }
 
@@ -303,6 +662,7 @@ Cycles Core::ArchFlushL1D() {
   if (!machine_->config().has_architected_l1_flush) {
     throw std::logic_error("architected L1-D flush not available on this platform");
   }
+  machine_->BumpStateGen();
   const Latencies& L = lat();
   std::size_t lines = l1d_->geometry().TotalLines();
   std::size_t dirty = l1d_->FlushAll();
@@ -313,6 +673,7 @@ Cycles Core::ArchFlushL1D() {
 }
 
 Cycles Core::InvalidateL1I() {
+  machine_->BumpStateGen();
   const Latencies& L = lat();
   std::size_t lines = l1i_->geometry().TotalLines();
   l1i_->InvalidateAll();
@@ -326,6 +687,7 @@ Cycles Core::FlushPrivateL2() {
   if (l2_ == nullptr) {
     return 0;
   }
+  machine_->BumpStateGen();
   const Latencies& L = lat();
   std::size_t lines = l2_->geometry().TotalLines();
   std::size_t dirty = l2_->FlushAll();
@@ -336,6 +698,7 @@ Cycles Core::FlushPrivateL2() {
 }
 
 Cycles Core::FlushTlbAll() {
+  machine_->BumpStateGen();
   itlb_->FlushAll();
   dtlb_->FlushAll();
   l2tlb_->FlushAll();
@@ -345,6 +708,7 @@ Cycles Core::FlushTlbAll() {
 }
 
 Cycles Core::FlushTlbNonGlobal() {
+  machine_->BumpStateGen();
   itlb_->FlushNonGlobal();
   dtlb_->FlushNonGlobal();
   l2tlb_->FlushNonGlobal();
@@ -361,6 +725,7 @@ Cycles Core::FlushBranchPredictor() {
 }
 
 Cycles Core::FullCacheFlush(bool include_llc) {
+  machine_->BumpStateGen();
   const Latencies& L = lat();
   Cycles cost = 0;
 

@@ -1,0 +1,51 @@
+// Word-wise FNV-1a folding over raw state arrays, used by the batch-replay
+// memo (Core::AccessBatch) to prove a batch has reached its fixpoint: two
+// consecutive live runs of the identical batch that end in the same machine
+// digest end in the same machine *state*, so every later run from that
+// state repeats the same work and can be elided.
+//
+// The digest deliberately covers only state that a batched memory access
+// can read or write: cache tags/ages/valid/dirty and taint stamps, TLB
+// entries, prefetcher streams, and the DRAM row-buffer memo. The branch
+// predictor and interrupt fabric are outside — batches never touch them.
+#ifndef TP_HW_DIGEST_HPP_
+#define TP_HW_DIGEST_HPP_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace tp::hw {
+
+inline constexpr std::uint64_t kDigestSeed = 1469598103934665603ull;
+
+inline void DigestWord(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+}
+
+// Folds `n` raw bytes eight at a time (tail zero-padded into a final word).
+inline void DigestBytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    DigestWord(h, word);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, p, n);
+    DigestWord(h, word);
+  }
+}
+
+template <typename T>
+inline void DigestVec(std::uint64_t& h, const std::vector<T>& v) {
+  DigestBytes(h, v.data(), v.size() * sizeof(T));
+}
+
+}  // namespace tp::hw
+
+#endif  // TP_HW_DIGEST_HPP_

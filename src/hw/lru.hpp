@@ -18,6 +18,17 @@
 namespace tp::hw {
 
 inline constexpr std::uint8_t kLruPad = 0xFF;
+inline constexpr std::uint64_t kSwarLo = 0x0101010101010101ull;
+inline constexpr std::uint64_t kSwarHi = 0x8080808080808080ull;
+
+// Bytes of `word` equal to the byte broadcast in `broadcast` come back with
+// bit 7 set. Borrow propagation can mark a rare extra byte (the classic
+// haszero caveat), never miss a real one — callers confirm candidates with
+// the full-width compare, so false positives only cost that check.
+inline std::uint64_t SwarByteMatch(std::uint64_t word, std::uint64_t broadcast) {
+  const std::uint64_t x = word ^ broadcast;
+  return (x - kSwarLo) & ~x & kSwarHi;
+}
 
 constexpr std::size_t LruStride(std::size_t ways) { return (ways + 7) & ~std::size_t{7}; }
 

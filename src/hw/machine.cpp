@@ -1,5 +1,7 @@
 #include "hw/machine.hpp"
 
+#include "hw/digest.hpp"
+
 namespace tp::hw {
 
 MachineConfig MachineConfig::Haswell(std::size_t cores) {
@@ -132,7 +134,55 @@ void Machine::PollDeviceTimers(Cycles now) {
   }
 }
 
+std::uint64_t Machine::StateDigest() const {
+  std::uint64_t h = kDigestSeed;
+  llc_->DigestState(h);
+  for (const auto& core : cores_) {
+    core->DigestState(h);
+  }
+  return h;
+}
+
+std::uint64_t Machine::ScopedDigest(std::uint32_t scope, std::size_t core) {
+  for (const ScopedDigestCacheEntry& e : digest_cache_) {
+    if (e.gen == state_gen_ && e.scope == scope && e.core == core) {
+      return e.digest;
+    }
+  }
+  std::uint64_t h = kDigestSeed;
+  DigestWord(h, scope);
+  if ((scope & kScopeLlc) != 0) {
+    llc_->DigestState(h);
+  }
+  cores_[core]->DigestScoped(h, scope);
+  if ((scope & kScopeXCores) != 0) {
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (i != core) {
+        cores_[i]->DigestPrivateCaches(h);
+      }
+    }
+  }
+  digest_cache_[digest_cache_next_] =
+      ScopedDigestCacheEntry{state_gen_, scope, core, h};
+  digest_cache_next_ = (digest_cache_next_ + 1) % std::size(digest_cache_);
+  return h;
+}
+
+std::size_t Machine::ScopedDigestBytes(std::uint32_t scope, std::size_t core) const {
+  std::size_t bytes = (scope & kScopeLlc) != 0 ? llc_->DigestSizeBytes() : 0;
+  bytes += cores_[core]->DigestBytesScoped(scope);
+  if ((scope & kScopeXCores) != 0) {
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (i != core) {
+        bytes += cores_[i]->DigestBytesScoped(kScopeL1I | kScopeL1D | kScopeL2);
+      }
+    }
+  }
+  return bytes;
+}
+
 void Machine::BackInvalidateLine(PAddr line_paddr) {
+  ++back_invalidate_count_;
   for (std::unique_ptr<Core>& core : cores_) {
     core->BackInvalidateLine(line_paddr);
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "hw/digest.hpp"
+
 namespace tp::hw {
 
 StreamPrefetcher::StreamPrefetcher(const PrefetcherGeometry& geometry) : geometry_(geometry) {
@@ -128,6 +130,25 @@ PrefetchOutcome StreamPrefetcher::OnDemandMiss(std::uint64_t line, std::uint16_t
     return HandleMiss(instruction_slots_, line, owner, taint_owner, /*enabled=*/true);
   }
   return HandleMiss(data_slots_, line, owner, taint_owner, data_enabled_);
+}
+
+void StreamPrefetcher::DigestState(std::uint64_t& h) const {
+  auto fold_slots = [&h](const std::vector<Stream>& slots) {
+    for (const Stream& s : slots) {
+      DigestWord(h, s.next_line);
+      DigestWord(h, static_cast<std::uint64_t>(s.direction));
+      DigestWord(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.confidence)));
+      DigestWord(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.credits)));
+      DigestWord(h, (static_cast<std::uint64_t>(s.owner) << 32) |
+                        (static_cast<std::uint64_t>(s.taint_owner) << 16) |
+                        (s.valid ? 1u : 0u));
+    }
+  };
+  fold_slots(data_slots_);
+  fold_slots(instruction_slots_);
+  DigestWord(h, data_victim_rr_);
+  DigestWord(h, instr_victim_rr_);
+  DigestWord(h, data_enabled_ ? 1u : 0u);
 }
 
 void StreamPrefetcher::SetDataPrefetcherEnabled(bool enabled) {

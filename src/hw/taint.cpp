@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "hw/digest.hpp"
+
 namespace tp::hw {
 
 namespace {
@@ -61,8 +63,7 @@ ContractCapture::~ContractCapture() {
 
 void TaintMap::Enable(std::size_t entries, std::size_t colours) {
   assert(colours >= 1 && colours <= 64);
-  owner_.assign(entries, 0);
-  colour_.assign(entries, 0);
+  meta_.assign(entries, 0);
   colours_ = colours;
 }
 
@@ -76,28 +77,26 @@ TaintMap::OwnerCount& TaintMap::Slot(TaintTag owner) {
   return counts_.back();
 }
 
-void TaintMap::Tag(std::size_t index, TaintTag owner, std::size_t colour) {
-  TaintTag old = owner_[index];
-  if (old == owner && (old == 0 || colour_[index] == colour)) {
-    return;
-  }
-  if (old != 0) {
-    OwnerCount& c = Slot(old);
+void TaintMap::TagSlow(std::size_t index, std::uint32_t meta, std::uint32_t old) {
+  const TaintTag old_owner = static_cast<TaintTag>(old & 0xFFFF);
+  if (old_owner != 0) {
+    OwnerCount& c = Slot(old_owner);
     --c.total;
-    --c.per_colour[colour_[index]];
+    --c.per_colour[old >> 16];
   }
-  owner_[index] = owner;
-  colour_[index] = static_cast<std::uint8_t>(colour);
+  meta_[index] = meta;
+  const TaintTag owner = static_cast<TaintTag>(meta & 0xFFFF);
   if (owner != 0) {
     OwnerCount& c = Slot(owner);
     ++c.total;
-    ++c.per_colour[colour];
+    ++c.per_colour[meta >> 16];
   }
 }
 
+void TaintMap::DigestState(std::uint64_t& h) const { DigestVec(h, meta_); }
+
 void TaintMap::ClearAll() {
-  std::fill(owner_.begin(), owner_.end(), 0);
-  std::fill(colour_.begin(), colour_.end(), 0);
+  std::fill(meta_.begin(), meta_.end(), 0);
   counts_.clear();
 }
 
@@ -117,9 +116,9 @@ std::uint64_t TaintMap::ForeignCount(TaintTag incoming, std::uint64_t colour_mas
 }
 
 std::size_t TaintMap::FindForeign(TaintTag incoming, std::uint64_t colour_mask) const {
-  for (std::size_t i = 0; i < owner_.size(); ++i) {
-    TaintTag o = owner_[i];
-    if (o != 0 && o != incoming && (((colour_mask >> colour_[i]) & 1) != 0)) {
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    TaintTag o = static_cast<TaintTag>(meta_[i] & 0xFFFF);
+    if (o != 0 && o != incoming && (((colour_mask >> (meta_[i] >> 16)) & 1) != 0)) {
       return i;
     }
   }

@@ -98,13 +98,32 @@ class TaintMap {
   // page-colour count of the structure (1 = uncolourable, everything
   // observable); must be <= 64 so a colour set fits a mask word.
   void Enable(std::size_t entries, std::size_t colours);
-  bool on() const { return !owner_.empty(); }
+  bool on() const { return !meta_.empty(); }
 
-  void Tag(std::size_t index, TaintTag owner, std::size_t colour);
+  // Owner and colour pack into one metadata word so the retag fast path —
+  // by far the common case: a domain re-touching its own state — is a
+  // single load and compare, inline. Only a real ownership/colour change
+  // drops to the counting slow path.
+  void Tag(std::size_t index, TaintTag owner, std::size_t colour) {
+    const std::uint32_t meta =
+        static_cast<std::uint32_t>(owner) | (static_cast<std::uint32_t>(colour) << 16);
+    const std::uint32_t old = meta_[index];
+    if (old == meta || (owner == 0 && (old & 0xFFFF) == 0)) {
+      return;
+    }
+    TagSlow(index, meta, old);
+  }
   void Clear(std::size_t index) { Tag(index, 0, 0); }
   void ClearAll();
 
-  TaintTag OwnerOf(std::size_t index) const { return owner_[index]; }
+  TaintTag OwnerOf(std::size_t index) const {
+    return static_cast<TaintTag>(meta_[index] & 0xFFFF);
+  }
+
+  // Folds the per-entry metadata into a batch-replay state digest (the
+  // per-owner counts are derived from it and need no separate fold).
+  void DigestState(std::uint64_t& h) const;
+  std::size_t DigestSizeBytes() const { return meta_.size() * sizeof(std::uint32_t); }
 
   // Entries owned by a domain other than 0/`incoming` whose colour is in
   // `colour_mask` (bit c = colour c observable by the incoming domain).
@@ -119,9 +138,9 @@ class TaintMap {
     std::vector<std::uint64_t> per_colour;
   };
   OwnerCount& Slot(TaintTag owner);
+  void TagSlow(std::size_t index, std::uint32_t meta, std::uint32_t old);
 
-  std::vector<TaintTag> owner_;     // 0 = untainted/neutral
-  std::vector<std::uint8_t> colour_;  // colour the entry was tagged with
+  std::vector<std::uint32_t> meta_;  // owner | colour << 16; owner 0 = neutral
   std::size_t colours_ = 1;
   std::vector<OwnerCount> counts_;  // small linear owner list
 };

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "hw/digest.hpp"
+
 namespace tp::hw {
 
 Tlb::Tlb(std::string name, const TlbGeometry& geometry)
@@ -30,6 +32,7 @@ Tlb::Tlb(std::string name, const TlbGeometry& geometry)
       ages_[set * age_stride_ + w] = static_cast<std::uint8_t>(w);
     }
   }
+  sigs_.assign(sets_ * age_stride_, 0);
   valid_.assign(sets_, 0);
   global_.assign(sets_, 0);
 
@@ -51,17 +54,12 @@ unsigned Tlb::PickVictim(std::size_t set) const {
 void Tlb::Insert(std::uint64_t vpn, Asid asid, bool global) {
   const std::size_t set = SetOf(vpn);
   const std::size_t base = set * ways_;
-  const std::uint64_t glob = global_[set];
-  for (std::uint64_t m = valid_[set]; m != 0; m &= m - 1) {
-    const unsigned way = static_cast<unsigned>(std::countr_zero(m));
-    if (vpns_[base + way] == vpn &&
-        (((glob >> way) & 1) != 0 || asids_[base + way] == asid)) {
-      Promote(set, way);
-      if (taint_.on()) {
-        taint_.Tag(base + way, taint_owner_, 0);
-      }
-      return;  // already present
+  if (const int way = FindEntry(set, vpn, asid); way >= 0) {
+    Promote(set, static_cast<unsigned>(way));
+    if (taint_.on()) {
+      taint_.Tag(base + static_cast<std::size_t>(way), taint_owner_, 0);
     }
+    return;  // already present
   }
   const unsigned victim = PickVictim(set);
   const std::uint64_t bit = std::uint64_t{1} << victim;
@@ -71,6 +69,7 @@ void Tlb::Insert(std::uint64_t vpn, Asid asid, bool global) {
   }
   vpns_[base + victim] = vpn;
   asids_[base + victim] = asid;
+  sigs_[set * age_stride_ + victim] = VpnSignature(vpn);
   if (global) {
     global_[set] |= bit;
   } else {
@@ -119,6 +118,15 @@ void Tlb::FlushAsid(Asid asid) {
       }
     }
   }
+}
+
+void Tlb::DigestState(std::uint64_t& h) const {
+  DigestVec(h, vpns_);
+  DigestVec(h, asids_);
+  DigestVec(h, ages_);
+  DigestVec(h, valid_);
+  DigestVec(h, global_);
+  taint_.DigestState(h);
 }
 
 void Tlb::ResetStats() {

@@ -40,19 +40,14 @@ class Tlb {
   // is either global or tagged with `asid`.
   bool Lookup(std::uint64_t vpn, Asid asid) {
     const std::size_t set = SetOf(vpn);
-    const std::size_t base = set * ways_;
-    const std::uint64_t glob = global_[set];
-    for (std::uint64_t m = valid_[set]; m != 0; m &= m - 1) {
-      const unsigned way = static_cast<unsigned>(std::countr_zero(m));
-      if (vpns_[base + way] == vpn &&
-          (((glob >> way) & 1) != 0 || asids_[base + way] == asid)) {
-        Promote(set, way);
-        ++hits_;
-        if (taint_.on()) {
-          taint_.Tag(base + way, taint_owner_, 0);
-        }
-        return true;
+    const int way = FindEntry(set, vpn, asid);
+    if (way >= 0) {
+      Promote(set, static_cast<unsigned>(way));
+      ++hits_;
+      if (taint_.on()) {
+        taint_.Tag(set * ways_ + static_cast<std::size_t>(way), taint_owner_, 0);
       }
+      return true;
     }
     ++misses_;
     return false;
@@ -70,7 +65,21 @@ class Tlb {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  // Batch-replay accounting (Core::AccessBatch): credits the stats an
+  // elided fixpoint replay would have recorded (see cache.hpp).
+  void AddReplayStats(std::uint64_t hits, std::uint64_t misses) {
+    hits_ += hits;
+    misses_ += misses;
+  }
   void ResetStats();
+
+  // Folds the behavioural state into a batch-replay digest (see cache.hpp).
+  void DigestState(std::uint64_t& h) const;
+  std::size_t DigestSizeBytes() const {
+    return vpns_.size() * sizeof(std::uint64_t) + asids_.size() * sizeof(Asid) +
+           ages_.size() + (valid_.size() + global_.size()) * sizeof(std::uint64_t) +
+           taint_.DigestSizeBytes();
+  }
 
   // Taint metadata (active only when tracking was enabled at construction);
   // TLBs are uncolourable, so every entry uses colour 0. Entry index is
@@ -87,6 +96,43 @@ class Tlb {
                           : static_cast<std::size_t>(vpn % sets_);
   }
 
+  // 8-bit vpn signature per way (age-stride array), giving the lookup a
+  // whole-set SWAR compare; see SetAssociativeCache::TagSignature.
+  static std::uint8_t VpnSignature(std::uint64_t vpn) {
+    return static_cast<std::uint8_t>((vpn * 0x9E3779B97F4A7C15ull) >> 56);
+  }
+
+  // Way whose entry matches (vpn, asid), or -1. Signature candidates are
+  // visited in ascending way order and confirmed against the valid mask,
+  // the full vpn, and the global/ASID rule, so the first confirmed way
+  // equals the previous linear scan's choice exactly (per-ASID duplicates
+  // of one vpn included).
+  int FindEntry(std::size_t set, std::uint64_t vpn, Asid asid) const {
+    const std::uint64_t valid = valid_[set];
+    if (valid == 0) {
+      return -1;
+    }
+    const std::size_t base = set * ways_;
+    const std::uint64_t glob = global_[set];
+    const std::uint8_t* sigs = sigs_.data() + set * age_stride_;
+    const std::uint64_t broadcast = kSwarLo * VpnSignature(vpn);
+    for (std::size_t off = 0; off < age_stride_; off += 8) {
+      std::uint64_t word;
+      std::memcpy(&word, sigs + off, 8);
+      std::uint64_t match = SwarByteMatch(word, broadcast);
+      while (match != 0) {
+        const unsigned way = static_cast<unsigned>(off) +
+                             static_cast<unsigned>(std::countr_zero(match)) / 8;
+        match &= match - 1;
+        if (((valid >> way) & 1) != 0 && vpns_[base + way] == vpn &&
+            (((glob >> way) & 1) != 0 || asids_[base + way] == asid)) {
+          return static_cast<int>(way);
+        }
+      }
+    }
+    return -1;
+  }
+
   // Exact-LRU promotion over the per-set age permutation (see lru.hpp).
   void Promote(std::size_t set, unsigned way) {
     LruPromote(ages_.data() + set * age_stride_, age_stride_, way);
@@ -101,10 +147,11 @@ class Tlb {
   std::uint64_t set_mask_ = 0;
   std::uint64_t full_mask_ = 1;
 
-  std::size_t age_stride_ = 8;        // per-set age bytes, padded for SWAR
+  std::size_t age_stride_ = 8;        // per-set age/signature bytes, padded for SWAR
   std::vector<std::uint64_t> vpns_;   // [set][way] flattened
   std::vector<Asid> asids_;           // [set][way] flattened
   std::vector<std::uint8_t> ages_;    // LRU rank per entry, 0 = MRU
+  std::vector<std::uint8_t> sigs_;    // VpnSignature per entry (stale until valid)
   std::vector<std::uint64_t> valid_;  // per-set way bitmask
   std::vector<std::uint64_t> global_;  // per-set way bitmask
   std::size_t valid_count_ = 0;

@@ -77,15 +77,29 @@ class ExperimentRunner {
   // drain.
   template <typename Fn>
   auto Map(std::size_t n, Fn&& fn) const {
+    return MapScheduled(n, {}, std::forward<Fn>(fn));
+  }
+
+  // Map with an explicit claim order: workers take tasks in `order` (a
+  // permutation of 0..n-1; empty = index order). This is scheduling only —
+  // every task runs the same work and results return in task-index order,
+  // so the output is bit-identical for any order at any thread count.
+  // SweepEngine feeds the longest-first shard permutation here so one slow
+  // cell's round ranges spread across the pool from the start instead of
+  // queueing behind the rest of the grid.
+  template <typename Fn>
+  auto MapScheduled(std::size_t n, const std::vector<std::size_t>& order, Fn&& fn) const {
     using R = std::invoke_result_t<Fn&, std::size_t>;
     static_assert(std::is_default_constructible_v<R>,
                   "Map task results must be default-constructible");
     static_assert(!std::is_same_v<R, bool>,
                   "bool results would race on vector<bool> bit packing; return int");
     std::vector<R> results(n);
+    auto task_at = [&order](std::size_t k) { return order.empty() ? k : order[k]; };
     std::size_t workers = threads_ < n ? threads_ : n;
     if (workers <= 1) {
-      for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = task_at(k);
         results[i] = fn(i);
       }
       return results;
@@ -95,10 +109,11 @@ class ExperimentRunner {
     std::mutex error_mu;
     auto work = [&]() {
       for (;;) {
-        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) {
+        std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= n) {
           return;
         }
+        const std::size_t i = task_at(k);
         try {
           results[i] = fn(i);
         } catch (...) {

@@ -1,5 +1,6 @@
 #include "runner/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -155,7 +156,21 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
       states[c].error = message;
     }
   };
-  std::vector<ShardOut> outs = runner_.Map(tasks.size(), [&](std::size_t i) {
+  // Longest-first claim order: shards with the most rounds are picked up
+  // first, so the round ranges of one slow cell spread across the pool
+  // instead of queueing behind the rest of the grid. Scheduling only —
+  // every shard's seed, rounds and result slot are fixed by the plan above,
+  // so the merged observations stay bit-identical at any TP_THREADS.
+  std::vector<std::size_t> claim_order(tasks.size());
+  for (std::size_t i = 0; i < claim_order.size(); ++i) {
+    claim_order[i] = i;
+  }
+  std::stable_sort(claim_order.begin(), claim_order.end(),
+                   [&tasks](std::size_t a, std::size_t b) {
+                     return tasks[a].shard.rounds > tasks[b].shard.rounds;
+                   });
+  std::vector<ShardOut> outs = runner_.MapScheduled(
+      tasks.size(), claim_order, [&](std::size_t i) {
     const std::size_t c = tasks[i].cell;
     ShardOut out;
     if (states[c].code.load() != 0) {

@@ -36,12 +36,10 @@ class BusyProbe final : public kernel::UserProgram {
       api.Compute(200);
       return;
     }
-    for (hw::VAddr va : es_.lines()) {
-      if (instr_) {
-        api.Fetch(va);
-      } else {
-        api.Write(va);  // dirty lines: worst case for the flush
-      }
+    if (instr_) {
+      api.FetchBatch(es_.lines());
+    } else {
+      api.WriteBatch(es_.lines());  // dirty lines: worst case for the flush
     }
   }
 

@@ -289,6 +289,40 @@ DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view base
   return outcome;
 }
 
+CoverageResult CheckCoverage(const Trajectory& trajectory, std::string_view label,
+                             const CoverageOptions& options) {
+  CoverageResult result;
+  result.label = label;
+  if (!trajectory.HasLabel(label)) {
+    result.error = "label '" + std::string(label) + "' not found in trajectory";
+    return result;
+  }
+  std::map<std::string, std::size_t> cells_per_bench;
+  for (const TrajectoryRecord& r : trajectory.records) {
+    if (r.label != label || r.cell == "total") {
+      continue;  // the Recorder's per-process "total" row is not coverage
+    }
+    ++result.records;
+    ++cells_per_bench[r.bench];
+    if (options.require_contract && IsProtectedCell(r.cell)) {
+      if (!r.cell_ok()) {
+        // A crash-isolated cell has no contract verdict to record; the
+        // require_cells diff gate owns that failure mode.
+        result.notes.push_back("protected cell '" + Key(r) + "' " + r.cell_status +
+                               ", contract coverage not required");
+      } else if (r.contract_clean < 0) {
+        result.missing_contract.push_back(Key(r));
+      }
+    }
+  }
+  for (const std::string& bench : options.expected_benches) {
+    if (cells_per_bench.find(bench) == cells_per_bench.end()) {
+      result.missing_benches.push_back(bench);
+    }
+  }
+  return result;
+}
+
 std::string ReportJson(const DiffOutcome& outcome) {
   const DiffResult& r = outcome.result;
   std::string out = "{\n";

@@ -149,6 +149,39 @@ DiffOutcome DiffTrajectories(const Trajectory& trajectory, std::string_view base
 // Machine-readable report of the diff (one self-contained JSON object).
 std::string ReportJson(const DiffOutcome& outcome);
 
+// --- coverage check ---------------------------------------------------------
+//
+// Verifies one recorded label actually covers the sweep it claims to: every
+// expected bench produced at least one real cell record (not the Recorder's
+// per-process "total" row), and — when `require_contract` — every healthy
+// protected-mode cell carries the contract_clean observable. A channel that
+// exists but records nothing, or a protected cell that silently stops
+// reporting its contract verdict, would otherwise dodge every diff gate.
+
+struct CoverageOptions {
+  // Bench names that must each have at least one non-"total" cell record
+  // under the label (typically the `tp_bench --list` registry). Empty list:
+  // the bench-coverage check is skipped.
+  std::vector<std::string> expected_benches;
+  // Require contract_clean on every protected ok-cell (taint-on sweeps).
+  bool require_contract = true;
+};
+
+struct CoverageResult {
+  std::string label;
+  std::string error;  // label absent from the trajectory; nothing checked
+  std::vector<std::string> missing_benches;   // expected bench, no cell record
+  std::vector<std::string> missing_contract;  // "bench/cell" lacking contract_clean
+  std::vector<std::string> notes;  // crash-isolated cells exempted, ...
+  std::size_t records = 0;         // cell records seen under the label
+  bool ok() const {
+    return error.empty() && missing_benches.empty() && missing_contract.empty();
+  }
+};
+
+CoverageResult CheckCoverage(const Trajectory& trajectory, std::string_view label,
+                             const CoverageOptions& options = {});
+
 }  // namespace tp::trajectory
 
 #endif  // TP_TRAJECTORY_DIFF_HPP_

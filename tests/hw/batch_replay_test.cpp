@@ -1,0 +1,171 @@
+// Trace-replay equivalence: Core::AccessBatch — including its fixpoint
+// batch-replay memo, which elides re-simulation of a batch whose pre-state
+// provably recurs — must be observationally identical to the per-op
+// dispatching path. "Identical" is bit-level: same total cycles, same
+// counters, and the same Machine::StateDigest (which folds every cache,
+// TLB, prefetcher, taint and LRU word in the machine), across virtually-
+// and physically-indexed hierarchies and with taint tracking on. The
+// full-grid --max-mi-delta 0 CI diff proves the same property end-to-end
+// on mi_bits; these tests localise a violation to the core layer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "hw/core.hpp"
+#include "hw/machine.hpp"
+#include "hw/taint.hpp"
+#include "support/test_support.hpp"
+
+namespace tp::hw {
+namespace {
+
+using test::FlatTranslationContext;
+using test::InstallFlatContext;
+
+// A probe-shaped op stream: a strided sweep (prime), a re-walk (probe, all
+// hits at steady state — the batch the replay memo elides), and a few
+// conflicting lines to force evictions and writebacks.
+std::vector<VAddr> ProbeStream() {
+  std::vector<VAddr> vas;
+  for (VAddr va = 0; va < 16 * 1024; va += 64) {
+    vas.push_back(va);
+  }
+  for (VAddr va = 0x100000; va < 0x100000 + 4 * 1024; va += 64) {
+    vas.push_back(va);
+  }
+  return vas;
+}
+
+struct RunResult {
+  Cycles cycles = 0;
+  std::uint64_t digest = 0;
+  PerfCounters counters;
+};
+
+// Runs `rounds` repetitions of the stream via AccessBatch (recorded once,
+// replayed when the memo proves a fixpoint) or per-op Access dispatch.
+RunResult RunStream(const MachineConfig& config, AccessKind kind, int rounds, bool batched) {
+  Machine machine(config);
+  FlatTranslationContext ctx(1);
+  InstallFlatContext(machine.core(0), ctx);
+  Core& core = machine.core(0);
+  const std::vector<VAddr> stream = ProbeStream();
+  RunResult r;
+  for (int round = 0; round < rounds; ++round) {
+    if (batched) {
+      r.cycles += core.AccessBatch(stream, kind);
+    } else {
+      for (VAddr va : stream) {
+        r.cycles += core.Access(va, kind);
+      }
+    }
+  }
+  r.digest = machine.StateDigest();
+  r.counters = core.counters();
+  return r;
+}
+
+void ExpectEquivalent(const MachineConfig& config, AccessKind kind, int rounds) {
+  const RunResult batch = RunStream(config, kind, rounds, true);
+  const RunResult per_op = RunStream(config, kind, rounds, false);
+  EXPECT_EQ(batch.cycles, per_op.cycles);
+  EXPECT_EQ(batch.digest, per_op.digest)
+      << "batched and dispatching paths left different machine state";
+  EXPECT_EQ(batch.counters.l1d_misses, per_op.counters.l1d_misses);
+  EXPECT_EQ(batch.counters.l1i_misses, per_op.counters.l1i_misses);
+  EXPECT_EQ(batch.counters.llc_misses, per_op.counters.llc_misses);
+  EXPECT_EQ(batch.counters.tlb_misses, per_op.counters.tlb_misses);
+  EXPECT_EQ(batch.counters.page_walks, per_op.counters.page_walks);
+}
+
+// One live round records the batch; later rounds re-run it from its own
+// post-state, so the memo replays them (all-hit fixpoint) — the equality
+// below therefore covers record, verify and replay, not just the live run.
+TEST(BatchReplay, ReplayedRoundsMatchDispatchOnVirtualIndexing) {
+  ExpectEquivalent(MachineConfig::Sabre(1), AccessKind::kRead, 6);
+}
+
+TEST(BatchReplay, ReplayedRoundsMatchDispatchOnPhysicalIndexing) {
+  // Haswell: virtually-indexed L1s over a physically-indexed L2/LLC, so
+  // one stream exercises both indexing modes in one hierarchy.
+  ExpectEquivalent(MachineConfig::Haswell(1), AccessKind::kRead, 6);
+}
+
+TEST(BatchReplay, WriteAndFetchStreamsMatchDispatch) {
+  ExpectEquivalent(MachineConfig::Haswell(1), AccessKind::kWrite, 4);
+  ExpectEquivalent(MachineConfig::Haswell(1), AccessKind::kFetch, 4);
+}
+
+TEST(BatchReplay, EquivalenceHoldsWithTaintTrackingOn) {
+  const bool saved = TaintTrackingEnabled();
+  SetTaintTrackingEnabled(true);
+  ExpectEquivalent(MachineConfig::Haswell(1), AccessKind::kWrite, 6);
+  ExpectEquivalent(MachineConfig::Sabre(1), AccessKind::kRead, 6);
+  SetTaintTrackingEnabled(saved);
+}
+
+TEST(BatchReplay, MixedOpBatchMatchesDispatch) {
+  std::vector<MemOp> ops;
+  for (VAddr va = 0; va < 8 * 1024; va += 64) {
+    ops.push_back({va, AccessKind::kRead});
+    ops.push_back({va + 0x40000, AccessKind::kWrite});
+  }
+  Machine a(MachineConfig::Haswell(1));
+  Machine b(MachineConfig::Haswell(1));
+  FlatTranslationContext ctx(1);
+  InstallFlatContext(a.core(0), ctx);
+  InstallFlatContext(b.core(0), ctx);
+  Cycles batched = 0;
+  Cycles dispatched = 0;
+  for (int round = 0; round < 4; ++round) {
+    batched += a.core(0).AccessBatch(ops);
+    for (const MemOp& op : ops) {
+      dispatched += b.core(0).Access(op.va, op.kind);
+    }
+  }
+  EXPECT_EQ(batched, dispatched);
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+// TP_NO_REPLAY pins every batch to the live path (the A/B switch for
+// localising a suspected replay divergence); results must not change.
+TEST(BatchReplay, NoReplayFlagIsObservationallyIdentical) {
+  const RunResult with_replay = RunStream(MachineConfig::Haswell(1), AccessKind::kRead, 6, true);
+  setenv("TP_NO_REPLAY", "1", 1);
+  const RunResult without = RunStream(MachineConfig::Haswell(1), AccessKind::kRead, 6, true);
+  unsetenv("TP_NO_REPLAY");
+  EXPECT_EQ(with_replay.cycles, without.cycles);
+  EXPECT_EQ(with_replay.digest, without.digest);
+  EXPECT_EQ(with_replay.counters.llc_misses, without.counters.llc_misses);
+}
+
+// A flush between rounds moves the state generation, so a stale memo must
+// never replay against the flushed (different) state.
+TEST(BatchReplay, FlushBetweenRoundsInvalidatesTheMemo) {
+  Machine a(MachineConfig::Haswell(1));
+  Machine b(MachineConfig::Haswell(1));
+  FlatTranslationContext ctx(1);
+  InstallFlatContext(a.core(0), ctx);
+  InstallFlatContext(b.core(0), ctx);
+  const std::vector<VAddr> stream = ProbeStream();
+  Cycles batched = 0;
+  Cycles dispatched = 0;
+  for (int round = 0; round < 4; ++round) {
+    batched += a.core(0).AccessBatch(stream, AccessKind::kRead);
+    a.core(0).FlushTlbAll();
+    dispatched += [&] {
+      Cycles c = 0;
+      for (VAddr va : stream) {
+        c += b.core(0).Access(va, AccessKind::kRead);
+      }
+      return c;
+    }();
+    b.core(0).FlushTlbAll();
+  }
+  EXPECT_EQ(batched, dispatched);
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+}  // namespace
+}  // namespace tp::hw

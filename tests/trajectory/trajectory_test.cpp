@@ -720,5 +720,79 @@ TEST(Diff, FailedBaselineCellHoldsCandidateToAFreshCellFloor) {
   EXPECT_TRUE(noted) << ReportJson(o);
 }
 
+// ---- sweep coverage (tp_bench_diff --check-coverage) ----
+
+TEST(Coverage, MissingLabelIsAnError) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("a", "cell/raw", 1.0, 100));
+  CoverageResult r = CheckCoverage(t, "ghost");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("ghost"), std::string::npos);
+}
+
+TEST(Coverage, EveryExpectedBenchMustRecordARealCell) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("run", "cell/raw", 1.0, 100));
+  CoverageOptions opts;
+  opts.expected_benches = {"bench", "ghost_bench"};
+  CoverageResult r = CheckCoverage(t, "run", opts);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.missing_benches.size(), 1u);
+  EXPECT_EQ(r.missing_benches[0], "ghost_bench");
+  EXPECT_EQ(r.records, 1u);
+}
+
+TEST(Coverage, RecorderTotalRowIsNotCoverage) {
+  // A channel whose only record is the per-process "total" row produced no
+  // real cells: it ran but measured nothing, which is exactly the failure
+  // the old grep check could not distinguish.
+  Trajectory t;
+  t.records.push_back(MakeRecord("run", "total", -1.0, 100));
+  CoverageOptions opts;
+  opts.expected_benches = {"bench"};
+  CoverageResult r = CheckCoverage(t, "run", opts);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.missing_benches.size(), 1u);
+  EXPECT_EQ(r.missing_benches[0], "bench");
+  EXPECT_EQ(r.records, 0u);
+}
+
+TEST(Coverage, ProtectedCellMustRecordContractClean) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("run", "x/protected", 0.0, 100));
+  t.records.push_back(MakeRecord("run", "x/raw", 1.0, 100));
+  CoverageResult r = CheckCoverage(t, "run");
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.missing_contract.size(), 1u);
+  EXPECT_EQ(r.missing_contract[0], "bench/x/protected");
+
+  // The unprotected cell never needs the observable; once the protected
+  // cell records its verdict (clean or dirty), coverage is satisfied —
+  // judging the verdict is the diff gate's job, not coverage's.
+  t.records[0].contract_clean = 0;
+  r = CheckCoverage(t, "run");
+  EXPECT_TRUE(r.ok()) << (r.missing_contract.empty() ? "" : r.missing_contract[0]);
+}
+
+TEST(Coverage, CrashIsolatedProtectedCellIsNotedNotGated) {
+  // A crashed cell has no contract verdict to record; --require-cells in
+  // the diff gate owns that failure, coverage only notes the exemption.
+  Trajectory t;
+  t.records.push_back(MakeRecord("run", "x/protected", -1.0, 100));
+  t.records[0].cell_status = "timeout";
+  CoverageResult r = CheckCoverage(t, "run");
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.notes.size(), 1u);
+  EXPECT_NE(r.notes[0].find("timeout"), std::string::npos);
+}
+
+TEST(Coverage, ContractRequirementCanBeDisabled) {
+  Trajectory t;
+  t.records.push_back(MakeRecord("run", "x/protected", 0.0, 100));
+  CoverageOptions opts;
+  opts.require_contract = false;
+  EXPECT_TRUE(CheckCoverage(t, "run", opts).ok());
+}
+
 }  // namespace
 }  // namespace tp::trajectory

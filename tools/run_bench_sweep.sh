@@ -62,25 +62,32 @@ fi
 
 names=()
 verdicts=()
+seconds=()
 failed=0
 start=$(date +%s)
 for name in "${channels[@]}"; do
   echo "== $name"
   bench_start=$(date +%s)
   if "$TP_BENCH" --only "$name" > /dev/null; then
-    verdicts+=("pass  $(( $(date +%s) - bench_start ))s")
+    verdicts+=("pass")
   else
     verdicts+=("FAIL (exit $?)")
     failed=1
   fi
+  seconds+=($(( $(date +%s) - bench_start )))
   names+=("$name")
 done
 
+# Per-channel wall summary, slowest first, so a nightly wall-gate failure
+# is diagnosable from the step log alone: the channel that blew the budget
+# is the first line.
 echo
 echo "sweep '${TP_BENCH_LABEL}' finished in $(( $(date +%s) - start ))s" \
-     "(${#channels[@]} channels)"
+     "(${#channels[@]} channels, slowest first)"
 for i in "${!names[@]}"; do
-  printf '  %-32s %s\n' "${names[$i]}" "${verdicts[$i]}"
+  printf '%6d %s %s\n' "${seconds[$i]}" "${names[$i]}" "${verdicts[$i]}"
+done | sort -k1,1nr | while read -r secs name verdict; do
+  printf '  %-32s %-6s %ss\n' "$name" "$verdict" "$secs"
 done
 if [ "$failed" -ne 0 ]; then
   echo "error: at least one channel failed;" \

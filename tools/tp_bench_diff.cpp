@@ -44,7 +44,17 @@ constexpr const char* kUsage =
     "                   cell_status (crash-isolated \"failed\"/\"timeout\"\n"
     "                   cells are otherwise reported but not gated)\n"
     "  --list-labels    print the labels present in the file and exit\n"
-    "  --quiet          suppress the per-cell table, print the verdict only\n";
+    "  --quiet          suppress the per-cell table, print the verdict only\n"
+    "\n"
+    "coverage mode: tp_bench_diff --check-coverage [options] <label>...\n"
+    "  Instead of diffing, verify each label covers its sweep: every bench\n"
+    "  named in --channels has at least one real cell record (not the\n"
+    "  per-process \"total\" row), and every healthy protected cell records\n"
+    "  its contract_clean observable. Reports exactly which channel or cell\n"
+    "  is missing. Exit 0: covered; 1: coverage hole; 2: bad input.\n"
+    "  --channels PATH  expected bench names, one per line (typically the\n"
+    "                   output of `tp_bench --list`); omit to check only\n"
+    "                   contract coverage\n";
 
 struct Args {
   std::string json_path = "BENCH_results.json";
@@ -54,6 +64,9 @@ struct Args {
   tp::trajectory::DiffOptions options;
   bool list_labels = false;
   bool quiet = false;
+  bool check_coverage = false;
+  std::string channels_path;
+  std::vector<std::string> coverage_labels;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -117,6 +130,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->options.require_cells = true;
     } else if (arg == "--list-labels") {
       args->list_labels = true;
+    } else if (arg == "--check-coverage") {
+      args->check_coverage = true;
+    } else if (arg == "--channels") {
+      const char* v = value();
+      if (v == nullptr) {
+        return false;
+      }
+      args->channels_path = v;
     } else if (arg == "--quiet" || arg == "-q") {
       args->quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -132,6 +153,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   if (args->list_labels) {
     return positional.empty();
   }
+  if (args->check_coverage) {
+    if (positional.empty()) {
+      std::fprintf(stderr, "tp_bench_diff: --check-coverage needs at least one label\n%s",
+                   kUsage);
+      return false;
+    }
+    args->coverage_labels = std::move(positional);
+    return true;
+  }
   if (positional.size() != 2) {
     std::fputs(kUsage, stderr);
     return false;
@@ -139,6 +169,70 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   args->baseline = positional[0];
   args->candidate = positional[1];
   return true;
+}
+
+// Expected bench names, one per line; blank lines ignored.
+bool LoadChannels(const std::string& path, std::vector<std::string>* channels) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "tp_bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!line.empty()) {
+      channels->push_back(line);
+    }
+  }
+  return true;
+}
+
+// Coverage mode: checks each label in turn and prints per-label verdicts.
+int RunCoverage(const Args& args, const tp::trajectory::Trajectory& trajectory) {
+  tp::trajectory::CoverageOptions options;
+  if (!args.channels_path.empty() &&
+      !LoadChannels(args.channels_path, &options.expected_benches)) {
+    return 2;
+  }
+  bool covered = true;
+  bool bad_input = false;
+  for (const std::string& label : args.coverage_labels) {
+    tp::trajectory::CoverageResult r =
+        tp::trajectory::CheckCoverage(trajectory, label, options);
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "tp_bench_diff: %s\n", r.error.c_str());
+      bad_input = true;
+      continue;
+    }
+    for (const std::string& bench : r.missing_benches) {
+      std::printf("coverage: channel '%s' recorded no cells under label '%s'\n",
+                  bench.c_str(), label.c_str());
+    }
+    for (const std::string& cell : r.missing_contract) {
+      std::printf("coverage: protected cell '%s' lacks contract_clean under label '%s'\n",
+                  cell.c_str(), label.c_str());
+    }
+    if (!args.quiet) {
+      for (const std::string& note : r.notes) {
+        std::printf("note: %s\n", note.c_str());
+      }
+    }
+    std::printf(
+        "tp_bench_diff: coverage of '%s' — %zu cell record(s), %zu/%zu expected "
+        "channel(s) present, %zu protected cell(s) without contract_clean -> %s\n",
+        label.c_str(), r.records,
+        options.expected_benches.size() - r.missing_benches.size(),
+        options.expected_benches.size(), r.missing_contract.size(),
+        r.ok() ? "PASS" : "FAIL");
+    covered = covered && r.ok();
+  }
+  if (bad_input) {
+    return 2;
+  }
+  return covered ? 0 : 1;
 }
 
 }  // namespace
@@ -165,6 +259,10 @@ int main(int argc, char** argv) {
       std::printf("%s\n", label.c_str());
     }
     return 0;
+  }
+
+  if (args.check_coverage) {
+    return RunCoverage(args, *trajectory);
   }
 
   tp::trajectory::DiffOutcome outcome = tp::trajectory::DiffTrajectories(
