@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tp_bench.cpp" "bench/CMakeFiles/tp_bench.dir/tp_bench.cpp.o" "gcc" "bench/CMakeFiles/tp_bench.dir/tp_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/CMakeFiles/tp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_attacks.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_runner.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_mi.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

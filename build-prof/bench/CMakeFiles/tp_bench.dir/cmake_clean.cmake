@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_bench.dir/tp_bench.cpp.o"
+  "CMakeFiles/tp_bench.dir/tp_bench.cpp.o.d"
+  "tp_bench"
+  "tp_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_mutate.dir/tp_mutate.cpp.o"
+  "CMakeFiles/tp_mutate.dir/tp_mutate.cpp.o.d"
+  "tp_mutate"
+  "tp_mutate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_mutate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

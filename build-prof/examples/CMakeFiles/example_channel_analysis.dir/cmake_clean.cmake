@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_channel_analysis.dir/channel_analysis.cpp.o"
+  "CMakeFiles/example_channel_analysis.dir/channel_analysis.cpp.o.d"
+  "example_channel_analysis"
+  "example_channel_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_channel_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cloud.dir/cloud.cpp.o"
+  "CMakeFiles/example_cloud.dir/cloud.cpp.o.d"
+  "example_cloud"
+  "example_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

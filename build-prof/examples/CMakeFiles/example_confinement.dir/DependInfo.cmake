@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/confinement.cpp" "examples/CMakeFiles/example_confinement.dir/confinement.cpp.o" "gcc" "examples/CMakeFiles/example_confinement.dir/confinement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/CMakeFiles/tp_attacks.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_faults.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_mi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_confinement.dir/confinement.cpp.o"
+  "CMakeFiles/example_confinement.dir/confinement.cpp.o.d"
+  "example_confinement"
+  "example_confinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_confinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

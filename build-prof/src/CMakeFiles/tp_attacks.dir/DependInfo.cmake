@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/channel_experiment.cpp" "src/CMakeFiles/tp_attacks.dir/attacks/channel_experiment.cpp.o" "gcc" "src/CMakeFiles/tp_attacks.dir/attacks/channel_experiment.cpp.o.d"
+  "/root/repo/src/attacks/flush_channel.cpp" "src/CMakeFiles/tp_attacks.dir/attacks/flush_channel.cpp.o" "gcc" "src/CMakeFiles/tp_attacks.dir/attacks/flush_channel.cpp.o.d"
+  "/root/repo/src/attacks/interrupt_channel.cpp" "src/CMakeFiles/tp_attacks.dir/attacks/interrupt_channel.cpp.o" "gcc" "src/CMakeFiles/tp_attacks.dir/attacks/interrupt_channel.cpp.o.d"
+  "/root/repo/src/attacks/intra_core.cpp" "src/CMakeFiles/tp_attacks.dir/attacks/intra_core.cpp.o" "gcc" "src/CMakeFiles/tp_attacks.dir/attacks/intra_core.cpp.o.d"
+  "/root/repo/src/attacks/kernel_channel.cpp" "src/CMakeFiles/tp_attacks.dir/attacks/kernel_channel.cpp.o" "gcc" "src/CMakeFiles/tp_attacks.dir/attacks/kernel_channel.cpp.o.d"
+  "/root/repo/src/attacks/llc_side_channel.cpp" "src/CMakeFiles/tp_attacks.dir/attacks/llc_side_channel.cpp.o" "gcc" "src/CMakeFiles/tp_attacks.dir/attacks/llc_side_channel.cpp.o.d"
+  "/root/repo/src/attacks/prime_probe.cpp" "src/CMakeFiles/tp_attacks.dir/attacks/prime_probe.cpp.o" "gcc" "src/CMakeFiles/tp_attacks.dir/attacks/prime_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_mi.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_attacks.dir/attacks/channel_experiment.cpp.o"
+  "CMakeFiles/tp_attacks.dir/attacks/channel_experiment.cpp.o.d"
+  "CMakeFiles/tp_attacks.dir/attacks/flush_channel.cpp.o"
+  "CMakeFiles/tp_attacks.dir/attacks/flush_channel.cpp.o.d"
+  "CMakeFiles/tp_attacks.dir/attacks/interrupt_channel.cpp.o"
+  "CMakeFiles/tp_attacks.dir/attacks/interrupt_channel.cpp.o.d"
+  "CMakeFiles/tp_attacks.dir/attacks/intra_core.cpp.o"
+  "CMakeFiles/tp_attacks.dir/attacks/intra_core.cpp.o.d"
+  "CMakeFiles/tp_attacks.dir/attacks/kernel_channel.cpp.o"
+  "CMakeFiles/tp_attacks.dir/attacks/kernel_channel.cpp.o.d"
+  "CMakeFiles/tp_attacks.dir/attacks/llc_side_channel.cpp.o"
+  "CMakeFiles/tp_attacks.dir/attacks/llc_side_channel.cpp.o.d"
+  "CMakeFiles/tp_attacks.dir/attacks/prime_probe.cpp.o"
+  "CMakeFiles/tp_attacks.dir/attacks/prime_probe.cpp.o.d"
+  "libtp_attacks.a"
+  "libtp_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

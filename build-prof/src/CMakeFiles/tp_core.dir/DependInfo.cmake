@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/colour.cpp" "src/CMakeFiles/tp_core.dir/core/colour.cpp.o" "gcc" "src/CMakeFiles/tp_core.dir/core/colour.cpp.o.d"
+  "/root/repo/src/core/domain.cpp" "src/CMakeFiles/tp_core.dir/core/domain.cpp.o" "gcc" "src/CMakeFiles/tp_core.dir/core/domain.cpp.o.d"
+  "/root/repo/src/core/padding.cpp" "src/CMakeFiles/tp_core.dir/core/padding.cpp.o" "gcc" "src/CMakeFiles/tp_core.dir/core/padding.cpp.o.d"
+  "/root/repo/src/core/time_protection.cpp" "src/CMakeFiles/tp_core.dir/core/time_protection.cpp.o" "gcc" "src/CMakeFiles/tp_core.dir/core/time_protection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/CMakeFiles/tp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_core.dir/core/colour.cpp.o"
+  "CMakeFiles/tp_core.dir/core/colour.cpp.o.d"
+  "CMakeFiles/tp_core.dir/core/domain.cpp.o"
+  "CMakeFiles/tp_core.dir/core/domain.cpp.o.d"
+  "CMakeFiles/tp_core.dir/core/padding.cpp.o"
+  "CMakeFiles/tp_core.dir/core/padding.cpp.o.d"
+  "CMakeFiles/tp_core.dir/core/time_protection.cpp.o"
+  "CMakeFiles/tp_core.dir/core/time_protection.cpp.o.d"
+  "libtp_core.a"
+  "libtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_faults.dir/faults/fault.cpp.o"
+  "CMakeFiles/tp_faults.dir/faults/fault.cpp.o.d"
+  "libtp_faults.a"
+  "libtp_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

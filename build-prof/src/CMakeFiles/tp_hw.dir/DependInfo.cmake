@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/branch_predictor.cpp" "src/CMakeFiles/tp_hw.dir/hw/branch_predictor.cpp.o" "gcc" "src/CMakeFiles/tp_hw.dir/hw/branch_predictor.cpp.o.d"
+  "/root/repo/src/hw/cache.cpp" "src/CMakeFiles/tp_hw.dir/hw/cache.cpp.o" "gcc" "src/CMakeFiles/tp_hw.dir/hw/cache.cpp.o.d"
+  "/root/repo/src/hw/core.cpp" "src/CMakeFiles/tp_hw.dir/hw/core.cpp.o" "gcc" "src/CMakeFiles/tp_hw.dir/hw/core.cpp.o.d"
+  "/root/repo/src/hw/interrupt_controller.cpp" "src/CMakeFiles/tp_hw.dir/hw/interrupt_controller.cpp.o" "gcc" "src/CMakeFiles/tp_hw.dir/hw/interrupt_controller.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/CMakeFiles/tp_hw.dir/hw/machine.cpp.o" "gcc" "src/CMakeFiles/tp_hw.dir/hw/machine.cpp.o.d"
+  "/root/repo/src/hw/prefetcher.cpp" "src/CMakeFiles/tp_hw.dir/hw/prefetcher.cpp.o" "gcc" "src/CMakeFiles/tp_hw.dir/hw/prefetcher.cpp.o.d"
+  "/root/repo/src/hw/taint.cpp" "src/CMakeFiles/tp_hw.dir/hw/taint.cpp.o" "gcc" "src/CMakeFiles/tp_hw.dir/hw/taint.cpp.o.d"
+  "/root/repo/src/hw/tlb.cpp" "src/CMakeFiles/tp_hw.dir/hw/tlb.cpp.o" "gcc" "src/CMakeFiles/tp_hw.dir/hw/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/CMakeFiles/tp_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

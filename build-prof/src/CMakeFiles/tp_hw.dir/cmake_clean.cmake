@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_hw.dir/hw/branch_predictor.cpp.o"
+  "CMakeFiles/tp_hw.dir/hw/branch_predictor.cpp.o.d"
+  "CMakeFiles/tp_hw.dir/hw/cache.cpp.o"
+  "CMakeFiles/tp_hw.dir/hw/cache.cpp.o.d"
+  "CMakeFiles/tp_hw.dir/hw/core.cpp.o"
+  "CMakeFiles/tp_hw.dir/hw/core.cpp.o.d"
+  "CMakeFiles/tp_hw.dir/hw/interrupt_controller.cpp.o"
+  "CMakeFiles/tp_hw.dir/hw/interrupt_controller.cpp.o.d"
+  "CMakeFiles/tp_hw.dir/hw/machine.cpp.o"
+  "CMakeFiles/tp_hw.dir/hw/machine.cpp.o.d"
+  "CMakeFiles/tp_hw.dir/hw/prefetcher.cpp.o"
+  "CMakeFiles/tp_hw.dir/hw/prefetcher.cpp.o.d"
+  "CMakeFiles/tp_hw.dir/hw/taint.cpp.o"
+  "CMakeFiles/tp_hw.dir/hw/taint.cpp.o.d"
+  "CMakeFiles/tp_hw.dir/hw/tlb.cpp.o"
+  "CMakeFiles/tp_hw.dir/hw/tlb.cpp.o.d"
+  "libtp_hw.a"
+  "libtp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/address_space.cpp" "src/CMakeFiles/tp_kernel.dir/kernel/address_space.cpp.o" "gcc" "src/CMakeFiles/tp_kernel.dir/kernel/address_space.cpp.o.d"
+  "/root/repo/src/kernel/boot.cpp" "src/CMakeFiles/tp_kernel.dir/kernel/boot.cpp.o" "gcc" "src/CMakeFiles/tp_kernel.dir/kernel/boot.cpp.o.d"
+  "/root/repo/src/kernel/contract.cpp" "src/CMakeFiles/tp_kernel.dir/kernel/contract.cpp.o" "gcc" "src/CMakeFiles/tp_kernel.dir/kernel/contract.cpp.o.d"
+  "/root/repo/src/kernel/ipc.cpp" "src/CMakeFiles/tp_kernel.dir/kernel/ipc.cpp.o" "gcc" "src/CMakeFiles/tp_kernel.dir/kernel/ipc.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/CMakeFiles/tp_kernel.dir/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/tp_kernel.dir/kernel/kernel.cpp.o.d"
+  "/root/repo/src/kernel/kernel_image.cpp" "src/CMakeFiles/tp_kernel.dir/kernel/kernel_image.cpp.o" "gcc" "src/CMakeFiles/tp_kernel.dir/kernel/kernel_image.cpp.o.d"
+  "/root/repo/src/kernel/objects.cpp" "src/CMakeFiles/tp_kernel.dir/kernel/objects.cpp.o" "gcc" "src/CMakeFiles/tp_kernel.dir/kernel/objects.cpp.o.d"
+  "/root/repo/src/kernel/scheduler.cpp" "src/CMakeFiles/tp_kernel.dir/kernel/scheduler.cpp.o" "gcc" "src/CMakeFiles/tp_kernel.dir/kernel/scheduler.cpp.o.d"
+  "/root/repo/src/kernel/untyped.cpp" "src/CMakeFiles/tp_kernel.dir/kernel/untyped.cpp.o" "gcc" "src/CMakeFiles/tp_kernel.dir/kernel/untyped.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/CMakeFiles/tp_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

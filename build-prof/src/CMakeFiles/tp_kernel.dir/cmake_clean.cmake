@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_kernel.dir/kernel/address_space.cpp.o"
+  "CMakeFiles/tp_kernel.dir/kernel/address_space.cpp.o.d"
+  "CMakeFiles/tp_kernel.dir/kernel/boot.cpp.o"
+  "CMakeFiles/tp_kernel.dir/kernel/boot.cpp.o.d"
+  "CMakeFiles/tp_kernel.dir/kernel/contract.cpp.o"
+  "CMakeFiles/tp_kernel.dir/kernel/contract.cpp.o.d"
+  "CMakeFiles/tp_kernel.dir/kernel/ipc.cpp.o"
+  "CMakeFiles/tp_kernel.dir/kernel/ipc.cpp.o.d"
+  "CMakeFiles/tp_kernel.dir/kernel/kernel.cpp.o"
+  "CMakeFiles/tp_kernel.dir/kernel/kernel.cpp.o.d"
+  "CMakeFiles/tp_kernel.dir/kernel/kernel_image.cpp.o"
+  "CMakeFiles/tp_kernel.dir/kernel/kernel_image.cpp.o.d"
+  "CMakeFiles/tp_kernel.dir/kernel/objects.cpp.o"
+  "CMakeFiles/tp_kernel.dir/kernel/objects.cpp.o.d"
+  "CMakeFiles/tp_kernel.dir/kernel/scheduler.cpp.o"
+  "CMakeFiles/tp_kernel.dir/kernel/scheduler.cpp.o.d"
+  "CMakeFiles/tp_kernel.dir/kernel/untyped.cpp.o"
+  "CMakeFiles/tp_kernel.dir/kernel/untyped.cpp.o.d"
+  "libtp_kernel.a"
+  "libtp_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

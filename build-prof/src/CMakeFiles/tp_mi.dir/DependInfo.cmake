@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mi/channel_matrix.cpp" "src/CMakeFiles/tp_mi.dir/mi/channel_matrix.cpp.o" "gcc" "src/CMakeFiles/tp_mi.dir/mi/channel_matrix.cpp.o.d"
+  "/root/repo/src/mi/kde.cpp" "src/CMakeFiles/tp_mi.dir/mi/kde.cpp.o" "gcc" "src/CMakeFiles/tp_mi.dir/mi/kde.cpp.o.d"
+  "/root/repo/src/mi/leakage_test.cpp" "src/CMakeFiles/tp_mi.dir/mi/leakage_test.cpp.o" "gcc" "src/CMakeFiles/tp_mi.dir/mi/leakage_test.cpp.o.d"
+  "/root/repo/src/mi/mutual_information.cpp" "src/CMakeFiles/tp_mi.dir/mi/mutual_information.cpp.o" "gcc" "src/CMakeFiles/tp_mi.dir/mi/mutual_information.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

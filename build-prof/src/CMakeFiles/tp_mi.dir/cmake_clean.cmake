@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_mi.dir/mi/channel_matrix.cpp.o"
+  "CMakeFiles/tp_mi.dir/mi/channel_matrix.cpp.o.d"
+  "CMakeFiles/tp_mi.dir/mi/kde.cpp.o"
+  "CMakeFiles/tp_mi.dir/mi/kde.cpp.o.d"
+  "CMakeFiles/tp_mi.dir/mi/leakage_test.cpp.o"
+  "CMakeFiles/tp_mi.dir/mi/leakage_test.cpp.o.d"
+  "CMakeFiles/tp_mi.dir/mi/mutual_information.cpp.o"
+  "CMakeFiles/tp_mi.dir/mi/mutual_information.cpp.o.d"
+  "libtp_mi.a"
+  "libtp_mi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_mi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

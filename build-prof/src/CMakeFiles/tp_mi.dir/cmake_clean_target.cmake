@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtp_mi.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for tp_mi.
+# This may be replaced when dependencies are built.

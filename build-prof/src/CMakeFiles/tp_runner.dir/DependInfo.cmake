@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/recorder.cpp" "src/CMakeFiles/tp_runner.dir/runner/recorder.cpp.o" "gcc" "src/CMakeFiles/tp_runner.dir/runner/recorder.cpp.o.d"
+  "/root/repo/src/runner/runner.cpp" "src/CMakeFiles/tp_runner.dir/runner/runner.cpp.o" "gcc" "src/CMakeFiles/tp_runner.dir/runner/runner.cpp.o.d"
+  "/root/repo/src/runner/sweep.cpp" "src/CMakeFiles/tp_runner.dir/runner/sweep.cpp.o" "gcc" "src/CMakeFiles/tp_runner.dir/runner/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/CMakeFiles/tp_mi.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_hw.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/CMakeFiles/tp_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

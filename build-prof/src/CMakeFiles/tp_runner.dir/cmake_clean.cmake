@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_runner.dir/runner/recorder.cpp.o"
+  "CMakeFiles/tp_runner.dir/runner/recorder.cpp.o.d"
+  "CMakeFiles/tp_runner.dir/runner/runner.cpp.o"
+  "CMakeFiles/tp_runner.dir/runner/runner.cpp.o.d"
+  "CMakeFiles/tp_runner.dir/runner/sweep.cpp.o"
+  "CMakeFiles/tp_runner.dir/runner/sweep.cpp.o.d"
+  "libtp_runner.a"
+  "libtp_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

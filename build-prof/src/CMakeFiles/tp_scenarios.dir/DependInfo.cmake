@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenarios/ablation_mechanisms.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/ablation_mechanisms.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/ablation_mechanisms.cpp.o.d"
+  "/root/repo/src/scenarios/driver.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/driver.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/driver.cpp.o.d"
+  "/root/repo/src/scenarios/fig3_kernel_channel.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig3_kernel_channel.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig3_kernel_channel.cpp.o.d"
+  "/root/repo/src/scenarios/fig4_llc_side_channel.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig4_llc_side_channel.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig4_llc_side_channel.cpp.o.d"
+  "/root/repo/src/scenarios/fig5_flush_channel.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig5_flush_channel.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig5_flush_channel.cpp.o.d"
+  "/root/repo/src/scenarios/fig6_interrupt_channel.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig6_interrupt_channel.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig6_interrupt_channel.cpp.o.d"
+  "/root/repo/src/scenarios/fig7_splash_colouring.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig7_splash_colouring.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/fig7_splash_colouring.cpp.o.d"
+  "/root/repo/src/scenarios/microbench.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/microbench.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/microbench.cpp.o.d"
+  "/root/repo/src/scenarios/scenario.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/scenario.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/scenario.cpp.o.d"
+  "/root/repo/src/scenarios/summary.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/summary.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/summary.cpp.o.d"
+  "/root/repo/src/scenarios/table1_platforms.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/table1_platforms.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/table1_platforms.cpp.o.d"
+  "/root/repo/src/scenarios/table2_flush_cost.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/table2_flush_cost.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/table2_flush_cost.cpp.o.d"
+  "/root/repo/src/scenarios/table3_intra_core.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/table3_intra_core.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/table3_intra_core.cpp.o.d"
+  "/root/repo/src/scenarios/table4_flush_channel.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/table4_flush_channel.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/table4_flush_channel.cpp.o.d"
+  "/root/repo/src/scenarios/table5_ipc.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/table5_ipc.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/table5_ipc.cpp.o.d"
+  "/root/repo/src/scenarios/table6_switch_cost.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/table6_switch_cost.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/table6_switch_cost.cpp.o.d"
+  "/root/repo/src/scenarios/table7_clone_cost.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/table7_clone_cost.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/table7_clone_cost.cpp.o.d"
+  "/root/repo/src/scenarios/table8_timeshared.cpp" "src/CMakeFiles/tp_scenarios.dir/scenarios/table8_timeshared.cpp.o" "gcc" "src/CMakeFiles/tp_scenarios.dir/scenarios/table8_timeshared.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

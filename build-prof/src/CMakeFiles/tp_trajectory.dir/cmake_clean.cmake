@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_trajectory.dir/trajectory/diff.cpp.o"
+  "CMakeFiles/tp_trajectory.dir/trajectory/diff.cpp.o.d"
+  "CMakeFiles/tp_trajectory.dir/trajectory/json.cpp.o"
+  "CMakeFiles/tp_trajectory.dir/trajectory/json.cpp.o.d"
+  "CMakeFiles/tp_trajectory.dir/trajectory/trajectory.cpp.o"
+  "CMakeFiles/tp_trajectory.dir/trajectory/trajectory.cpp.o.d"
+  "libtp_trajectory.a"
+  "libtp_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

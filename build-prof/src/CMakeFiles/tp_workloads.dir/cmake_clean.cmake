@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_workloads.dir/workloads/crypto_victim.cpp.o"
+  "CMakeFiles/tp_workloads.dir/workloads/crypto_victim.cpp.o.d"
+  "CMakeFiles/tp_workloads.dir/workloads/splash.cpp.o"
+  "CMakeFiles/tp_workloads.dir/workloads/splash.cpp.o.d"
+  "libtp_workloads.a"
+  "libtp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_bench_diff.dir/tp_bench_diff.cpp.o"
+  "CMakeFiles/tp_bench_diff.dir/tp_bench_diff.cpp.o.d"
+  "tp_bench_diff"
+  "tp_bench_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_bench_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_results_merge.dir/tp_results_merge.cpp.o"
+  "CMakeFiles/tp_results_merge.dir/tp_results_merge.cpp.o.d"
+  "tp_results_merge"
+  "tp_results_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_results_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
