@@ -59,6 +59,9 @@ std::vector<double> KdeOnGrid(const std::vector<double>& samples,
   }
   double lo = grid.front();
   double step = grid[1] - grid[0];
+  if (!(step > 0.0)) {
+    return density;  // zero-width grid: 1/step below would emit NaN/Inf
+  }
   double n = static_cast<double>(samples.size());
 
   if (bandwidth <= 0.0) {

@@ -9,7 +9,9 @@
 namespace tp::mi {
 
 double EstimateMi(const Observations& obs, const MiOptions& options) {
-  if (obs.size() == 0) {
+  if (obs.size() == 0 || options.grid_points < 2) {
+    // A sub-2-point grid has no spacing to integrate over; indexing
+    // grid[1] below would read past the end and poison the estimate.
     return 0.0;
   }
   std::map<int, std::vector<double>> by_input = obs.ByInput();

@@ -105,6 +105,23 @@ std::string RecordToJson(const std::string& bench, const std::string& label,
       os << ", \"cell_error\": \"" << JsonEscape(r.cell_error) << "\"";
     }
   }
+  if (r.adaptive) {
+    os << ", \"rounds_run\": " << r.rounds_run
+       << ", \"rounds_budget\": " << r.rounds_budget
+       << ", \"stopped_early\": " << (r.stopped_early > 0 ? "true" : "false");
+    if (!std::isnan(r.mi_ci_low)) {
+      os << ", \"mi_ci_low\": " << FormatDouble(r.mi_ci_low);
+    }
+    if (!std::isnan(r.mi_ci_high)) {
+      os << ", \"mi_ci_high\": " << FormatDouble(r.mi_ci_high);
+    }
+    if (r.significance > 0.0) {
+      os << ", \"significance\": " << FormatDouble(r.significance);
+    }
+    if (!r.ci_method.empty()) {
+      os << ", \"ci_method\": \"" << JsonEscape(r.ci_method) << "\"";
+    }
+  }
   os << "}";
   return os.str();
 }

@@ -32,10 +32,19 @@
 //     "cell_status": "failed",          v3: "failed" (shard threw) or
 //                                       "timeout" (per-cell watchdog); the
 //                                       field is absent for healthy cells
-//     "cell_error": "..." }             v3: first error message (if failed)
+//     "cell_error": "...",              v3: first error message (if failed)
+//     "rounds_run": 48,                 v3 adaptive: executed rounds
+//     "rounds_budget": 150,             v3 adaptive: budgeted rounds
+//     "stopped_early": true,            v3 adaptive: sequential stop fired
+//     "mi_ci_low": 0.0,                 v3 adaptive: CI lower bound (bits)
+//     "mi_ci_high": 0.0004,             v3 adaptive: CI upper bound (bits)
+//     "significance": 0.05,             v3 adaptive: configured CI level
+//     "ci_method": "bootstrap" }        v3 adaptive: interval estimator
 // The contract_* fields appear only when the cell ran with taint tracking
 // enabled (TP_TAINT); v1/v2 readers must keep accepting their absence.
-// cell_status/cell_error appear only on unhealthy cells, so a clean run's
+// cell_status/cell_error appear only on unhealthy cells, and the adaptive
+// stopping fields only on cells swept with sequential stopping enabled
+// (TP_ADAPTIVE / tp_bench --adaptive), so a clean fixed-rounds run's
 // records are byte-compatible with earlier v3 writers.
 //
 // The file is written atomically: the updated array goes to a temp file in
@@ -74,6 +83,19 @@ struct BenchRecord {
   // (a shard body threw) or "timeout" (per-cell watchdog tripped).
   std::string cell_status;
   std::string cell_error;
+  // Adaptive sequential-stopping metadata (v3, emitted only when
+  // `adaptive` — fixed-rounds records stay byte-identical to earlier
+  // writers): executed vs budgeted rounds, the confidence interval on
+  // mi_bits, the configured significance and which estimator produced the
+  // interval ("bootstrap" or "analytic").
+  bool adaptive = false;
+  std::size_t rounds_run = 0;
+  std::size_t rounds_budget = 0;
+  int stopped_early = -1;
+  double mi_ci_low = std::numeric_limits<double>::quiet_NaN();
+  double mi_ci_high = std::numeric_limits<double>::quiet_NaN();
+  double significance = 0.0;
+  std::string ci_method;
 };
 
 class Recorder {

@@ -43,6 +43,276 @@ struct CellState {
   std::string error;  // guarded by the owning sweep's error mutex
 };
 
+struct ShardOut {
+  mi::Observations obs;
+  std::uint64_t wall_ns = 0;
+  hw::ContractTally contract;
+};
+
+// The crash-isolated shard body shared by the fixed and adaptive execution
+// paths: ambient fault seed, harness self-test sites, contract capture,
+// first-wins failure marking and the per-cell wall-time watchdog.
+ShardOut RunShardIsolated(const GridCell& cell, const Shard& shard, CellState& state,
+                          std::uint64_t budget_ns, const SweepEngine::CellShardFn& fn,
+                          const std::function<void(int, const std::string&)>& mark) {
+  ShardOut out;
+  if (state.code.load() != 0) {
+    return out;  // the cell already failed or timed out; don't pile on
+  }
+  std::uint64_t t0 = bench::Recorder::NowNs();
+  // Publish the cell's coordinate-keyed seed so fault sites latched by
+  // structures this shard builds fire deterministically per (site, cell)
+  // at any host thread count.
+  faults::ScopedCellSeed ambient(cell.seed);
+  const std::string cell_name = cell.Name();
+  try {
+    // Harness self-test sites: a deliberate shard exception and a
+    // deliberate budget overrun, used by the mutation sweep and tests to
+    // prove the crash-isolation path itself works.
+    faults::FaultSite fault_throw = faults::FaultSite::For("harness.cell_throw");
+    if (fault_throw.MatchesCell(cell_name) && fault_throw.FireAlways()) {
+      throw std::runtime_error("injected fault: harness.cell_throw");
+    }
+    faults::FaultSite fault_stall = faults::FaultSite::For("harness.cell_stall");
+    if (budget_ns > 0 && fault_stall.MatchesCell(cell_name) &&
+        fault_stall.FireAlways()) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(budget_ns + 20'000'000ull));
+    }
+    hw::ContractCapture capture;
+    out.obs = fn(cell, shard);
+    out.contract = capture.Take();
+  } catch (const std::exception& e) {
+    out = ShardOut{};
+    mark(1, e.what());
+  } catch (...) {
+    out = ShardOut{};
+    mark(1, "unknown exception");
+  }
+  out.wall_ns = bench::Recorder::NowNs() - t0;
+  const std::uint64_t total = state.wall.fetch_add(out.wall_ns) + out.wall_ns;
+  if (budget_ns > 0 && total > budget_ns) {
+    mark(2, "cell exceeded its " + std::to_string(budget_ns / 1000000ull) +
+                " ms wall-time budget");
+  }
+  return out;
+}
+
+// Sequential-stopping execution: shard-aligned waves with a barrier and a
+// deterministic checkpoint pass between waves. Wave w runs shard w of every
+// still-active cell; the checkpoint then asks, per cell, whether the
+// accumulated prefix already resolves the verdict. Every stopping input —
+// the prefix observations, the checkpoint seed (keyed on accumulated
+// rounds) and the evaluation order (cell index) — is a pure function of the
+// plan, so decisions are bit-identical at any TP_THREADS. Cells that never
+// stop consume their full plan in the same shard order as the fixed path
+// and therefore record bit-identical observations and MI.
+std::vector<SweepCellResult> RunAdaptiveGrid(
+    const ExperimentRunner& runner, const std::vector<GridCell>& cells,
+    const std::vector<ShardPlan>& plans, std::size_t spec_rounds,
+    const SweepEngine::CellShardFn& fn, const mi::LeakageOptions& leak_options,
+    std::uint64_t budget_ns, const AdaptiveOptions& adaptive) {
+  std::vector<CellState> states(cells.size());
+  std::mutex error_mu;
+  auto mark = [&](std::size_t c, int code, const std::string& message) {
+    int expected = 0;
+    if (states[c].code.compare_exchange_strong(expected, code)) {
+      std::lock_guard<std::mutex> lk(error_mu);
+      states[c].error = message;
+    }
+  };
+
+  struct Progress {
+    mi::StreamingMiEstimator stream;
+    std::size_t shards_done = 0;
+    std::size_t rounds_done = 0;
+    bool stopped = false;
+    bool has_interval = false;
+    mi::MiInterval interval;
+    bool has_leakage = false;
+    mi::LeakageResult leakage;
+  };
+  std::vector<Progress> progress;
+  progress.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    mi::StreamingOptions stream_options;
+    stream_options.mi = leak_options.mi;
+    stream_options.bootstrap_resamples = adaptive.bootstrap_resamples;
+    // Bonferroni across this cell's possible checkpoints, so the
+    // configured significance bounds the whole sequential procedure.
+    const std::size_t num_shards = plans[c].num_shards();
+    const std::size_t checkpoints = num_shards > adaptive.min_checkpoint_shards
+                                        ? num_shards - adaptive.min_checkpoint_shards
+                                        : 0;
+    stream_options.significance =
+        adaptive.significance /
+        static_cast<double>(std::max<std::size_t>(checkpoints, 1));
+    progress.push_back(Progress{mi::StreamingMiEstimator(stream_options)});
+  }
+
+  std::vector<SweepCellResult> results(cells.size());
+  std::size_t max_waves = 0;
+  for (const ShardPlan& plan : plans) {
+    max_waves = std::max(max_waves, plan.num_shards());
+  }
+
+  struct WaveTask {
+    std::size_t cell = 0;
+    Shard shard;
+  };
+  struct CheckOut {
+    mi::MiInterval interval;
+    mi::LeakageResult leakage;
+    int decision = 0;  // 0 continue, 1 stop (no leak), 2 stop (leak)
+    std::uint64_t wall_ns = 0;
+  };
+  // The checkpoint seed is keyed on the cell seed and *accumulated rounds*
+  // — never shard arrival order — so the bootstrap (and the decision) is a
+  // pure function of the deterministic data prefix.
+  auto checkpoint_seed = [&](std::size_t c) {
+    return SplitMix64(cells[c].seed ^
+                      SplitMix64(0xADA9717E5EEDull + progress[c].rounds_done));
+  };
+
+  for (std::size_t w = 0; w < max_waves; ++w) {
+    std::vector<WaveTask> tasks;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (!progress[c].stopped && w < plans[c].num_shards()) {
+        tasks.push_back({c, Shard{w, plans[c].SeedFor(w), plans[c].shard_rounds[w]}});
+      }
+    }
+    if (tasks.empty()) {
+      break;
+    }
+    std::vector<std::size_t> claim_order(tasks.size());
+    for (std::size_t i = 0; i < claim_order.size(); ++i) {
+      claim_order[i] = i;
+    }
+    std::stable_sort(claim_order.begin(), claim_order.end(),
+                     [&tasks](std::size_t a, std::size_t b) {
+                       return tasks[a].shard.rounds > tasks[b].shard.rounds;
+                     });
+    std::vector<ShardOut> outs =
+        runner.MapScheduled(tasks.size(), claim_order, [&](std::size_t i) {
+          const std::size_t c = tasks[i].cell;
+          return RunShardIsolated(cells[c], tasks[i].shard, states[c], budget_ns, fn,
+                                  [&](int code, const std::string& message) {
+                                    mark(c, code, message);
+                                  });
+        });
+    // Barrier reached: fold this wave into each cell's prefix, in cell
+    // order (outs are in task-index order regardless of thread count).
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const std::size_t c = tasks[i].cell;
+      results[c].wall_ns += outs[i].wall_ns;
+      results[c].contract.Merge(outs[i].contract);
+      if (states[c].code.load() == 0) {
+        progress[c].stream.IngestAll(outs[i].obs);
+        ++progress[c].shards_done;
+        progress[c].rounds_done += tasks[i].shard.rounds;
+      }
+    }
+    // Checkpoint pass over the cells that can still stop (never the last
+    // shard — a full-budget cell is the fixed path's bit-identical twin).
+    std::vector<std::size_t> eligible;
+    for (const WaveTask& task : tasks) {
+      const std::size_t c = task.cell;
+      if (states[c].code.load() == 0 && !progress[c].stopped &&
+          progress[c].shards_done >= adaptive.min_checkpoint_shards &&
+          progress[c].shards_done < plans[c].num_shards()) {
+        eligible.push_back(c);
+      }
+    }
+    std::vector<CheckOut> checks = runner.Map(eligible.size(), [&](std::size_t k) {
+      const std::size_t c = eligible[k];
+      CheckOut out;
+      std::uint64_t t0 = bench::Recorder::NowNs();
+      out.interval = progress[c].stream.KdeCheckpoint(checkpoint_seed(c));
+      // The CI resolves the verdict; the full shuffle test over the same
+      // prefix must then *agree* before the cell stops, so a recorded
+      // early verdict is always the real test's verdict on real data.
+      if (out.interval.ci_high < adaptive.threshold_bits) {
+        out.leakage = mi::TestLeakage(progress[c].stream.observations(), leak_options);
+        if (!out.leakage.leak) {
+          out.decision = 1;
+        }
+      } else if (out.interval.ci_low > adaptive.threshold_bits) {
+        out.leakage = mi::TestLeakage(progress[c].stream.observations(), leak_options);
+        // A leak stop must clear the shuffle baseline with the whole
+        // interval, not just the point estimate: M0 on a short prefix is
+        // large, and a noisy borderline cell whose full-budget verdict is
+        // "no leak" can transiently show M > M0 there.
+        if (out.leakage.leak && out.interval.ci_low > out.leakage.m0_bits) {
+          out.decision = 2;
+        }
+      }
+      out.wall_ns = bench::Recorder::NowNs() - t0;
+      return out;
+    });
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      const std::size_t c = eligible[k];
+      results[c].wall_ns += checks[k].wall_ns;
+      progress[c].interval = checks[k].interval;
+      progress[c].has_interval = true;
+      if (checks[k].decision != 0) {
+        progress[c].stopped = true;
+        progress[c].leakage = checks[k].leakage;
+        progress[c].has_leakage = true;
+      }
+    }
+  }
+
+  // Full-budget cells: the final leakage test (bit-identical to the fixed
+  // path — same observations, same options) plus a final recorded CI.
+  struct FinalOut {
+    mi::LeakageResult leakage;
+    mi::MiInterval interval;
+    std::uint64_t wall_ns = 0;
+  };
+  std::vector<FinalOut> finals = runner.Map(cells.size(), [&](std::size_t c) {
+    FinalOut out;
+    if (states[c].code.load() != 0 || progress[c].stopped) {
+      return out;
+    }
+    std::uint64_t t0 = bench::Recorder::NowNs();
+    out.leakage = mi::TestLeakage(progress[c].stream.observations(), leak_options);
+    out.interval = progress[c].stream.KdeCheckpoint(checkpoint_seed(c));
+    out.wall_ns = bench::Recorder::NowNs() - t0;
+    return out;
+  });
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    SweepCellResult& r = results[c];
+    r.cell = cells[c];
+    r.rounds = spec_rounds;
+    r.shards = plans[c].num_shards();
+    r.adaptive = true;
+    r.significance = adaptive.significance;
+    r.rounds_run = progress[c].rounds_done;
+    const int code = states[c].code.load();
+    if (code != 0) {
+      r.status = code == 2 ? "timeout" : "failed";
+      r.error = states[c].error;
+      continue;
+    }
+    if (!progress[c].stopped) {
+      r.wall_ns += finals[c].wall_ns;
+      progress[c].leakage = finals[c].leakage;
+      progress[c].interval = finals[c].interval;
+      progress[c].has_interval = true;
+    }
+    r.observations = progress[c].stream.observations();
+    r.leakage = progress[c].leakage;
+    r.stopped_early = progress[c].stopped;
+    if (progress[c].has_interval) {
+      r.mi_ci_low = progress[c].interval.ci_low;
+      r.mi_ci_high = progress[c].interval.ci_high;
+      r.ci_method = progress[c].interval.method;
+    }
+  }
+  return results;
+}
+
 }  // namespace
 
 std::string GridCell::CoordKey() const {
@@ -107,6 +377,30 @@ std::vector<GridCell> ExpandGrid(const GridSpec& spec) {
   return cells;
 }
 
+AdaptiveOptions EffectiveAdaptive(const SweepOptions& options) {
+  AdaptiveOptions adaptive = options.adaptive;
+  if (!adaptive.enabled) {
+    if (const char* env = std::getenv("TP_ADAPTIVE");
+        env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+      adaptive.enabled = true;
+    }
+  }
+  if (const char* sig = std::getenv("TP_ADAPTIVE_SIGNIFICANCE");
+      sig != nullptr && sig[0] != '\0') {
+    double v = std::atof(sig);
+    if (v > 0.0 && v < 1.0) {
+      adaptive.significance = v;
+    }
+  }
+  // A fault-injection run measures whether a broken defense is *detected*;
+  // the mutant must face the full round budget, not a stopping rule tuned
+  // for healthy channels.
+  if (adaptive.enabled && faults::FaultInjectionEnabled()) {
+    adaptive.enabled = false;
+  }
+  return adaptive;
+}
+
 std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
     const GridSpec& spec, const CellShardFn& fn, const mi::LeakageOptions& leak_options,
     const SweepOptions& options) const {
@@ -130,6 +424,14 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
         PlanShards(spec.rounds, cell.seed, spec.min_shard_rounds, spec.max_shards));
   }
 
+  // Opt-in sequential stopping takes the wave-based path; fixed rounds
+  // (the default) keep the flat-pool path below, bit-identical to every
+  // earlier release.
+  if (const AdaptiveOptions adaptive = EffectiveAdaptive(options); adaptive.enabled) {
+    return RunAdaptiveGrid(runner_, cells, plans, spec.rounds, fn, leak_options,
+                           budget_ns, adaptive);
+  }
+
   // Flatten every (cell, shard) into one pool so a grid of small cells
   // still keeps all host threads busy.
   struct ShardTask {
@@ -142,11 +444,6 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
       tasks.push_back({c, Shard{i, plans[c].SeedFor(i), plans[c].shard_rounds[i]}});
     }
   }
-  struct ShardOut {
-    mi::Observations obs;
-    std::uint64_t wall_ns = 0;
-    hw::ContractTally contract;
-  };
   std::vector<CellState> states(cells.size());
   std::mutex error_mu;
   auto mark = [&](std::size_t c, int code, const std::string& message) {
@@ -172,48 +469,10 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
   std::vector<ShardOut> outs = runner_.MapScheduled(
       tasks.size(), claim_order, [&](std::size_t i) {
     const std::size_t c = tasks[i].cell;
-    ShardOut out;
-    if (states[c].code.load() != 0) {
-      return out;  // the cell already failed or timed out; don't pile on
-    }
-    std::uint64_t t0 = bench::Recorder::NowNs();
-    // Publish the cell's coordinate-keyed seed so fault sites latched by
-    // structures this shard builds fire deterministically per (site, cell)
-    // at any host thread count.
-    faults::ScopedCellSeed ambient(cells[c].seed);
-    const std::string cell_name = cells[c].Name();
-    try {
-      // Harness self-test sites: a deliberate shard exception and a
-      // deliberate budget overrun, used by the mutation sweep and tests to
-      // prove the crash-isolation path itself works.
-      faults::FaultSite fault_throw = faults::FaultSite::For("harness.cell_throw");
-      if (fault_throw.MatchesCell(cell_name) && fault_throw.FireAlways()) {
-        throw std::runtime_error("injected fault: harness.cell_throw");
-      }
-      faults::FaultSite fault_stall = faults::FaultSite::For("harness.cell_stall");
-      if (budget_ns > 0 && fault_stall.MatchesCell(cell_name) &&
-          fault_stall.FireAlways()) {
-        std::this_thread::sleep_for(
-            std::chrono::nanoseconds(budget_ns + 20'000'000ull));
-      }
-      hw::ContractCapture capture;
-      out.obs = fn(cells[c], tasks[i].shard);
-      out.contract = capture.Take();
-    } catch (const std::exception& e) {
-      out = ShardOut{};
-      mark(c, 1, e.what());
-    } catch (...) {
-      out = ShardOut{};
-      mark(c, 1, "unknown exception");
-    }
-    out.wall_ns = bench::Recorder::NowNs() - t0;
-    const std::uint64_t total = states[c].wall.fetch_add(out.wall_ns) + out.wall_ns;
-    if (budget_ns > 0 && total > budget_ns) {
-      mark(c, 2,
-           "cell exceeded its " + std::to_string(budget_ns / 1000000ull) +
-               " ms wall-time budget");
-    }
-    return out;
+    return RunShardIsolated(cells[c], tasks[i].shard, states[c], budget_ns, fn,
+                            [&](int code, const std::string& message) {
+                              mark(c, code, message);
+                            });
   });
 
   std::vector<SweepCellResult> results(cells.size());
@@ -222,6 +481,7 @@ std::vector<SweepCellResult> SweepEngine::RunChannelGrid(
     SweepCellResult& r = results[c];
     r.cell = cells[c];
     r.rounds = spec.rounds;
+    r.rounds_run = spec.rounds;
     r.shards = plans[c].num_shards();
     const int code = states[c].code.load();
     std::vector<mi::Observations> parts;
@@ -291,6 +551,19 @@ void RecordSweep(bench::Recorder& recorder, const ExperimentRunner& runner,
       record.samples = r.leakage.samples;
       record.mi_bits = r.leakage.mi_bits;
       record.m0_bits = r.leakage.m0_bits;
+      if (r.adaptive) {
+        // Stopping metadata is emitted only for adaptive cells, so a
+        // fixed-rounds sweep's records stay byte-identical to earlier
+        // baselines (same pattern as the contract_* fields).
+        record.adaptive = true;
+        record.rounds_run = r.rounds_run;
+        record.rounds_budget = r.rounds;
+        record.stopped_early = r.stopped_early ? 1 : 0;
+        record.mi_ci_low = r.mi_ci_low;
+        record.mi_ci_high = r.mi_ci_high;
+        record.significance = r.significance;
+        record.ci_method = r.ci_method;
+      }
       ApplyContract(record, r.contract);
     } else {
       // Crash-isolated cell: no leakage verdict; mi/m0 stay NaN (absent).

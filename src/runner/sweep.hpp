@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "hw/taint.hpp"
 #include "mi/leakage_test.hpp"
 #include "mi/observations.hpp"
+#include "mi/streaming.hpp"
 #include "runner/recorder.hpp"
 #include "runner/runner.hpp"
 
@@ -83,10 +85,20 @@ struct SweepCellResult {
   GridCell cell;
   mi::Observations observations;
   mi::LeakageResult leakage;
-  std::size_t rounds = 0;
+  std::size_t rounds = 0;      // budget (the spec's per-cell rounds)
+  std::size_t rounds_run = 0;  // executed (== rounds unless stopped early)
   std::size_t shards = 0;
   std::uint64_t wall_ns = 0;
   hw::ContractTally contract;  // merged over shards; all-zero when taint off
+  // Adaptive (sequential-stopping) metadata; meaningful only when
+  // `adaptive` — fixed-rounds sweeps leave the CI fields NaN so recording
+  // stays byte-identical to pre-adaptive output.
+  bool adaptive = false;
+  bool stopped_early = false;
+  double mi_ci_low = std::numeric_limits<double>::quiet_NaN();
+  double mi_ci_high = std::numeric_limits<double>::quiet_NaN();
+  double significance = 0.0;  // configured overall level, not per-checkpoint
+  std::string ci_method;
   // Crash-isolation outcome: "ok", "failed" (a shard body threw) or
   // "timeout" (the per-cell wall-time budget was exceeded). Non-ok cells
   // carry no observations/leakage; `error` holds the first failure message.
@@ -94,6 +106,37 @@ struct SweepCellResult {
   std::string error;
 
   bool ok() const { return status == "ok"; }
+};
+
+// Sequential-stopping policy for channel sweeps. Off by default: fixed
+// rounds stay the baseline-diff mode, bit-identical to every earlier
+// release. When enabled, RunChannelGrid executes shard-aligned waves and
+// checks, after each wave, whether a cell's streaming confidence interval
+// has resolved its verdict against `threshold_bits`:
+//
+//   ci_high < threshold            -> no leak, stop (nothing to find)
+//   ci_low  > threshold            -> candidate leak; confirmed by the full
+//                                     shuffle test on the prefix, then stop
+//
+// Checkpoints are keyed on *accumulated rounds* (never shard arrival
+// order) and evaluated after a wave barrier, so stopping decisions — and
+// therefore the recorded observations, MI and CI — are bit-identical at
+// any TP_THREADS. The per-checkpoint significance is Bonferroni-corrected
+// across a cell's possible checkpoints so the configured level bounds the
+// whole sequential procedure.
+struct AdaptiveOptions {
+  bool enabled = false;
+  // Overall two-sided significance for the stopping decision (0.05 = 95%
+  // CIs after correction). TP_ADAPTIVE_SIGNIFICANCE overrides.
+  double significance = 0.05;
+  // The leak-resolution threshold the CI is tested against; defaults to
+  // the paper tool's 1-millibit resolution.
+  double threshold_bits = mi::kResolutionBits;
+  // No checkpoint before this many shards have accumulated (a 1-shard
+  // prefix is too noisy to bound usefully).
+  std::size_t min_checkpoint_shards = 2;
+  // Bootstrap resamples per KDE-path checkpoint.
+  std::size_t bootstrap_resamples = 40;
 };
 
 // Sweep-wide controls for crash isolation and resumption.
@@ -107,7 +150,16 @@ struct SweepOptions {
   // cell_status "timeout". 0 disables the watchdog (the TP_CELL_BUDGET_MS
   // environment variable supplies a process-wide default).
   std::uint64_t cell_budget_ns = 0;
+  // Sequential stopping (TP_ADAPTIVE supplies a process-wide default;
+  // fault-injection runs force it off — a mutant must face the full
+  // budget, not a bound tuned for healthy channels).
+  AdaptiveOptions adaptive;
 };
+
+// Resolves the effective adaptive policy: explicit options, else the
+// TP_ADAPTIVE / TP_ADAPTIVE_SIGNIFICANCE environment knobs, forced off
+// under fault injection.
+AdaptiveOptions EffectiveAdaptive(const SweepOptions& options);
 
 class SweepEngine {
  public:

@@ -154,6 +154,31 @@ bool ParseRecord(const JsonValue& v, TrajectoryRecord& r, std::string* why) {
     r.cell_status = "ok";
   }
   ReadString(v, "cell_error", &r.cell_error, &type_error);
+  // Adaptive stopping metadata. The CI bounds are gated observables like
+  // mi_bits, so a non-finite value is a hard skip, not a keep-with-warning.
+  read_size("rounds_run", &r.rounds_run);
+  read_size("rounds_budget", &r.rounds_budget);
+  if (const JsonValue* s = v.Find("stopped_early"); s != nullptr) {
+    if (s->is(JsonValue::Type::kBool)) {
+      r.stopped_early = s->boolean ? 1 : 0;
+    } else {
+      type_error = true;
+    }
+  }
+  if (ReadNumber(v, "mi_ci_low", &r.mi_ci_low, &type_error) &&
+      !std::isfinite(r.mi_ci_low)) {
+    *why = "non-finite mi_ci_low";
+    return false;
+  }
+  if (ReadNumber(v, "mi_ci_high", &r.mi_ci_high, &type_error) &&
+      !std::isfinite(r.mi_ci_high)) {
+    *why = "non-finite mi_ci_high";
+    return false;
+  }
+  if (ReadNumber(v, "significance", &num, &type_error) && num > 0.0) {
+    r.significance = num;
+  }
+  ReadString(v, "ci_method", &r.ci_method, &type_error);
   if (type_error) {
     *why = "field with unexpected type";
     return false;

@@ -56,10 +56,34 @@ struct TrajectoryRecord {
   // recorded "failed"/"timeout" status with its first error message.
   std::string cell_status = "ok";
   std::string cell_error;
+  // Adaptive sequential-stopping metadata (v3, absent on fixed-rounds
+  // records): executed vs budgeted rounds, the CI on mi_bits, the
+  // configured significance and the interval estimator. stopped_early is
+  // -1 when the cell was not swept adaptively.
+  std::size_t rounds_run = 0;
+  std::size_t rounds_budget = 0;
+  int stopped_early = -1;
+  double mi_ci_low = std::numeric_limits<double>::quiet_NaN();
+  double mi_ci_high = std::numeric_limits<double>::quiet_NaN();
+  double significance = 0.0;
+  std::string ci_method;
 
   bool has_mi() const { return !std::isnan(mi_bits); }
   bool has_contract() const { return contract_clean >= 0; }
   bool cell_ok() const { return cell_status == "ok"; }
+  bool has_ci() const { return !std::isnan(mi_ci_high); }
+  bool is_adaptive() const { return stopped_early >= 0; }
+  // Rounds the cell actually executed: the adaptive rounds_run when
+  // recorded, else the requested budget.
+  std::size_t executed_rounds() const {
+    return is_adaptive() ? rounds_run : rounds;
+  }
+  // The recorded leak verdict, re-derived from the Chothia & Guha rule the
+  // sweep applies (M > M0 and above the ~1-millibit tool resolution).
+  // False when either estimate is absent.
+  bool leaky() const {
+    return has_mi() && !std::isnan(m0_bits) && mi_bits > m0_bits && mi_bits > 0.001;
+  }
 };
 
 struct Trajectory {

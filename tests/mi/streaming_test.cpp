@@ -1,0 +1,152 @@
+// Streaming MI estimator: degenerate streams are total (never NaN), the
+// bootstrap is seed-deterministic, and both checkpoint paths bracket the
+// point estimate with a usable interval.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mi/kde.hpp"
+#include "mi/mutual_information.hpp"
+#include "mi/streaming.hpp"
+#include "support/test_support.hpp"
+
+namespace tp::mi {
+namespace {
+
+class Streaming : public test::DeterministicTest {};
+
+bool Finite(const MiInterval& ci) {
+  return std::isfinite(ci.mi_bits) && std::isfinite(ci.ci_low) &&
+         std::isfinite(ci.ci_high);
+}
+
+void ExpectDegenerate(const StreamingMiEstimator& est) {
+  for (const MiInterval& ci : {est.KdeCheckpoint(0x5eed), est.MatrixCheckpoint()}) {
+    EXPECT_TRUE(Finite(ci));
+    EXPECT_EQ(ci.mi_bits, 0.0);
+    EXPECT_EQ(ci.ci_low, 0.0);
+    EXPECT_EQ(ci.ci_high, 0.0);
+  }
+}
+
+TEST_F(Streaming, EmptyStreamIsZeroNotNan) {
+  StreamingMiEstimator est;
+  ExpectDegenerate(est);
+}
+
+TEST_F(Streaming, SingleInputSymbolCarriesNoInformation) {
+  StreamingMiEstimator est;
+  for (int i = 0; i < 200; ++i) {
+    est.Ingest(0, static_cast<double>(i));
+  }
+  ExpectDegenerate(est);
+}
+
+TEST_F(Streaming, ConstantOutputsAreZeroNotNan) {
+  // Zero output variance gives a zero Silverman bandwidth — the KDE path
+  // must not divide by it.
+  StreamingMiEstimator est;
+  for (int i = 0; i < 200; ++i) {
+    est.Ingest(i % 4, 42.0);
+  }
+  ExpectDegenerate(est);
+}
+
+TEST_F(Streaming, EstimateMiRejectsTinyGrids) {
+  Observations obs = test::GaussianChannel(2, 5.0, 1.0, 100, seed());
+  MiOptions options;
+  options.grid_points = 1;  // grid[1] does not exist
+  EXPECT_EQ(EstimateMi(obs, options), 0.0);
+}
+
+TEST_F(Streaming, KdeOnGridHandlesZeroWidthGrid) {
+  std::vector<double> samples = test::GaussianSamples(100, 0.0, 1.0, seed());
+  std::vector<double> grid(16, 1.0);  // all grid points identical
+  std::vector<double> density = KdeOnGrid(samples, grid, 0.5);
+  for (double d : density) {
+    EXPECT_TRUE(std::isfinite(d));
+  }
+}
+
+TEST_F(Streaming, IncrementalMatchesBatchIngestion) {
+  Observations obs = test::GaussianChannel(4, 3.0, 1.0, 400, seed());
+  StreamingMiEstimator incremental;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    incremental.Ingest(obs.inputs()[i], obs.outputs()[i]);
+  }
+  StreamingMiEstimator batch;
+  batch.IngestAll(obs);
+  ASSERT_EQ(incremental.samples(), batch.samples());
+  MiInterval a = incremental.KdeCheckpoint(0x1234);
+  MiInterval b = batch.KdeCheckpoint(0x1234);
+  EXPECT_EQ(a.mi_bits, b.mi_bits);
+  EXPECT_EQ(a.ci_low, b.ci_low);
+  EXPECT_EQ(a.ci_high, b.ci_high);
+}
+
+TEST_F(Streaming, BootstrapIsSeedDeterministic) {
+  StreamingMiEstimator est;
+  est.IngestAll(test::GaussianChannel(2, 2.0, 1.0, 300, seed()));
+  MiInterval a = est.KdeCheckpoint(0xABCD);
+  MiInterval b = est.KdeCheckpoint(0xABCD);
+  MiInterval c = est.KdeCheckpoint(0xABCE);
+  EXPECT_EQ(a.ci_low, b.ci_low);
+  EXPECT_EQ(a.ci_high, b.ci_high);
+  // A different seed resamples differently; the interval moves (the point
+  // estimate is pooled and seed-independent).
+  EXPECT_EQ(a.mi_bits, c.mi_bits);
+  EXPECT_NE(a.ci_high, c.ci_high);
+}
+
+TEST_F(Streaming, IntervalBracketsPointEstimate) {
+  StreamingMiEstimator est;
+  est.IngestAll(test::GaussianChannel(2, 3.0, 1.0, 500, seed()));
+  MiInterval kde = est.KdeCheckpoint(0x5eed);
+  EXPECT_LE(kde.ci_low, kde.mi_bits);
+  EXPECT_GE(kde.ci_high, kde.mi_bits);
+  EXPECT_EQ(kde.method, "bootstrap");
+  MiInterval matrix = est.MatrixCheckpoint();
+  EXPECT_LE(matrix.ci_low, matrix.mi_bits);
+  EXPECT_GE(matrix.ci_high, matrix.mi_bits);
+  EXPECT_EQ(matrix.method, "analytic");
+}
+
+TEST_F(Streaming, SeparatedChannelResolvesLeaky) {
+  // A clearly separated 2-symbol channel: even the CI lower bound clears
+  // any sub-bit leak threshold.
+  StreamingMiEstimator est;
+  est.IngestAll(test::GaussianChannel(2, 50.0, 0.5, 400, seed()));
+  MiInterval ci = est.KdeCheckpoint(0x5eed);
+  EXPECT_GT(ci.ci_low, 0.5);
+  EXPECT_NEAR(ci.mi_bits, 1.0, 0.1);
+}
+
+TEST_F(Streaming, FlatChannelResolvesClean) {
+  StreamingMiEstimator est;
+  est.IngestAll(test::IndependentChannel(4, 1.0, 3000, seed()));
+  MiInterval ci = est.KdeCheckpoint(0x5eed);
+  EXPECT_LT(ci.ci_high, 0.05);
+}
+
+TEST_F(Streaming, MatrixIdentityChannelNearsLogK) {
+  // 4 symbols mapping to 4 disjoint output values: MI -> log2(4) = 2 bits.
+  StreamingMiEstimator est;
+  for (int i = 0; i < 2000; ++i) {
+    est.Ingest(i % 4, static_cast<double>(i % 4) * 10.0);
+  }
+  MiInterval ci = est.MatrixCheckpoint();
+  EXPECT_NEAR(ci.mi_bits, 2.0, 0.05);
+  EXPECT_LE(ci.ci_low, ci.mi_bits);
+}
+
+TEST(NormalQuantileTest, MatchesKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-5);
+  // Clamped outside (0, 1) rather than returning infinities.
+  EXPECT_EQ(NormalQuantile(0.0), -8.0);
+  EXPECT_EQ(NormalQuantile(1.0), 8.0);
+}
+
+}  // namespace
+}  // namespace tp::mi

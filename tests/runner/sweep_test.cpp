@@ -253,6 +253,187 @@ TEST(SweepEngine, SkipCellsRerunsOnlyTheRestBitIdentically) {
   EXPECT_EQ(rest[0].leakage.mi_bits, full[1].leakage.mi_bits);
 }
 
+// Adaptive variant of SyntheticShard: the quiet mode emits a constant
+// output (a perfectly padded channel), so its CI collapses to [0, 0] and
+// the sequential stop can fire at the first checkpoint.
+mi::Observations AdaptiveSyntheticShard(const GridCell& cell, const Shard& shard) {
+  mi::Observations obs;
+  std::mt19937_64 rng(shard.seed);
+  std::normal_distribution<double> noise(0.0, 0.3);
+  for (std::size_t i = 0; i < shard.rounds; ++i) {
+    int symbol = static_cast<int>(rng() % 4);
+    if (cell.mode == "leaky") {
+      obs.Add(symbol, 5.0 * symbol + noise(rng));
+    } else {
+      noise(rng);  // keep the stream position identical across modes
+      obs.Add(symbol, 0.0);
+    }
+  }
+  return obs;
+}
+
+TEST(SweepEngine, AdaptiveGridStopsEarlyAndKeepsVerdicts) {
+  GridSpec spec;
+  spec.root_seed = 0x5EED;
+  spec.rounds = 128;  // 8 shards of 16
+  spec.platforms = {"p0"};
+  spec.modes = {"leaky", "quiet"};
+  mi::LeakageOptions lopt;
+  lopt.shuffles = 20;
+  SweepOptions options;
+  options.adaptive.enabled = true;
+  ExperimentRunner pool(2);
+  std::vector<SweepCellResult> results =
+      SweepEngine(pool).RunChannelGrid(spec, AdaptiveSyntheticShard, lopt, options);
+  ASSERT_EQ(results.size(), 2u);
+  const SweepCellResult& leaky = results[0];
+  const SweepCellResult& quiet = results[1];
+  ASSERT_EQ(leaky.cell.mode, "leaky");
+  ASSERT_EQ(quiet.cell.mode, "quiet");
+  for (const SweepCellResult& r : results) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.adaptive);
+    EXPECT_EQ(r.rounds, 128u);  // the budget is still recorded
+    EXPECT_TRUE(r.stopped_early) << r.cell.Name();
+    EXPECT_LT(r.rounds_run, r.rounds) << r.cell.Name();
+    EXPECT_GE(r.rounds_run, 32u);  // never before min_checkpoint_shards
+    EXPECT_FALSE(std::isnan(r.mi_ci_low));
+    EXPECT_FALSE(std::isnan(r.mi_ci_high));
+    EXPECT_LE(r.mi_ci_low, r.mi_ci_high);
+    EXPECT_EQ(r.significance, 0.05);
+    EXPECT_EQ(r.observations.size(), r.rounds_run);
+  }
+  // Early stopping must preserve the verdicts the fixed sweep would reach.
+  EXPECT_TRUE(leaky.leakage.leak);
+  EXPECT_GT(leaky.mi_ci_low, leaky.leakage.m0_bits);
+  EXPECT_FALSE(quiet.leakage.leak);
+  EXPECT_LT(quiet.mi_ci_high, 0.001);
+}
+
+TEST(SweepEngine, AdaptiveGridIsThreadCountInvariant) {
+  GridSpec spec;
+  spec.root_seed = 0x5EED;
+  spec.rounds = 128;
+  spec.platforms = {"p0", "p1"};
+  spec.modes = {"leaky", "quiet"};
+  mi::LeakageOptions lopt;
+  lopt.shuffles = 20;
+  SweepOptions options;
+  options.adaptive.enabled = true;
+  ExperimentRunner pool1(1);
+  ExperimentRunner pool4(4);
+  std::vector<SweepCellResult> a =
+      SweepEngine(pool1).RunChannelGrid(spec, AdaptiveSyntheticShard, lopt, options);
+  std::vector<SweepCellResult> b =
+      SweepEngine(pool4).RunChannelGrid(spec, AdaptiveSyntheticShard, lopt, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cell.Name(), b[i].cell.Name());
+    EXPECT_EQ(a[i].rounds_run, b[i].rounds_run) << a[i].cell.Name();
+    EXPECT_EQ(a[i].stopped_early, b[i].stopped_early);
+    EXPECT_EQ(a[i].observations.inputs(), b[i].observations.inputs());
+    EXPECT_EQ(a[i].observations.outputs(), b[i].observations.outputs());
+    EXPECT_EQ(a[i].leakage.mi_bits, b[i].leakage.mi_bits) << a[i].cell.Name();
+    EXPECT_EQ(a[i].leakage.m0_bits, b[i].leakage.m0_bits);
+    EXPECT_EQ(a[i].mi_ci_low, b[i].mi_ci_low) << a[i].cell.Name();
+    EXPECT_EQ(a[i].mi_ci_high, b[i].mi_ci_high);
+  }
+}
+
+TEST(SweepEngine, FixedModeCarriesNoAdaptiveMetadata) {
+  GridSpec spec;
+  spec.root_seed = 0x5EED;
+  spec.rounds = 96;
+  spec.platforms = {"p0"};
+  spec.modes = {"leaky", "quiet"};
+  ExperimentRunner pool(2);
+  std::vector<SweepCellResult> results =
+      SweepEngine(pool).RunChannelGrid(spec, SyntheticShard);
+  for (const SweepCellResult& r : results) {
+    EXPECT_FALSE(r.adaptive);
+    EXPECT_FALSE(r.stopped_early);
+    EXPECT_EQ(r.rounds_run, r.rounds);
+    EXPECT_TRUE(std::isnan(r.mi_ci_low));
+    EXPECT_TRUE(std::isnan(r.mi_ci_high));
+  }
+}
+
+TEST(SweepEngine, AdaptiveFullBudgetCellMatchesFixedSweep) {
+  // A cell that never resolves early (noisy but sub-threshold MI) must run
+  // its whole budget and land on the fixed path's exact numbers.
+  GridSpec spec;
+  spec.root_seed = 0x5EED;
+  spec.rounds = 96;
+  spec.platforms = {"p0"};
+  spec.modes = {"quiet"};  // SyntheticShard quiet: pure noise, nonzero MI estimate
+  mi::LeakageOptions lopt;
+  lopt.shuffles = 20;
+  ExperimentRunner pool(2);
+  std::vector<SweepCellResult> fixed =
+      SweepEngine(pool).RunChannelGrid(spec, SyntheticShard, lopt);
+  SweepOptions options;
+  options.adaptive.enabled = true;
+  std::vector<SweepCellResult> adaptive =
+      SweepEngine(pool).RunChannelGrid(spec, SyntheticShard, lopt, options);
+  ASSERT_EQ(fixed.size(), 1u);
+  ASSERT_EQ(adaptive.size(), 1u);
+  if (!adaptive[0].stopped_early) {
+    EXPECT_EQ(adaptive[0].rounds_run, fixed[0].rounds);
+    EXPECT_EQ(adaptive[0].observations.inputs(), fixed[0].observations.inputs());
+    EXPECT_EQ(adaptive[0].observations.outputs(), fixed[0].observations.outputs());
+    EXPECT_EQ(adaptive[0].leakage.mi_bits, fixed[0].leakage.mi_bits);
+    EXPECT_EQ(adaptive[0].leakage.m0_bits, fixed[0].leakage.m0_bits);
+  }
+  // Either way the adaptive run records an interval around its estimate.
+  EXPECT_TRUE(adaptive[0].adaptive);
+  EXPECT_FALSE(std::isnan(adaptive[0].mi_ci_high));
+}
+
+TEST(RecordSweep, AdaptiveCellRoundTripsStoppingMetadata) {
+  std::string path = ::testing::TempDir() + "sweep_adaptive_record_test.json";
+  std::remove(path.c_str());
+  setenv("TP_BENCH_JSON", path.c_str(), 1);
+  setenv("TP_BENCH_LABEL", "adaptive-test", 1);
+  {
+    GridSpec spec;
+    spec.root_seed = 0x5EED;
+    spec.rounds = 128;
+    spec.platforms = {"p0"};
+    spec.modes = {"leaky", "quiet"};
+    mi::LeakageOptions lopt;
+    lopt.shuffles = 20;
+    SweepOptions options;
+    options.adaptive.enabled = true;
+    ExperimentRunner pool(2);
+    std::vector<SweepCellResult> results =
+        SweepEngine(pool).RunChannelGrid(spec, AdaptiveSyntheticShard, lopt, options);
+    bench::Recorder recorder("sweep_test");
+    RecordSweep(recorder, pool, results);
+  }
+  unsetenv("TP_BENCH_JSON");
+  unsetenv("TP_BENCH_LABEL");
+  std::string error;
+  std::optional<trajectory::Trajectory> t = trajectory::LoadTrajectory(path, &error);
+  ASSERT_TRUE(t.has_value()) << error;
+  std::size_t adaptive_cells = 0;
+  for (const trajectory::TrajectoryRecord& r : t->records) {
+    if (r.cell == "total") {
+      continue;
+    }
+    ++adaptive_cells;
+    EXPECT_TRUE(r.is_adaptive()) << r.cell;
+    EXPECT_EQ(r.stopped_early, 1);
+    EXPECT_EQ(r.rounds_budget, 128u);
+    EXPECT_LT(r.rounds_run, r.rounds_budget);
+    EXPECT_EQ(r.executed_rounds(), r.rounds_run);
+    EXPECT_TRUE(r.has_ci()) << r.cell;
+    EXPECT_EQ(r.significance, 0.05);
+    EXPECT_EQ(r.ci_method, "bootstrap");
+  }
+  EXPECT_EQ(adaptive_cells, 2u);
+  std::remove(path.c_str());
+}
+
 TEST(RecordSweep, FailedCellRoundTripsThroughTheTrajectory) {
   std::string path = ::testing::TempDir() + "sweep_failed_cell_test.json";
   std::remove(path.c_str());

@@ -794,5 +794,228 @@ TEST(Coverage, ContractRequirementCanBeDisabled) {
   EXPECT_TRUE(CheckCoverage(t, "run", opts).ok());
 }
 
+// ---- adaptive sequential stopping (schema v3) ----
+
+TEST(Trajectory, ParsesAdaptiveStoppingFields) {
+  std::optional<Trajectory> t = ParseTrajectory(
+      "[" +
+      Rec(R"("rounds": 112, "rounds_run": 32, "rounds_budget": 112,
+           "stopped_early": true, "mi_ci_low": 0.0, "mi_ci_high": 0.0004,
+           "significance": 0.05, "ci_method": "bootstrap")") +
+      "," + Rec(R"("rounds": 112, "mi_bits": 0.5)") + "]");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->records.size(), 2u);
+  const TrajectoryRecord& a = t->records[0];
+  EXPECT_TRUE(a.is_adaptive());
+  EXPECT_EQ(a.stopped_early, 1);
+  EXPECT_EQ(a.rounds_run, 32u);
+  EXPECT_EQ(a.rounds_budget, 112u);
+  EXPECT_EQ(a.executed_rounds(), 32u);
+  EXPECT_TRUE(a.has_ci());
+  EXPECT_EQ(a.mi_ci_low, 0.0);
+  EXPECT_EQ(a.mi_ci_high, 0.0004);
+  EXPECT_EQ(a.significance, 0.05);
+  EXPECT_EQ(a.ci_method, "bootstrap");
+  // A fixed-rounds record (every v1/v2 record, and v3 without --adaptive)
+  // reads back as not-adaptive with the budget as its executed rounds.
+  const TrajectoryRecord& f = t->records[1];
+  EXPECT_FALSE(f.is_adaptive());
+  EXPECT_FALSE(f.has_ci());
+  EXPECT_EQ(f.executed_rounds(), 112u);
+
+  // Non-bool stopped_early is a type error, like contract_clean.
+  t = ParseTrajectory("[" + Rec(R"("stopped_early": "yes")") + "]");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->records.empty());
+}
+
+TEST(Trajectory, NonFiniteCiBoundsAreHardSkips) {
+  // The CI bounds are gated observables like mi_bits: an Inf would sail
+  // through the ci_high threshold comparison as a silent pass.
+  std::optional<Trajectory> t = ParseTrajectory(
+      "[" + Rec(R"("mi_ci_low": 1e999)") + "," + Rec(R"("mi_ci_high": -1e999)") + "," +
+      Rec(R"("mi_ci_high": 0.001)") + "]");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->records.size(), 1u);
+  EXPECT_EQ(t->records[0].mi_ci_high, 0.001);
+  ASSERT_EQ(t->warnings.size(), 2u);
+  EXPECT_NE(t->warnings[0].find("non-finite mi_ci_low"), std::string::npos);
+  EXPECT_NE(t->warnings[1].find("non-finite mi_ci_high"), std::string::npos);
+}
+
+TEST(Trajectory, LeakyRederivesTheSweepVerdict) {
+  TrajectoryRecord r = MakeRecord("l", "c", 0.5, 0);
+  r.m0_bits = 0.1;
+  EXPECT_TRUE(r.leaky());
+  r.m0_bits = 0.9;  // below the shuffle threshold
+  EXPECT_FALSE(r.leaky());
+  r = MakeRecord("l", "c", -1, 0);  // no MI recorded
+  EXPECT_FALSE(r.leaky());
+}
+
+// Adaptive candidate record: stopped early with a CI around its estimate.
+TrajectoryRecord MakeAdaptiveRecord(const std::string& label, const std::string& cell,
+                                    double mi, double m0, double ci_low, double ci_high,
+                                    std::uint64_t wall_ns = 1e8) {
+  TrajectoryRecord r = MakeRecord(label, cell, mi, wall_ns);
+  r.m0_bits = m0;
+  r.rounds = 112;
+  r.rounds_budget = 112;
+  r.rounds_run = 32;
+  r.stopped_early = 1;
+  r.mi_ci_low = ci_low;
+  r.mi_ci_high = ci_high;
+  r.significance = 0.05;
+  r.ci_method = "bootstrap";
+  return r;
+}
+
+TEST(Diff, EarlyStoppedCleanCellGatedOnCiUpperBound) {
+  // The small-sample point estimate of an early-stopped clean cell sits
+  // above the fixed baseline's 0 — the CI rule must judge the *bound*, not
+  // the point, or every clean early stop false-fails.
+  Trajectory t;
+  t.records.push_back(MakeRecord("base", "x/protected", 0.0, 1e8));
+  t.records.push_back(
+      MakeAdaptiveRecord("cand", "x/protected", 0.0004, 0.9, 0.0, 0.0008));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok()) << ReportJson(o);
+
+  // But a clean verdict whose upper bound exceeds the leak threshold has
+  // not proved itself: gated.
+  t.records[1] = MakeAdaptiveRecord("cand", "x/protected", 0.0004, 0.9, 0.0, 0.05);
+  o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.leak_regressions, 1u);
+}
+
+TEST(Diff, EarlyStoppedLeakyCellGatedOnCiLowerBound) {
+  // A known residual leak (baseline 0.8 bits): the early-stopped candidate
+  // regresses only when even its CI lower bound clears the baseline floor.
+  Trajectory t;
+  TrajectoryRecord base = MakeRecord("base", "x/L2/protected", 0.8, 1e8);
+  base.m0_bits = 0.1;
+  t.records.push_back(base);
+  t.records.push_back(MakeAdaptiveRecord("cand", "x/L2/protected", 1.2, 0.1, 0.7, 1.7));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok()) << ReportJson(o);  // 0.7 < 0.8: point estimate noise
+
+  t.records[1] = MakeAdaptiveRecord("cand", "x/L2/protected", 1.2, 0.1, 0.9, 1.5);
+  o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());  // even the lower bound says the leak grew
+  EXPECT_EQ(o.result.leak_regressions, 1u);
+}
+
+TEST(Diff, RequireVerdictMatchGatesFlippedVerdicts) {
+  Trajectory t;
+  TrajectoryRecord base = MakeRecord("base", "x/raw", 1.0, 1e8);
+  base.m0_bits = 0.1;  // leaky
+  t.records.push_back(base);
+  TrajectoryRecord cand = MakeRecord("cand", "x/raw", 0.05, 1e8);
+  cand.m0_bits = 0.1;  // not leaky
+  t.records.push_back(cand);
+  // Unprotected cell: no gate by default...
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok()) << ReportJson(o);
+  // ...but --require-verdicts makes the flip a failure.
+  DiffOptions opt;
+  opt.require_verdict_match = true;
+  o = DiffTrajectories(t, "base", "cand", opt);
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.verdict_mismatches, 1u);
+  ASSERT_EQ(o.result.cells.size(), 1u);
+  EXPECT_TRUE(o.result.cells[0].verdict_mismatch);
+  bool noted = false;
+  for (const std::string& note : o.result.notes) {
+    noted = noted || note.find("leak verdict mismatch") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+  // Agreeing verdicts pass under the same option.
+  t.records[1].mi_bits = 0.9;
+  o = DiffTrajectories(t, "base", "cand", opt);
+  EXPECT_TRUE(o.ok()) << ReportJson(o);
+}
+
+TEST(Diff, WallGateNormalizesPerRoundWhenRoundCountsDiffer) {
+  // Candidate stopped early: 32 of 112 rounds in 0.4x the wall time. The
+  // raw ratio (0.4) hides that per-round cost rose 1.4x — past the 1.25
+  // default gate.
+  Trajectory t;
+  TrajectoryRecord base = MakeRecord("base", "x/raw", 1.0, 1'000'000'000);
+  base.rounds = 112;
+  t.records.push_back(base);
+  t.records.push_back(
+      MakeAdaptiveRecord("cand", "x/raw", 1.0, 0.1, 0.5, 1.5, 400'000'000));
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  EXPECT_FALSE(o.ok());
+  EXPECT_EQ(o.result.wall_regressions, 1u);
+  ASSERT_EQ(o.result.cells.size(), 1u);
+  EXPECT_TRUE(o.result.cells[0].wall_normalized);
+
+  // Per-round cost unchanged (32/112 of the wall): passes.
+  t.records[1].wall_ns = 285'714'285;
+  o = DiffTrajectories(t, "base", "cand");
+  EXPECT_TRUE(o.ok()) << ReportJson(o);
+}
+
+TEST(Diff, ReportJsonCarriesSummaryBlock) {
+  Trajectory t;
+  TrajectoryRecord base_mi = MakeRecord("base", "x/raw", 1.0, 2e8);
+  base_mi.m0_bits = 0.1;
+  base_mi.rounds = 112;
+  t.records.push_back(base_mi);
+  t.records.push_back(MakeRecord("base", "cost/total-cost", -1, 1e8));
+  t.records.back().rounds = 100000;  // cost cell: huge rounds, no MI
+  // Candidate wall proportional to its 32/112 executed rounds, so the
+  // per-round wall gate reads ~1.0.
+  t.records.push_back(
+      MakeAdaptiveRecord("cand", "x/raw", 1.1, 0.1, 0.8, 1.4, 57'142'857));
+  t.records.push_back(MakeRecord("cand", "cost/total-cost", -1, 1e8));
+  t.records.back().rounds = 100000;
+
+  DiffOutcome o = DiffTrajectories(t, "base", "cand");
+  ASSERT_TRUE(o.error.empty());
+  // Computed summary: MI-cell rounds exclude the cost cell's bulk.
+  EXPECT_EQ(o.result.summary.base_rounds, 100112u);
+  EXPECT_EQ(o.result.summary.cand_rounds, 100032u);
+  EXPECT_EQ(o.result.summary.base_mi_rounds, 112u);
+  EXPECT_EQ(o.result.summary.cand_mi_rounds, 32u);
+  EXPECT_EQ(o.result.summary.cand_stopped_early, 1u);
+  EXPECT_EQ(o.result.summary.cells_gated, 0u);
+
+  std::string report = ReportJson(o);
+  std::string error;
+  std::optional<JsonValue> parsed = ParseJson(report, &error);
+  ASSERT_TRUE(parsed.has_value()) << error << "\n" << report;
+  const JsonValue* summary = parsed->Find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->Find("base_mi_rounds")->number, 112.0);
+  EXPECT_EQ(summary->Find("cand_mi_rounds")->number, 32.0);
+  EXPECT_EQ(summary->Find("cand_cells_stopped_early")->number, 1.0);
+  EXPECT_EQ(summary->Find("cells_gated")->number, 0.0);
+  EXPECT_EQ(summary->Find("verdict_mismatches")->number, 0.0);
+  // Per-cell adaptive fields ride along for machine consumers.
+  bool found = false;
+  for (const JsonValue& cell : parsed->Find("cells")->array) {
+    if (cell.Find("cell")->string != "x/raw") {
+      continue;
+    }
+    found = true;
+    ASSERT_NE(cell.Find("cand_stopped_early"), nullptr);
+    EXPECT_TRUE(cell.Find("cand_stopped_early")->boolean);
+    EXPECT_EQ(cell.Find("cand_rounds")->number, 32.0);
+    EXPECT_EQ(cell.Find("base_rounds")->number, 112.0);
+    EXPECT_EQ(cell.Find("cand_mi_ci_low")->number, 0.8);
+    EXPECT_EQ(cell.Find("cand_mi_ci_high")->number, 1.4);
+  }
+  EXPECT_TRUE(found) << report;
+  // And the options block records the new knobs.
+  const JsonValue* opts = parsed->Find("options");
+  ASSERT_NE(opts, nullptr);
+  ASSERT_NE(opts->Find("require_verdict_match"), nullptr);
+  EXPECT_FALSE(opts->Find("require_verdict_match")->boolean);
+  EXPECT_EQ(opts->Find("ci_leak_threshold_bits")->number, 0.001);
+}
+
 }  // namespace
 }  // namespace tp::trajectory
