@@ -1,0 +1,158 @@
+#include "fuzz/harness.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "runner/runner.hpp"
+#include "runner/sweep.hpp"
+
+namespace tp::fuzz {
+
+FuzzSummary RunFuzz(const FuzzOptions& options) {
+  std::vector<Target> targets = options.targets.empty() ? AllTargets() : options.targets;
+  FuzzSummary summary;
+  const auto start = std::chrono::steady_clock::now();
+
+  for (std::size_t i = 0; i < options.cases; ++i) {
+    if (options.budget_s > 0) {
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= options.budget_s) {
+        if (options.out != nullptr) {
+          std::fprintf(options.out, "budget of %.0fs reached after %zu cases\n",
+                       options.budget_s, summary.cases_run);
+        }
+        break;
+      }
+    }
+    const Target target = targets[i % targets.size()];
+    const std::uint64_t case_seed =
+        runner::SplitMix64(options.seed ^ runner::SplitMix64(static_cast<std::uint64_t>(i) + 1));
+    const FuzzCase c = GenerateCase(target, case_seed);
+    const OracleResult result = RunCase(c);
+    ++summary.cases_run;
+    if (result.skipped) {
+      ++summary.skipped;
+    }
+    if (options.verbose && options.out != nullptr) {
+      std::fprintf(options.out, "case %zu %s seed=%llx: %s\n", i, TargetName(target),
+                   static_cast<unsigned long long>(case_seed),
+                   result.ok ? (result.skipped ? "skipped" : "ok") : "VIOLATION");
+    }
+    if (result.ok) {
+      continue;
+    }
+
+    FuzzFailure failure;
+    failure.original = c;
+    failure.message = result.message;
+    if (options.out != nullptr) {
+      std::fprintf(options.out, "case %zu (%s): VIOLATION: %s\n", i, TargetName(target),
+                   result.message.c_str());
+    }
+    if (options.shrink) {
+      failure.shrunk = Shrink(c, [](const FuzzCase& candidate) {
+        const OracleResult r = RunCase(candidate);
+        return !r.ok;
+      });
+      // Report the shrunk case's own message: shrinking may surface a
+      // different (smaller) manifestation of the same defect.
+      const OracleResult shrunk_result = RunCase(failure.shrunk);
+      if (!shrunk_result.ok) {
+        failure.message = shrunk_result.message;
+      }
+    } else {
+      failure.shrunk = c;
+    }
+    failure.token = FormatCase(failure.shrunk);
+    if (options.out != nullptr) {
+      std::fprintf(options.out, "  shrunk: %s\n  replay: tp_fuzz --replay '%s'\n",
+                   failure.message.c_str(), failure.token.c_str());
+    }
+    if (!options.corpus_append_dir.empty()) {
+      const std::string path =
+          AppendCorpusCase(options.corpus_append_dir, failure.shrunk, failure.message);
+      if (options.out != nullptr && !path.empty()) {
+        std::fprintf(options.out, "  saved to corpus: %s\n", path.c_str());
+      }
+    }
+    summary.failures.push_back(std::move(failure));
+  }
+  return summary;
+}
+
+bool LoadCorpus(const std::string& dir,
+                std::vector<std::pair<std::string, FuzzCase>>* out, std::string* error) {
+  out->clear();
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".case") {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot read corpus directory " + dir + ": " + ec.message();
+    }
+    return false;
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      if (error != nullptr) {
+        *error = "cannot open " + path.string();
+      }
+      return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.empty() || line[0] == '#') {
+        continue;
+      }
+      FuzzCase c;
+      std::string parse_error;
+      if (!ParseCase(line, &c, &parse_error)) {
+        if (error != nullptr) {
+          *error = path.string() + ": " + parse_error;
+        }
+        return false;
+      }
+      out->emplace_back(path.filename().string(), std::move(c));
+    }
+  }
+  return true;
+}
+
+std::string AppendCorpusCase(const std::string& dir, const FuzzCase& shrunk,
+                             const std::string& message) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string token = FormatCase(shrunk);
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(runner::Fnv1a64(token)));
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (std::string(TargetName(shrunk.target)) + "-" + hash + ".case");
+  std::ofstream file(path);
+  if (!file) {
+    return "";
+  }
+  std::string comment = message;
+  for (char& ch : comment) {
+    if (ch == '\n' || ch == '\r') {
+      ch = ' ';
+    }
+  }
+  file << "# " << comment << "\n" << token << "\n";
+  return path.string();
+}
+
+}  // namespace tp::fuzz

@@ -1,0 +1,61 @@
+// The fuzzing loop behind tools/tp_fuzz: generates seed-deterministic cases
+// round-robin across the requested targets, runs each under its oracle set,
+// auto-shrinks any violation, and (optionally) appends the minimized token
+// to an on-disk regression corpus. LoadCorpus replays a committed corpus
+// directory; tier-1 ctest runs it on every build.
+#ifndef TP_FUZZ_HARNESS_HPP_
+#define TP_FUZZ_HARNESS_HPP_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace tp::fuzz {
+
+struct FuzzFailure {
+  FuzzCase original;
+  FuzzCase shrunk;
+  std::string message;  // violated invariant (from the shrunk reproduction)
+  std::string token;    // FormatCase(shrunk) — feed back via --replay
+};
+
+struct FuzzSummary {
+  std::size_t cases_run = 0;
+  std::size_t skipped = 0;
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t cases = 500;
+  std::vector<Target> targets;     // empty = all targets, round-robin
+  double budget_s = 0;             // stop early after this wall time (0 = off)
+  bool shrink = true;
+  std::string corpus_append_dir;   // when set, append each shrunk failure
+  bool verbose = false;
+  std::FILE* out = nullptr;        // progress stream (null = silent)
+};
+
+FuzzSummary RunFuzz(const FuzzOptions& options);
+
+// Reads every *.case file under `dir` (one token per line; '#' comments and
+// blank lines ignored). Returns {filename, case} pairs, or nullopt-like
+// failure via `error`.
+bool LoadCorpus(const std::string& dir,
+                std::vector<std::pair<std::string, FuzzCase>>* out, std::string* error);
+
+// Writes `token` (with `message` as a comment) to a new
+// "<target>-<hash>.case" file under `dir`. Returns the path, or "" on error.
+std::string AppendCorpusCase(const std::string& dir, const FuzzCase& shrunk,
+                             const std::string& message);
+
+}  // namespace tp::fuzz
+
+#endif  // TP_FUZZ_HARNESS_HPP_

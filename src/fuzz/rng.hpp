@@ -1,0 +1,39 @@
+// Deterministic fuzzing RNG: a counter fed through the repo's canonical
+// splitmix64 mixer. Unlike the std:: distributions (whose algorithms are
+// implementation-defined), every draw here is a pure function of the seed,
+// so a fuzz case token replays bit-for-bit on any host/libstdc++.
+#ifndef TP_FUZZ_RNG_HPP_
+#define TP_FUZZ_RNG_HPP_
+
+#include <cstdint>
+
+#include "runner/runner.hpp"
+
+namespace tp::fuzz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() { return runner::SplitMix64(state_++); }
+
+  // Uniform-ish in [0, n); 0 when n == 0. Modulo bias is irrelevant for
+  // fuzz-case generation (and keeping the draw a single mix keeps replay
+  // trivially portable).
+  std::uint64_t Below(std::uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform-ish in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  bool Chance(unsigned percent) { return Below(100) < percent; }
+
+  // Uniform in [0, 1) with 53 random mantissa bits.
+  double UnitDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tp::fuzz
+
+#endif  // TP_FUZZ_RNG_HPP_

@@ -1,0 +1,106 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+
+namespace tp::fuzz {
+
+namespace {
+
+struct Budget {
+  std::size_t remaining;
+  bool Spend() {
+    if (remaining == 0) {
+      return false;
+    }
+    --remaining;
+    return true;
+  }
+};
+
+// Binary-reduction pass over one sequence dimension: try dropping chunks of
+// size n/2, n/4, ... 1 from every aligned offset, keeping any drop that
+// still fails. Returns true if the sequence got smaller.
+template <typename Seq>
+bool DropChunks(FuzzCase& best, Seq FuzzCase::* member, const FailFn& still_fails,
+                Budget& budget) {
+  bool shrunk = false;
+  std::size_t chunk = (best.*member).size() / 2;
+  while (chunk > 0) {
+    std::size_t offset = 0;
+    while (offset < (best.*member).size()) {
+      if (!budget.Spend()) {
+        return shrunk;
+      }
+      FuzzCase candidate = best;
+      Seq& seq = candidate.*member;
+      const std::size_t take = std::min(chunk, seq.size() - offset);
+      seq.erase(seq.begin() + static_cast<std::ptrdiff_t>(offset),
+                seq.begin() + static_cast<std::ptrdiff_t>(offset + take));
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        shrunk = true;
+        // Re-try the same offset: the next chunk slid into place.
+      } else {
+        offset += chunk;
+      }
+    }
+    chunk /= 2;
+  }
+  return shrunk;
+}
+
+// Per-index param lowering: smaller param values decode to smaller table
+// indices and geometries, so try 0, v/2 and v-1 at each position, plus
+// truncating the params tail entirely (missing params read as 0).
+bool LowerParams(FuzzCase& best, const FailFn& still_fails, Budget& budget) {
+  bool shrunk = false;
+  while (!best.params.empty()) {
+    if (!budget.Spend()) {
+      return shrunk;
+    }
+    FuzzCase candidate = best;
+    candidate.params.pop_back();
+    if (!still_fails(candidate)) {
+      break;
+    }
+    best = std::move(candidate);
+    shrunk = true;
+  }
+  for (std::size_t i = 0; i < best.params.size(); ++i) {
+    const std::uint64_t v = best.params[i];
+    const std::uint64_t tries[3] = {0, v / 2, v == 0 ? 0 : v - 1};
+    for (std::uint64_t t : tries) {
+      if (t >= best.params[i]) {
+        continue;
+      }
+      if (!budget.Spend()) {
+        return shrunk;
+      }
+      FuzzCase candidate = best;
+      candidate.params[i] = t;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        shrunk = true;
+      }
+    }
+  }
+  return shrunk;
+}
+
+}  // namespace
+
+FuzzCase Shrink(const FuzzCase& original, const FailFn& still_fails,
+                const ShrinkOptions& options) {
+  FuzzCase best = original;
+  Budget budget{options.max_attempts};
+  bool progress = true;
+  while (progress && budget.remaining > 0) {
+    progress = false;
+    progress = DropChunks(best, &FuzzCase::ops, still_fails, budget) || progress;
+    progress = DropChunks(best, &FuzzCase::payload, still_fails, budget) || progress;
+    progress = LowerParams(best, still_fails, budget) || progress;
+  }
+  return best;
+}
+
+}  // namespace tp::fuzz

@@ -1,0 +1,28 @@
+// ddmin-style auto-shrinking for failing fuzz cases: drop op chunks, drop
+// payload byte chunks, and lower individual params, re-checking the failure
+// predicate at every step, until a fixpoint or the attempt budget runs out.
+#ifndef TP_FUZZ_SHRINK_HPP_
+#define TP_FUZZ_SHRINK_HPP_
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/fuzz_case.hpp"
+
+namespace tp::fuzz {
+
+struct ShrinkOptions {
+  std::size_t max_attempts = 300;  // predicate evaluations, not accepted steps
+};
+
+// Returns true when the candidate still fails (the property worth keeping).
+using FailFn = std::function<bool(const FuzzCase&)>;
+
+// Returns the smallest case found that still satisfies `still_fails`.
+// `still_fails(original)` is assumed true; the result always satisfies it.
+FuzzCase Shrink(const FuzzCase& original, const FailFn& still_fails,
+                const ShrinkOptions& options = {});
+
+}  // namespace tp::fuzz
+
+#endif  // TP_FUZZ_SHRINK_HPP_

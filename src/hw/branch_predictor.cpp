@@ -1,11 +1,31 @@
 #include "hw/branch_predictor.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace tp::hw {
 
+std::string BranchPredictorGeometry::Validate() const {
+  if (btb_associativity == 0) {
+    return "btb_associativity must be nonzero";
+  }
+  if (btb_entries == 0 || btb_entries % btb_associativity != 0) {
+    return "btb_entries must be a nonzero multiple of btb_associativity";
+  }
+  if (pht_entries == 0) {
+    return "pht_entries must be nonzero";
+  }
+  // The history mask is built by shifting 1 << history_bits (PhtIndex).
+  if (history_bits >= 64) {
+    return "history_bits must be < 64";
+  }
+  return "";
+}
+
 BranchPredictor::BranchPredictor(const BranchPredictorGeometry& geometry) : geometry_(geometry) {
-  assert(geometry_.btb_entries % geometry_.btb_associativity == 0);
+  if (std::string err = geometry_.Validate(); !err.empty()) {
+    throw std::invalid_argument("BranchPredictor: " + err);
+  }
   btb_.resize(geometry_.btb_entries);
   pht_.assign(geometry_.pht_entries, 1);  // weakly not-taken
   if (TaintTrackingEnabled()) {

@@ -10,6 +10,7 @@
 #define TP_HW_BRANCH_PREDICTOR_HPP_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hw/taint.hpp"
@@ -23,6 +24,10 @@ struct BranchPredictorGeometry {
   std::size_t pht_entries = 16384;  // pattern history table (BHB backing)
   std::size_t history_bits = 16;
   Cycles mispredict_penalty = 15;
+
+  // "" when buildable, else the reason (the constructor throws
+  // std::invalid_argument on the same bounds; see CacheGeometry::Validate).
+  std::string Validate() const;
 };
 
 struct BranchResult {

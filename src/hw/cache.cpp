@@ -9,17 +9,36 @@
 
 namespace tp::hw {
 
-SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& geometry,
-                                         Indexing indexing)
-    : name_(std::move(name)), geometry_(geometry), indexing_(indexing) {
-  assert(geometry_.size_bytes % (geometry_.line_size * geometry_.associativity *
-                                 geometry_.num_slices) ==
-         0);
+std::string CacheGeometry::Validate() const {
+  if (line_size == 0) {
+    return "line_size must be nonzero";
+  }
   // The per-set valid/dirty bitmasks pack one bit per way into a 64-bit
   // word; a wider geometry must fail loudly (release builds included), not
   // silently wrap the masks.
-  if (geometry_.associativity < 1 || geometry_.associativity > 64) {
-    throw std::invalid_argument("SetAssociativeCache: associativity must be 1..64");
+  if (associativity < 1 || associativity > 64) {
+    return "associativity must be 1..64";
+  }
+  if (num_slices == 0) {
+    return "num_slices must be nonzero";
+  }
+  if (size_bytes == 0 || size_bytes % line_size != 0) {
+    return "size_bytes must be a nonzero multiple of line_size";
+  }
+  const std::size_t lines = size_bytes / line_size;
+  if (num_slices > lines || lines % num_slices != 0 ||
+      (lines / num_slices) % associativity != 0) {
+    return "size_bytes must hold a whole number of sets per slice "
+           "(line_size * associativity * num_slices must divide it)";
+  }
+  return "";
+}
+
+SetAssociativeCache::SetAssociativeCache(std::string name, const CacheGeometry& geometry,
+                                         Indexing indexing)
+    : name_(std::move(name)), geometry_(geometry), indexing_(indexing) {
+  if (std::string err = geometry_.Validate(); !err.empty()) {
+    throw std::invalid_argument("SetAssociativeCache " + name_ + ": " + err);
   }
   sets_per_slice_ = geometry_.SetsPerSlice();
   num_slices_ = geometry_.num_slices;

@@ -47,6 +47,11 @@ struct CacheGeometry {
   }
   // Bytes spanned by one way of one slice; the unit of page colouring.
   std::size_t WaySpanBytes() const { return SetsPerSlice() * line_size; }
+  // "" when the geometry is buildable, else the reason. The constructor
+  // enforces the same bounds (throwing std::invalid_argument), so fuzzers
+  // and config loaders can pre-screen candidates without try/catch — and a
+  // degenerate geometry can never reach the division arithmetic above.
+  std::string Validate() const;
   // Number of page colours in this cache (1 means uncolourable).
   std::size_t Colours() const {
     std::size_t span = WaySpanBytes();

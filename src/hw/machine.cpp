@@ -149,6 +149,14 @@ std::uint64_t Machine::ScopedDigest(std::uint32_t scope, std::size_t core) {
       return e.digest;
     }
   }
+  const std::uint64_t h = ScopedDigestUncached(scope, core);
+  digest_cache_[digest_cache_next_] =
+      ScopedDigestCacheEntry{state_gen_, scope, core, h};
+  digest_cache_next_ = (digest_cache_next_ + 1) % std::size(digest_cache_);
+  return h;
+}
+
+std::uint64_t Machine::ScopedDigestUncached(std::uint32_t scope, std::size_t core) const {
   std::uint64_t h = kDigestSeed;
   DigestWord(h, scope);
   if ((scope & kScopeLlc) != 0) {
@@ -162,9 +170,6 @@ std::uint64_t Machine::ScopedDigest(std::uint32_t scope, std::size_t core) {
       }
     }
   }
-  digest_cache_[digest_cache_next_] =
-      ScopedDigestCacheEntry{state_gen_, scope, core, h};
-  digest_cache_next_ = (digest_cache_next_ + 1) % std::size(digest_cache_);
   return h;
 }
 

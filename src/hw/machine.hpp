@@ -115,6 +115,10 @@ class Machine {
   // machine are served from cache, so several memo lookups (or a lookup
   // right after a replay, which mutates nothing) fold the state once.
   std::uint64_t ScopedDigest(std::uint32_t scope, std::size_t core);
+  // The same fold without the generation-keyed memo: const, so invariant
+  // checkers can digest a machine they only hold const access to and
+  // cross-check that the cached path returns the identical value.
+  std::uint64_t ScopedDigestUncached(std::uint32_t scope, std::size_t core) const;
   // Bytes ScopedDigest would fold — the cost side of the replay-memo gate.
   std::size_t ScopedDigestBytes(std::uint32_t scope, std::size_t core) const;
 

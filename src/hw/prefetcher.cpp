@@ -7,15 +7,27 @@
 
 namespace tp::hw {
 
-StreamPrefetcher::StreamPrefetcher(const PrefetcherGeometry& geometry) : geometry_(geometry) {
+std::string PrefetcherGeometry::Validate() const {
   // The per-miss fill list is a fixed inline array; a geometry that could
-  // overflow it must fail loudly here, not silently drop fills mid-miss.
-  if (geometry_.max_stale_issues_per_miss +
-          static_cast<std::size_t>(std::max(geometry_.prefetch_degree, 0)) >
-      PrefetchFillList::kCapacity) {
-    throw std::invalid_argument(
-        "PrefetcherGeometry: max_stale_issues_per_miss + prefetch_degree exceeds "
-        "the inline fill-list capacity");
+  // overflow it must fail loudly at construction, not silently drop fills
+  // mid-miss. Each term is bounded before the sum so the check cannot wrap.
+  const std::size_t degree = static_cast<std::size_t>(std::max(prefetch_degree, 0));
+  if (max_stale_issues_per_miss > PrefetchFillList::kCapacity ||
+      degree > PrefetchFillList::kCapacity ||
+      max_stale_issues_per_miss + degree > PrefetchFillList::kCapacity) {
+    return "max_stale_issues_per_miss + prefetch_degree exceeds the inline "
+           "fill-list capacity";
+  }
+  // PageOf divides by lines_per_page on every trained miss.
+  if (lines_per_page == 0 && (data_slots > 0 || instruction_slots > 0)) {
+    return "lines_per_page must be nonzero when any stream slot exists";
+  }
+  return "";
+}
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherGeometry& geometry) : geometry_(geometry) {
+  if (std::string err = geometry_.Validate(); !err.empty()) {
+    throw std::invalid_argument("StreamPrefetcher: " + err);
   }
   data_slots_.resize(geometry_.data_slots);
   instruction_slots_.resize(geometry_.instruction_slots);

@@ -21,6 +21,7 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hw/types.hpp"
@@ -40,6 +41,10 @@ struct PrefetcherGeometry {
   // cross one — and a prefetch that did would punch through the colouring
   // partition into a neighbouring domain's frame.
   std::size_t lines_per_page = kPageSize / 64;
+
+  // "" when buildable, else the reason (the constructor throws
+  // std::invalid_argument on the same bounds; see CacheGeometry::Validate).
+  std::string Validate() const;
 };
 
 // Per-miss prefetch fill list. A miss issues at most

@@ -119,6 +119,13 @@ class TaintMap {
   TaintTag OwnerOf(std::size_t index) const {
     return static_cast<TaintTag>(meta_[index] & 0xFFFF);
   }
+  std::size_t ColourOf(std::size_t index) const {
+    return static_cast<std::size_t>(meta_[index] >> 16);
+  }
+  // Entry count (0 when the map is off) and the colour count the map was
+  // enabled with — the bounds a brute-force consistency walk iterates over.
+  std::size_t size() const { return meta_.size(); }
+  std::size_t colours() const { return colours_; }
 
   // Folds the per-entry metadata into a batch-replay state digest (the
   // per-owner counts are derived from it and need no separate fold).

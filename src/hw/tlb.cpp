@@ -9,12 +9,21 @@
 
 namespace tp::hw {
 
+std::string TlbGeometry::Validate() const {
+  // One bit per way in the packed valid/global masks (see cache.cpp).
+  if (associativity < 1 || associativity > 64) {
+    return "associativity must be 1..64";
+  }
+  if (entries == 0 || entries % associativity != 0) {
+    return "entries must be a nonzero multiple of associativity";
+  }
+  return "";
+}
+
 Tlb::Tlb(std::string name, const TlbGeometry& geometry)
     : name_(std::move(name)), geometry_(geometry) {
-  assert(geometry_.entries % geometry_.associativity == 0);
-  // One bit per way in the packed valid/global masks (see cache.cpp).
-  if (geometry_.associativity < 1 || geometry_.associativity > 64) {
-    throw std::invalid_argument("Tlb: associativity must be 1..64");
+  if (std::string err = geometry_.Validate(); !err.empty()) {
+    throw std::invalid_argument("Tlb " + name_ + ": " + err);
   }
   sets_ = geometry_.Sets();
   ways_ = geometry_.associativity;

@@ -30,6 +30,9 @@ struct TlbGeometry {
   std::size_t entries = 0;
   std::size_t associativity = 1;
   std::size_t Sets() const { return entries / associativity; }
+  // "" when buildable, else the reason (the constructor throws
+  // std::invalid_argument on the same bounds; see CacheGeometry::Validate).
+  std::string Validate() const;
 };
 
 class Tlb {

@@ -1,6 +1,7 @@
 #include "trajectory/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -262,6 +263,14 @@ class Parser {
     if (end == nullptr || *end != '\0') {
       pos_ = start;
       Fail("malformed number");
+      return false;
+    }
+    // A huge exponent ("1e99999") overflows strtod to infinity; propagating
+    // a non-finite value would poison every downstream comparison, so the
+    // forgiving parser still rejects it (JSON has no inf/nan either).
+    if (!std::isfinite(v)) {
+      pos_ = start;
+      Fail("number out of range");
       return false;
     }
     out.type = JsonValue::Type::kNumber;

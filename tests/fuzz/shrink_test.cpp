@@ -1,0 +1,111 @@
+// The auto-shrinker against synthetic failure predicates: it must strip
+// irrelevant ops down to the failing core, lower params, trim payload
+// bytes, respect its attempt budget, and never return a case that stops
+// failing.
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace tp::fuzz {
+namespace {
+
+FuzzCase CaseWithOps(std::vector<std::uint64_t> ops) {
+  FuzzCase c;
+  c.target = Target::kSoa;
+  c.seed = 1;
+  c.ops = std::move(ops);
+  return c;
+}
+
+TEST(Shrink, DropsEverythingButTheFailingOp) {
+  std::vector<std::uint64_t> ops(200, 7);
+  ops[137] = 0xBAD;  // the one op that matters
+  const FuzzCase original = CaseWithOps(std::move(ops));
+  const auto fails = [](const FuzzCase& c) {
+    for (std::uint64_t op : c.ops) {
+      if (op == 0xBAD) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(fails(original));
+  const FuzzCase shrunk = Shrink(original, fails, {.max_attempts = 2000});
+  ASSERT_TRUE(fails(shrunk));
+  EXPECT_EQ(shrunk.ops, std::vector<std::uint64_t>{0xBAD});
+}
+
+TEST(Shrink, KeepsOrderDependentPairs) {
+  // Failure needs 0xA somewhere before 0xB: the shrinker must keep both, in
+  // order, while dropping the noise between them.
+  std::vector<std::uint64_t> ops(64, 1);
+  ops[10] = 0xA;
+  ops[50] = 0xB;
+  const FuzzCase original = CaseWithOps(std::move(ops));
+  const auto fails = [](const FuzzCase& c) {
+    bool seen_a = false;
+    for (std::uint64_t op : c.ops) {
+      seen_a = seen_a || op == 0xA;
+      if (seen_a && op == 0xB) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const FuzzCase shrunk = Shrink(original, fails, {.max_attempts = 2000});
+  ASSERT_TRUE(fails(shrunk));
+  EXPECT_EQ(shrunk.ops, (std::vector<std::uint64_t>{0xA, 0xB}));
+}
+
+TEST(Shrink, LowersParamsAndTruncatesTail) {
+  FuzzCase c;
+  c.target = Target::kReplay;
+  c.params = {900, 77, 5, 123, 456};
+  const auto fails = [](const FuzzCase& cand) {
+    // Only params[0] >= 512 matters; everything else is droppable noise.
+    return !cand.params.empty() && cand.params[0] >= 512;
+  };
+  const FuzzCase shrunk = Shrink(c, fails, {.max_attempts = 2000});
+  ASSERT_TRUE(fails(shrunk));
+  EXPECT_EQ(shrunk.params.size(), 1u);
+  // 900 -> 899 -> ... converges to the 512 boundary via the v-1 candidates.
+  EXPECT_EQ(shrunk.params[0], 512u);
+}
+
+TEST(Shrink, TrimsPayloadBytes) {
+  FuzzCase c;
+  c.target = Target::kTrajectory;
+  c.payload = std::string(100, 'x') + "!" + std::string(100, 'y');
+  const auto fails = [](const FuzzCase& cand) {
+    return cand.payload.find('!') != std::string::npos;
+  };
+  const FuzzCase shrunk = Shrink(c, fails, {.max_attempts = 2000});
+  ASSERT_TRUE(fails(shrunk));
+  EXPECT_EQ(shrunk.payload, "!");
+}
+
+TEST(Shrink, RespectsAttemptBudget) {
+  std::vector<std::uint64_t> ops(4096, 7);
+  ops[4000] = 0xBAD;
+  const FuzzCase original = CaseWithOps(std::move(ops));
+  std::size_t evaluations = 0;
+  const auto fails = [&evaluations](const FuzzCase& c) {
+    ++evaluations;
+    for (std::uint64_t op : c.ops) {
+      if (op == 0xBAD) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const FuzzCase shrunk = Shrink(original, fails, {.max_attempts = 25});
+  EXPECT_LE(evaluations, 25u);
+  ASSERT_TRUE(fails(shrunk));           // partial progress still fails...
+  EXPECT_LT(shrunk.ops.size(), 4096u);  // ...and is no larger than the input
+}
+
+}  // namespace
+}  // namespace tp::fuzz
